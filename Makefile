@@ -1,0 +1,48 @@
+# Reproduction of "Security Analysis of Automotive Architectures using
+# Probabilistic Model Checking" (DAC 2015). Stdlib-only Go; no network
+# access required.
+
+GO ?= go
+
+.PHONY: all build test race cover bench examples experiments fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# Regenerates every table and figure of the paper (see EXPERIMENTS.md).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/steadystate
+	$(GO) run ./examples/archcompare
+	$(GO) run ./examples/paramsweep
+	$(GO) run ./examples/prismmodel
+	$(GO) run ./examples/attackpath
+	$(GO) run ./examples/obddongle
+	$(GO) run ./examples/lifetime
+
+experiments:
+	$(GO) run ./cmd/experiments
+
+# Short parser fuzz pass (the seed corpus always runs under plain `test`).
+fuzz:
+	$(GO) test -fuzz=FuzzParseModel -fuzztime=30s ./internal/prismlang/
+	$(GO) test -fuzz=FuzzLex -fuzztime=30s ./internal/prismlang/
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,433 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (Section 4), plus ablations for the design decisions recorded
+// in DESIGN.md §4. Headline metrics are attached to the benchmark output
+// via ReportMetric (pct = exploitable-time percentage, states = CTMC size),
+// so `go test -bench=. -benchmem` regenerates the numbers EXPERIMENTS.md
+// records.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/csl"
+	"repro/internal/ctmc"
+	"repro/internal/cvss"
+	"repro/internal/foxglynn"
+	"repro/internal/modular"
+	"repro/internal/prismlang"
+	"repro/internal/sim"
+	"repro/internal/transform"
+)
+
+// paperEq15Chain builds the worked example of Section 3.3.
+func paperEq15Chain(b *testing.B) *ctmc.Chain {
+	b.Helper()
+	bd := ctmc.NewBuilder(3)
+	bd.Add(0, 1, 2)
+	bd.Add(1, 0, 52)
+	bd.Add(1, 2, 2)
+	bd.Add(2, 1, 52)
+	bd.Add(2, 0, 52)
+	c, err := bd.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkEq15SteadyState regenerates the stationary distribution of the
+// paper's Eqs. (13)–(15).
+func BenchmarkEq15SteadyState(b *testing.B) {
+	c := paperEq15Chain(b)
+	var pi2 float64
+	for i := 0; i < b.N; i++ {
+		pi, err := c.SteadyState(c.DiracInit(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pi2 = pi[2]
+	}
+	b.ReportMetric(100*pi2, "pct_s2") // paper: 0.0699 %
+}
+
+// BenchmarkTable1CVSS regenerates the exploitability-score derivation of
+// Table 1 / Section 3.2 (σ = 3.15, η = 1.85 for the 3G interface).
+func BenchmarkTable1CVSS(b *testing.B) {
+	var eta float64
+	for i := 0; i < b.N; i++ {
+		v, err := cvss.Parse("AV:N/AC:H/Au:M")
+		if err != nil {
+			b.Fatal(err)
+		}
+		eta = v.Rate()
+	}
+	b.ReportMetric(eta, "eta_3G") // paper: 1.85
+}
+
+// BenchmarkTable2Rates regenerates the full component assessment of
+// Table 2 (all case-study CVSS vectors and ASIL patch rates).
+func BenchmarkTable2Rates(b *testing.B) {
+	vectors := []string{
+		"AV:A/AC:H/Au:S", "AV:A/AC:L/Au:S", "AV:N/AC:H/Au:M", "AV:L/AC:H/Au:S",
+	}
+	a := arch.Architecture1()
+	var sum float64
+	for i := 0; i < b.N; i++ {
+		sum = 0
+		for _, s := range vectors {
+			v, err := cvss.Parse(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sum += v.Rate()
+		}
+		for j := range a.ECUs {
+			r, err := a.ECUs[j].EffectivePatchRate()
+			if err != nil {
+				b.Fatal(err)
+			}
+			sum += r
+		}
+	}
+	b.ReportMetric(sum, "rate_sum")
+}
+
+// BenchmarkFig5 regenerates the Figure-5 grid: per architecture, category
+// and protection, the exploitable-time percentage of message m within one
+// year (nmax = 2).
+func BenchmarkFig5(b *testing.B) {
+	an := core.Analyzer{NMax: 2, Horizon: 1, SkipSteadyState: true}
+	for ai, a := range arch.CaseStudy() {
+		for _, cat := range core.Categories {
+			for _, prot := range core.Protections {
+				name := fmt.Sprintf("arch%d/%s/%s", ai+1, cat, prot)
+				b.Run(name, func(b *testing.B) {
+					var r *core.Result
+					var err error
+					for i := 0; i < b.N; i++ {
+						r, err = an.Analyze(a, arch.MessageM, cat, prot)
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(r.Percent(), "pct")
+					b.ReportMetric(float64(r.States), "states")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig6aPatchSweep regenerates Figure 6 (a): exploitability of m in
+// Architecture 1 as the 3G patching rate sweeps 0.1 … 8760 per year.
+func BenchmarkFig6aPatchSweep(b *testing.B) {
+	an := core.Analyzer{NMax: 2, Horizon: 1}
+	rates := core.LogSpace(0.1, 8760, 9)
+	var pts []core.SweepPoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = an.Sweep(arch.Architecture1(), arch.MessageM,
+			transform.Confidentiality, transform.Unencrypted,
+			core.SweepPatchRate, arch.Telematics, "", rates)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*pts[0].TimeFraction, "pct_lo")
+	b.ReportMetric(100*pts[len(pts)-1].TimeFraction, "pct_hi")
+}
+
+// BenchmarkFig6bExploitSweep regenerates Figure 6 (b): exploitability of m
+// as the 3G exploitation rate sweeps 0.1 … 8760 per year.
+func BenchmarkFig6bExploitSweep(b *testing.B) {
+	an := core.Analyzer{NMax: 2, Horizon: 1}
+	rates := core.LogSpace(0.1, 8760, 9)
+	var pts []core.SweepPoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = an.Sweep(arch.Architecture1(), arch.MessageM,
+			transform.Confidentiality, transform.Unencrypted,
+			core.SweepExploitRate, arch.Telematics, arch.BusInternet, rates)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*pts[0].TimeFraction, "pct_lo")
+	b.ReportMetric(100*pts[len(pts)-1].TimeFraction, "pct_hi")
+}
+
+// BenchmarkScalabilityNmax recovers the Section-4.3 state-space growth with
+// the exploit cap nmax.
+func BenchmarkScalabilityNmax(b *testing.B) {
+	for _, nmax := range []int{1, 2, 3, 4} {
+		b.Run(fmt.Sprintf("nmax%d", nmax), func(b *testing.B) {
+			var states int
+			for i := 0; i < b.N; i++ {
+				res, err := transform.Build(arch.Architecture1(), arch.MessageM, transform.Options{
+					NMax: nmax, Category: transform.Availability,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ex, err := res.Model.Explore(modular.ExploreOpts{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				states = ex.N()
+			}
+			b.ReportMetric(float64(states), "states")
+		})
+	}
+}
+
+// BenchmarkScalabilityECUs recovers the state-space growth with the number
+// of modelled components using the synthetic generator.
+func BenchmarkScalabilityECUs(b *testing.B) {
+	for _, n := range []int{4, 6, 8} {
+		b.Run(fmt.Sprintf("ecus%d", n), func(b *testing.B) {
+			spec := arch.SyntheticSpec{ECUs: n, Buses: 2}
+			var states int
+			for i := 0; i < b.N; i++ {
+				a, err := arch.Synthetic(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := transform.Build(a, arch.MessageM, transform.Options{
+					NMax: 2, Category: transform.Availability,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ex, err := res.Model.Explore(modular.ExploreOpts{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				states = ex.N()
+			}
+			b.ReportMetric(float64(states), "states")
+		})
+	}
+}
+
+// BenchmarkAblationPatchGuard measures the impact of the paper's literal
+// Eq. (2) patch guard (DESIGN.md §4 deviation 1).
+func BenchmarkAblationPatchGuard(b *testing.B) {
+	for _, literal := range []bool{false, true} {
+		name := "default"
+		if literal {
+			name = "literal"
+		}
+		b.Run(name, func(b *testing.B) {
+			an := core.Analyzer{NMax: 2, Horizon: 1, SkipSteadyState: true, LiteralPatchGuard: literal}
+			var r *core.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				r, err = an.Analyze(arch.Architecture3(), arch.MessageM,
+					transform.Availability, transform.Unencrypted)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.Percent(), "pct")
+		})
+	}
+}
+
+// BenchmarkAblationLinearRates measures the impact of exploit-count-scaled
+// patch rates (DESIGN.md §4 deviation 4).
+func BenchmarkAblationLinearRates(b *testing.B) {
+	for _, linear := range []bool{false, true} {
+		name := "constant"
+		if linear {
+			name = "linear"
+		}
+		b.Run(name, func(b *testing.B) {
+			an := core.Analyzer{NMax: 2, Horizon: 1, SkipSteadyState: true, LinearPatchRates: linear}
+			var r *core.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				r, err = an.Analyze(arch.Architecture1(), arch.MessageM,
+					transform.Availability, transform.Unencrypted)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.Percent(), "pct")
+		})
+	}
+}
+
+// BenchmarkFoxGlynnVsNaive compares the Fox–Glynn weight computation with
+// naive log-space pmf evaluation over the same window — the reason the
+// uniformisation engine uses Fox–Glynn.
+func BenchmarkFoxGlynnVsNaive(b *testing.B) {
+	const lambda = 5000
+	b.Run("foxglynn", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := foxglynn.Compute(lambda, 1e-10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var sum float64
+			for k := 4500; k <= 5500; k++ {
+				sum += foxglynn.PMF(lambda, k)
+			}
+			if sum <= 0 {
+				b.Fatal("pmf vanished")
+			}
+		}
+	})
+}
+
+// BenchmarkEngineTransient isolates the uniformisation kernel on the
+// largest case-study model.
+func BenchmarkEngineTransient(b *testing.B) {
+	res, err := transform.Build(arch.Architecture2(), arch.MessageM, transform.Options{
+		NMax: 2, Category: transform.Confidentiality, Protection: transform.AES128,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex, err := res.Model.Explore(modular.ExploreOpts{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Chain.Transient(ex.InitDistribution(), 1, 1e-10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineExplore isolates state-space exploration.
+func BenchmarkEngineExplore(b *testing.B) {
+	res, err := transform.Build(arch.Architecture2(), arch.MessageM, transform.Options{
+		NMax: 2, Category: transform.Confidentiality, Protection: transform.AES128,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var states int
+	for i := 0; i < b.N; i++ {
+		ex, err := res.Model.Explore(modular.ExploreOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		states = ex.N()
+	}
+	b.ReportMetric(float64(states), "states")
+}
+
+// BenchmarkPRISMRoundTrip parses the exported Architecture 1 model — the
+// mini-PRISM front end.
+func BenchmarkPRISMRoundTrip(b *testing.B) {
+	res, err := transform.Build(arch.Architecture1(), arch.MessageM, transform.Options{
+		NMax: 2, Category: transform.Availability,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := res.Model.ExportPRISM()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prismlang.ParseModel(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCSLCheck measures full property evaluation via the CSL layer.
+func BenchmarkCSLCheck(b *testing.B) {
+	res, err := transform.Build(arch.Architecture1(), arch.MessageM, transform.Options{
+		NMax: 2, Category: transform.Availability,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex, err := res.Model.Explore(modular.ExploreOpts{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prop, err := csl.Parse(`P=? [ F<=1 "violated" ]`, csl.Environment{Model: res.Model})
+	if err != nil {
+		b.Fatal(err)
+	}
+	checker := csl.NewChecker(ex)
+	b.ResetTimer()
+	var v float64
+	for i := 0; i < b.N; i++ {
+		r, err := checker.Check(prop)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v = r.Value
+	}
+	b.ReportMetric(100*v, "pct")
+}
+
+// BenchmarkMonteCarloValidation measures the Gillespie cross-validator on
+// the Architecture 1 availability model.
+func BenchmarkMonteCarloValidation(b *testing.B) {
+	res, err := transform.Build(arch.Architecture1(), arch.MessageM, transform.Options{
+		NMax: 2, Category: transform.Availability,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex, err := res.Model.Explore(modular.ExploreOpts{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mask, err := ex.LabelMask(transform.LabelViolated)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := sim.New(ex.Chain, 1)
+	b.ResetTimer()
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		mean, _, err = s.TimeFraction(ex.InitIndex(), mask, 1, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*mean, "pct")
+}
+
+// BenchmarkAblationLumping measures the paper's proposed state-merging
+// optimisation (ordinary lumping): quotient size and runtime vs the full
+// chain.
+func BenchmarkAblationLumping(b *testing.B) {
+	for _, lump := range []bool{false, true} {
+		name := "full"
+		if lump {
+			name = "lumped"
+		}
+		b.Run(name, func(b *testing.B) {
+			an := core.Analyzer{NMax: 2, Horizon: 1, SkipSteadyState: true, UseLumping: lump}
+			var r *core.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				r, err = an.Analyze(arch.Architecture2(), arch.MessageM,
+					transform.Confidentiality, transform.AES128)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.Percent(), "pct")
+			if lump {
+				b.ReportMetric(float64(r.LumpedStates), "states")
+			} else {
+				b.ReportMetric(float64(r.States), "states")
+			}
+		})
+	}
+}

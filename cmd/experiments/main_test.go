@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	// The eq15 experiment reads models/ relative to the repo root.
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir("../.."); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(cwd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	var b strings.Builder
+	err = run(args, &b)
+	return b.String(), err
+}
+
+func TestSingleExperiments(t *testing.T) {
+	cases := map[string]string{
+		"eq15":      "0.000698",
+		"table2":    "AV:N/AC:H/Au:M",
+		"ablations": "lumping",
+	}
+	for only, want := range cases {
+		out, err := runCapture(t, "-only", only)
+		if err != nil {
+			t.Fatalf("%s: %v", only, err)
+		}
+		if !strings.Contains(out, want) {
+			t.Fatalf("%s output missing %q:\n%s", only, want, out)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := runCapture(t, "-only", "bogus"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestFig6Experiment(t *testing.T) {
+	out, err := runCapture(t, "-only", "fig6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "patching rate") || !strings.Contains(out, "exploitation rate") {
+		t.Fatalf("fig6 output incomplete:\n%s", out)
+	}
+}

@@ -1,0 +1,300 @@
+// Command secanalyze runs the paper's security analysis on an automotive
+// architecture: it transforms the architecture into a CTMC, model checks the
+// exploitable-time property for every security category and message
+// protection, and prints a Figure-5-style table.
+//
+// Usage:
+//
+//	secanalyze                         # full case study (Architectures 1-3)
+//	secanalyze -arch builtin:2         # one built-in architecture
+//	secanalyze -arch my.json           # architecture from a JSON file
+//	secanalyze -nmax 3 -horizon 2      # paper parameters overridden
+//	secanalyze -csv                    # machine-readable output
+//	secanalyze -prop 'P=?[F<=1 "violated"]' -category availability
+//	secanalyze -export-prism           # dump the generated PRISM model
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/transform"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "secanalyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("secanalyze", flag.ContinueOnError)
+	archFlag := fs.String("arch", "", "architecture: builtin:1|2|3 or a JSON file (default: all built-ins)")
+	msg := fs.String("message", arch.MessageM, "message stream to analyse")
+	nmax := fs.Int("nmax", 2, "maximum concurrent exploits per interface")
+	horizon := fs.Float64("horizon", 1, "analysis horizon in years")
+	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	jsonOut := fs.Bool("json", false, "emit the full-grid results as JSON (grid mode only)")
+	prop := fs.String("prop", "", "check a CSL property instead of the full grid")
+	category := fs.String("category", "confidentiality", "category for -prop / -export-prism: confidentiality|integrity|availability")
+	protection := fs.String("protection", "unencrypted", "protection for -prop / -export-prism: unencrypted|cmac128|aes128")
+	exportPRISM := fs.Bool("export-prism", false, "print the generated PRISM model and exit")
+	exportDOT := fs.Bool("dot", false, "print the architecture topology as GraphViz and exit")
+	components := fs.Bool("components", false, "rank every ECU and bus by exposure instead of the CIA grid")
+	attack := fs.Bool("attack-path", false, "print the most probable attack path for -category/-protection")
+	metrics := fs.Bool("metrics", false, "print episode metrics (mean time to violation, violation frequency) for -category/-protection")
+	critical := fs.Bool("critical", false, "hardening analysis: residual exposure after making each component unexploitable")
+	uncertainty := fs.Bool("uncertainty", false, "rate-uncertainty study: exploitable-time quantiles under ±50% rate perturbation")
+	literalGuard := fs.Bool("literal-patch-guard", false, "use the paper's literal Eq. (2) patch guard")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	archs, err := selectArchitectures(*archFlag)
+	if err != nil {
+		return err
+	}
+	an := core.Analyzer{
+		NMax:              *nmax,
+		Horizon:           *horizon,
+		LiteralPatchGuard: *literalGuard,
+	}
+
+	if *exportDOT {
+		for _, a := range archs {
+			fmt.Fprintln(out, a.ExportDOT())
+		}
+		return nil
+	}
+	if *exportPRISM || *prop != "" || *components || *attack || *metrics || *critical || *uncertainty {
+		cat, err := parseCategory(*category)
+		if err != nil {
+			return err
+		}
+		pr, err := parseProtection(*protection)
+		if err != nil {
+			return err
+		}
+		if *exportPRISM {
+			for _, a := range archs {
+				res, err := transform.Build(a, *msg, transform.Options{
+					NMax: *nmax, Category: cat, Protection: pr, LiteralPatchGuard: *literalGuard,
+				})
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(out, res.Model.ExportPRISM())
+			}
+			return nil
+		}
+		if *components {
+			for _, a := range archs {
+				comps, err := an.AnalyzeComponents(a, *msg, cat, pr)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "== %s ==\n", a.Name)
+				tbl := report.NewTable("component", "kind", "exploited time", "hit within horizon")
+				for _, c := range comps {
+					tbl.AddRow(c.Name, c.Kind,
+						report.Percent(c.ExploitedTimeFraction),
+						report.Percent(c.EverExploited))
+				}
+				if *csv {
+					if err := tbl.WriteCSV(out); err != nil {
+						return err
+					}
+				} else if _, err := tbl.WriteTo(out); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if *attack {
+			for _, a := range archs {
+				path, err := an.MostProbableAttackPath(a, *msg, cat, pr)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "== %s (%s, %s) ==\n%s", a.Name, cat, pr, path)
+			}
+			return nil
+		}
+		if *metrics {
+			tbl := report.NewTable("architecture", "exploitable time",
+				"mean time to violation", "violations / horizon", "P[any violation]")
+			for _, a := range archs {
+				sm, err := an.Metrics(a, *msg, cat, pr)
+				if err != nil {
+					return err
+				}
+				mttv := "∞"
+				if !math.IsInf(sm.MeanTimeToViolation, 1) {
+					mttv = fmt.Sprintf("%.4g years", sm.MeanTimeToViolation)
+				}
+				tbl.AddRow(a.Name,
+					report.Percent(sm.ExploitableTimeFraction),
+					mttv,
+					fmt.Sprintf("%.4g", sm.ViolationFrequency),
+					report.Percent(sm.FirstViolationProbability))
+			}
+			if *csv {
+				return tbl.WriteCSV(out)
+			}
+			_, err := tbl.WriteTo(out)
+			return err
+		}
+		if *critical {
+			for _, a := range archs {
+				ccs, err := an.CriticalComponents(a, *msg, cat, pr)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "== %s (%s, %s) ==\n", a.Name, cat, pr)
+				tbl := report.NewTable("hardened component", "attack blocked", "residual exposure")
+				for _, c := range ccs {
+					blocked := "no"
+					if c.Blocks {
+						blocked = "YES"
+					}
+					tbl.AddRow(c.Name, blocked, report.Percent(c.ResidualTimeFraction))
+				}
+				if _, err := tbl.WriteTo(out); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if *uncertainty {
+			tbl := report.NewTable("architecture", "nominal", "P05", "median", "P95")
+			for _, a := range archs {
+				u, err := an.Uncertainty(a, *msg, cat, pr, core.UncertaintyOptions{Seed: 1})
+				if err != nil {
+					return err
+				}
+				tbl.AddRow(a.Name, report.Percent(u.Nominal), report.Percent(u.P05),
+					report.Percent(u.P50), report.Percent(u.P95))
+			}
+			_, err := tbl.WriteTo(out)
+			return err
+		}
+		for _, a := range archs {
+			res, err := an.CheckProperty(a, *msg, cat, pr, *prop)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%s: %s = %s\n", a.Name, *prop, res)
+		}
+		return nil
+	}
+
+	var jsonResults []map[string]any
+	tbl := report.NewTable("architecture", "category", "protection",
+		"exploitable time", "steady state", "states", "transitions", "build", "check")
+	for _, a := range archs {
+		rs, err := an.AnalyzeAll(a, *msg)
+		if err != nil {
+			return err
+		}
+		for _, r := range rs {
+			if *jsonOut {
+				jsonResults = append(jsonResults, map[string]any{
+					"architecture":     r.Architecture,
+					"message":          r.Message,
+					"category":         r.Category.String(),
+					"protection":       r.Protection.String(),
+					"exploitable_time": r.TimeFraction,
+					"steady_state":     jsonNumber(r.SteadyState),
+					"states":           r.States,
+					"transitions":      r.Transitions,
+					"build_seconds":    r.BuildTime.Seconds(),
+					"check_seconds":    r.CheckTime.Seconds(),
+				})
+				continue
+			}
+			tbl.AddRow(
+				r.Architecture,
+				r.Category.String(),
+				r.Protection.String(),
+				report.Percent(r.TimeFraction),
+				report.Percent(r.SteadyState),
+				fmt.Sprintf("%d", r.States),
+				fmt.Sprintf("%d", r.Transitions),
+				r.BuildTime.Round(1e5).String(),
+				r.CheckTime.Round(1e5).String(),
+			)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(jsonResults)
+	}
+	if *csv {
+		return tbl.WriteCSV(out)
+	}
+	_, err = tbl.WriteTo(out)
+	return err
+}
+
+// jsonNumber maps NaN (JSON-unrepresentable) to nil.
+func jsonNumber(v float64) any {
+	if math.IsNaN(v) {
+		return nil
+	}
+	return v
+}
+
+func selectArchitectures(spec string) ([]*arch.Architecture, error) {
+	switch spec {
+	case "":
+		return arch.CaseStudy(), nil
+	case "builtin:1":
+		return []*arch.Architecture{arch.Architecture1()}, nil
+	case "builtin:2":
+		return []*arch.Architecture{arch.Architecture2()}, nil
+	case "builtin:3":
+		return []*arch.Architecture{arch.Architecture3()}, nil
+	default:
+		a, err := arch.LoadFile(spec)
+		if err != nil {
+			return nil, err
+		}
+		return []*arch.Architecture{a}, nil
+	}
+}
+
+func parseCategory(s string) (transform.Category, error) {
+	switch strings.ToLower(s) {
+	case "confidentiality", "c":
+		return transform.Confidentiality, nil
+	case "integrity", "i", "g":
+		return transform.Integrity, nil
+	case "availability", "a":
+		return transform.Availability, nil
+	default:
+		return 0, fmt.Errorf("unknown category %q", s)
+	}
+}
+
+func parseProtection(s string) (transform.Protection, error) {
+	switch strings.ToLower(s) {
+	case "unencrypted", "none":
+		return transform.Unencrypted, nil
+	case "cmac128", "cmac":
+		return transform.CMAC128, nil
+	case "aes128", "aes":
+		return transform.AES128, nil
+	default:
+		return 0, fmt.Errorf("unknown protection %q", s)
+	}
+}

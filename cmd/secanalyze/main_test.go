@@ -1,0 +1,183 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func runCapture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var b strings.Builder
+	err := run(args, &b)
+	return b.String(), err
+}
+
+func TestGridSingleArchitecture(t *testing.T) {
+	out, err := runCapture(t, "-arch", "builtin:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Architecture 1") || !strings.Contains(out, "confidentiality") {
+		t.Fatalf("out = %q", out)
+	}
+	if strings.Count(out, "Architecture 1") != 9 {
+		t.Fatalf("expected 9 grid rows:\n%s", out)
+	}
+}
+
+func TestGridCSV(t *testing.T) {
+	out, err := runCapture(t, "-arch", "builtin:1", "-csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "architecture,category,protection") {
+		t.Fatalf("csv header missing: %q", out)
+	}
+}
+
+func TestArchFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.json")
+	if err := arch.Architecture2().SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCapture(t, "-arch", path, "-category", "availability",
+		"-prop", `P=? [ F<=1 "violated" ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Architecture 2:") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestPropertyMode(t *testing.T) {
+	out, err := runCapture(t, "-arch", "builtin:1", "-category", "availability",
+		"-prop", `S=? [ "violated" ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "S=?") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestExportPRISM(t *testing.T) {
+	out, err := runCapture(t, "-arch", "builtin:3", "-export-prism",
+		"-category", "confidentiality", "-protection", "aes128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ctmc", "module", `label "violated"`, `rewards "violated_time"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("export missing %q", want)
+		}
+	}
+}
+
+func TestComponentsMode(t *testing.T) {
+	out, err := runCapture(t, "-arch", "builtin:1", "-components", "-category", "availability")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "component") || !strings.Contains(out, "NET") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestAttackPathMode(t *testing.T) {
+	out, err := runCapture(t, "-arch", "builtin:1", "-attack-path", "-category", "availability")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "exploit interface 3G_NET") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestDOTMode(t *testing.T) {
+	out, err := runCapture(t, "-arch", "builtin:1", "-dot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "graph architecture") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-arch", "does-not-exist.json"},
+		{"-arch", "builtin:1", "-category", "bogus", "-prop", "S=? [\"violated\"]"},
+		{"-arch", "builtin:1", "-protection", "bogus", "-prop", "S=? [\"violated\"]"},
+		{"-arch", "builtin:1", "-prop", "garbage"},
+		{"-unknown-flag"},
+	}
+	for _, args := range cases {
+		if _, err := runCapture(t, args...); err == nil {
+			t.Fatalf("no error for %v", args)
+		}
+	}
+}
+
+func TestLiteralPatchGuardChangesNumbers(t *testing.T) {
+	a, err := runCapture(t, "-arch", "builtin:3", "-csv", "-nmax", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runCapture(t, "-arch", "builtin:3", "-csv", "-nmax", "1", "-literal-patch-guard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("literal patch guard produced identical output")
+	}
+}
+
+func TestMain(m *testing.M) {
+	os.Exit(m.Run())
+}
+
+func TestCriticalMode(t *testing.T) {
+	out, err := runCapture(t, "-arch", "builtin:3", "-critical", "-category", "availability", "-nmax", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "guardian:FR") || !strings.Contains(out, "YES") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestUncertaintyMode(t *testing.T) {
+	out, err := runCapture(t, "-arch", "builtin:1", "-uncertainty", "-category", "availability", "-nmax", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "P95") || !strings.Contains(out, "Architecture 1") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestJSONMode(t *testing.T) {
+	out, err := runCapture(t, "-arch", "builtin:1", "-json", "-nmax", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal([]byte(out), &rows); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0]["architecture"] != "Architecture 1" {
+		t.Fatalf("row = %v", rows[0])
+	}
+	if _, ok := rows[0]["exploitable_time"].(float64); !ok {
+		t.Fatalf("exploitable_time missing: %v", rows[0])
+	}
+}

@@ -1,0 +1,141 @@
+// Command sweep runs the paper's Figure-6 parameter explorations: it varies
+// the patching or exploitation rate of one component over a logarithmic
+// grid and reports the message's exploitable-time fraction at each point,
+// plus the rate at which the curve crosses a target threshold.
+//
+// Usage:
+//
+//	sweep -param patch                 # Figure 6 (a): 3G patching rate
+//	sweep -param exploit               # Figure 6 (b): 3G exploitation rate
+//	sweep -arch builtin:3 -ecu GW -param patch -from 1 -to 100 -points 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/transform"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	archFlag := fs.String("arch", "builtin:1", "architecture: builtin:1|2|3 or JSON file")
+	msg := fs.String("message", arch.MessageM, "message stream")
+	ecu := fs.String("ecu", arch.Telematics, "ECU whose rate is varied")
+	bus := fs.String("bus", arch.BusInternet, "interface bus (for -param exploit)")
+	param := fs.String("param", "patch", "rate to vary: patch | exploit")
+	from := fs.Float64("from", 0.1, "lowest rate (per year)")
+	to := fs.Float64("to", 8760, "highest rate (per year)")
+	points := fs.Int("points", 17, "number of logarithmically spaced points")
+	nmax := fs.Int("nmax", 2, "maximum concurrent exploits per interface")
+	horizon := fs.Float64("horizon", 1, "analysis horizon in years")
+	category := fs.String("category", "confidentiality", "security category")
+	protection := fs.String("protection", "unencrypted", "message protection")
+	threshold := fs.Float64("threshold", 0.005, "report the crossing of this exploitable-time fraction")
+	csv := fs.Bool("csv", false, "emit CSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	a, err := selectArchitecture(*archFlag)
+	if err != nil {
+		return err
+	}
+	cat, err := parseCategory(*category)
+	if err != nil {
+		return err
+	}
+	pr, err := parseProtection(*protection)
+	if err != nil {
+		return err
+	}
+	var sp core.SweepParam
+	switch *param {
+	case "patch":
+		sp = core.SweepPatchRate
+	case "exploit":
+		sp = core.SweepExploitRate
+	default:
+		return fmt.Errorf("unknown -param %q (want patch or exploit)", *param)
+	}
+	rates := core.LogSpace(*from, *to, *points)
+	if rates == nil {
+		return fmt.Errorf("invalid grid: from=%v to=%v points=%d", *from, *to, *points)
+	}
+	an := core.Analyzer{NMax: *nmax, Horizon: *horizon}
+	pts, err := an.Sweep(a, *msg, cat, pr, sp, *ecu, *bus, rates)
+	if err != nil {
+		return err
+	}
+	tbl := report.NewTable("rate (1/a)", "exploitable time")
+	for _, p := range pts {
+		tbl.AddRow(fmt.Sprintf("%.4g", p.Rate), report.Percent(p.TimeFraction))
+	}
+	if *csv {
+		if err := tbl.WriteCSV(out); err != nil {
+			return err
+		}
+	} else if _, err := tbl.WriteTo(out); err != nil {
+		return err
+	}
+	cross := core.ThresholdCrossing(pts, *threshold)
+	if math.IsNaN(cross) {
+		fmt.Fprintf(out, "curve never crosses %s\n", report.Percent(*threshold))
+	} else {
+		fmt.Fprintf(out, "crosses %s at rate ≈ %.3g per year\n", report.Percent(*threshold), cross)
+	}
+	return nil
+}
+
+func selectArchitecture(spec string) (*arch.Architecture, error) {
+	switch spec {
+	case "builtin:1":
+		return arch.Architecture1(), nil
+	case "builtin:2":
+		return arch.Architecture2(), nil
+	case "builtin:3":
+		return arch.Architecture3(), nil
+	default:
+		return arch.LoadFile(spec)
+	}
+}
+
+func parseCategory(s string) (transform.Category, error) {
+	switch strings.ToLower(s) {
+	case "confidentiality", "c":
+		return transform.Confidentiality, nil
+	case "integrity", "i", "g":
+		return transform.Integrity, nil
+	case "availability", "a":
+		return transform.Availability, nil
+	default:
+		return 0, fmt.Errorf("unknown category %q", s)
+	}
+}
+
+func parseProtection(s string) (transform.Protection, error) {
+	switch strings.ToLower(s) {
+	case "unencrypted", "none":
+		return transform.Unencrypted, nil
+	case "cmac128", "cmac":
+		return transform.CMAC128, nil
+	case "aes128", "aes":
+		return transform.AES128, nil
+	default:
+		return 0, fmt.Errorf("unknown protection %q", s)
+	}
+}

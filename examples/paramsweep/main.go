@@ -1,0 +1,83 @@
+// Paramsweep reproduces the paper's Figure 6: the sensitivity of message
+// m's exploitability (Architecture 1) to the telematics unit's patching
+// rate (a) and exploitation rate (b), swept logarithmically from once per
+// decade (0.1/a) to once per hour (8760/a). The curves are printed as
+// log-log ASCII plots together with the threshold crossings the paper
+// discusses.
+//
+// Run with: go run ./examples/paramsweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/transform"
+)
+
+func main() {
+	analyzer := core.Analyzer{NMax: 2, Horizon: 1}
+	rates := core.LogSpace(0.1, 8760, 17)
+	a1 := arch.Architecture1()
+
+	fmt.Println("Figure 6 (a): m exploitability vs 3G patching rate (η_3G = 1.9)")
+	patch, err := analyzer.Sweep(a1, arch.MessageM,
+		transform.Confidentiality, transform.Unencrypted,
+		core.SweepPatchRate, arch.Telematics, "", rates)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plot(patch)
+	reportCrossing(patch, 0.005)
+
+	fmt.Println("\nFigure 6 (b): m exploitability vs 3G exploitation rate (ϕ_3G = 52)")
+	exploit, err := analyzer.Sweep(a1, arch.MessageM,
+		transform.Confidentiality, transform.Unencrypted,
+		core.SweepExploitRate, arch.Telematics, arch.BusInternet, rates)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plot(exploit)
+	reportCrossing(exploit, 0.005)
+
+	fmt.Println("\nInterpretation (matches the paper's qualitative reading):")
+	fmt.Println("  - both curves are monotone with diminishing returns on the log grid;")
+	fmt.Println("  - hardening at the weak end of the spectrum has the largest impact,")
+	fmt.Println("    extreme rates barely move the result further.")
+}
+
+// plot renders a crude log-log scatter: one row per sweep point, bar length
+// proportional to log10 of the exploitable-time fraction.
+func plot(points []core.SweepPoint) {
+	const cols = 48
+	lo, hi := -5.0, 0.0 // log10 fraction range [1e-5, 1]
+	for _, p := range points {
+		l := math.Log10(math.Max(p.TimeFraction, 1e-12))
+		fill := int((l - lo) / (hi - lo) * cols)
+		if fill < 0 {
+			fill = 0
+		}
+		if fill > cols {
+			fill = cols
+		}
+		fmt.Printf("  %9.3g |%s%s| %s\n",
+			p.Rate,
+			strings.Repeat("#", fill), strings.Repeat(" ", cols-fill),
+			report.Percent(p.TimeFraction))
+	}
+}
+
+func reportCrossing(points []core.SweepPoint, threshold float64) {
+	cross := core.ThresholdCrossing(points, threshold)
+	if math.IsNaN(cross) {
+		fmt.Printf("  -> the curve never crosses %s on this grid\n", report.Percent(threshold))
+		return
+	}
+	fmt.Printf("  -> crosses %s exploitable time at ≈ %.3g per year\n",
+		report.Percent(threshold), cross)
+}

@@ -1,0 +1,350 @@
+// Package arch models automotive E/E architectures at the granularity the
+// paper analyses: ECUs split into per-bus network interfaces, bus systems
+// (CAN, FlexRay with bus guardian, internet-facing networks), and scheduled
+// message streams with sender, receivers and routed buses. It also provides
+// the three case-study architectures of the paper's Figure 4 with the
+// component assessment of Table 2, and a JSON codec so architectures can be
+// stored and analysed from files.
+package arch
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/asil"
+	"repro/internal/cvss"
+)
+
+// BusKind classifies communication systems.
+type BusKind int
+
+// Bus kinds.
+const (
+	CAN      BusKind = iota // event-triggered shared bus, no transmit control
+	FlexRay                 // time-triggered, bus guardian enforces slots
+	Internet                // external network (3G/4G/WiFi): always exposed
+)
+
+func (k BusKind) String() string {
+	switch k {
+	case CAN:
+		return "CAN"
+	case FlexRay:
+		return "FlexRay"
+	case Internet:
+		return "Internet"
+	default:
+		return fmt.Sprintf("BusKind(%d)", int(k))
+	}
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (k BusKind) MarshalText() ([]byte, error) {
+	switch k {
+	case CAN, FlexRay, Internet:
+		return []byte(k.String()), nil
+	default:
+		return nil, fmt.Errorf("arch: unknown bus kind %d", int(k))
+	}
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (k *BusKind) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "CAN":
+		*k = CAN
+	case "FlexRay":
+		*k = FlexRay
+	case "Internet":
+		*k = Internet
+	default:
+		return fmt.Errorf("arch: unknown bus kind %q", b)
+	}
+	return nil
+}
+
+// Guardian is the FlexRay bus guardian assessment: the guardian must be
+// exploited in addition to an attached ECU before the bus becomes freely
+// writable (paper Eq. 5).
+type Guardian struct {
+	ExploitRate float64 `json:"exploit_rate"`          // η_bg per year
+	PatchRate   float64 `json:"patch_rate"`            // ϕ_bg per year
+	CVSSVector  string  `json:"cvss_vector,omitempty"` // documentation
+}
+
+// Bus is a communication system.
+type Bus struct {
+	Name     string    `json:"name"`
+	Kind     BusKind   `json:"kind"`
+	Guardian *Guardian `json:"guardian,omitempty"` // FlexRay only
+}
+
+// Interface is an ECU's attachment to one bus, with its own exploitability
+// assessment (paper Eq. 1: exploits are discovered per interface).
+type Interface struct {
+	Bus         string  `json:"bus"`
+	ExploitRate float64 `json:"exploit_rate"`          // η per year
+	CVSSVector  string  `json:"cvss_vector,omitempty"` // documentation
+}
+
+// ECU is an electronic control unit.
+type ECU struct {
+	Name       string      `json:"name"`
+	ASIL       asil.Level  `json:"asil"`
+	PatchRate  float64     `json:"patch_rate"` // ϕ per year; 0 = derive from ASIL
+	Interfaces []Interface `json:"interfaces"`
+	// FailureRate and RepairRate (per year) optionally model random
+	// hardware failure for the combined security + reliability analysis the
+	// paper lists as future work. Zero failure rate = not modelled.
+	FailureRate float64 `json:"failure_rate,omitempty"`
+	RepairRate  float64 `json:"repair_rate,omitempty"`
+}
+
+// EffectivePatchRate returns the explicit patch rate, or the ASIL-derived
+// one when unset.
+func (e *ECU) EffectivePatchRate() (float64, error) {
+	if e.PatchRate > 0 {
+		return e.PatchRate, nil
+	}
+	return e.ASIL.PatchRate()
+}
+
+// Message is a scheduled message stream m = {s_m, R_m, B_m}.
+type Message struct {
+	Name      string   `json:"name"`
+	Sender    string   `json:"sender"`
+	Receivers []string `json:"receivers"`
+	Buses     []string `json:"buses"` // route, in order
+}
+
+// Architecture is a complete system under analysis.
+type Architecture struct {
+	Name     string    `json:"name"`
+	Buses    []Bus     `json:"buses"`
+	ECUs     []ECU     `json:"ecus"`
+	Messages []Message `json:"messages"`
+}
+
+// ErrInvalid wraps all architecture validation failures.
+var ErrInvalid = errors.New("arch: invalid architecture")
+
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalid, fmt.Sprintf(format, args...))
+}
+
+// Bus returns the named bus, or nil.
+func (a *Architecture) Bus(name string) *Bus {
+	for i := range a.Buses {
+		if a.Buses[i].Name == name {
+			return &a.Buses[i]
+		}
+	}
+	return nil
+}
+
+// ECU returns the named ECU, or nil.
+func (a *Architecture) ECU(name string) *ECU {
+	for i := range a.ECUs {
+		if a.ECUs[i].Name == name {
+			return &a.ECUs[i]
+		}
+	}
+	return nil
+}
+
+// Message returns the named message, or nil.
+func (a *Architecture) Message(name string) *Message {
+	for i := range a.Messages {
+		if a.Messages[i].Name == name {
+			return &a.Messages[i]
+		}
+	}
+	return nil
+}
+
+// ECUsOnBus returns the names of all ECUs with an interface on the bus
+// (the set E_b of the paper).
+func (a *Architecture) ECUsOnBus(bus string) []string {
+	var out []string
+	for i := range a.ECUs {
+		for _, ifc := range a.ECUs[i].Interfaces {
+			if ifc.Bus == bus {
+				out = append(out, a.ECUs[i].Name)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// HasInterfaceOn reports whether the ECU attaches to the named bus.
+func (e *ECU) HasInterfaceOn(bus string) bool {
+	for _, ifc := range e.Interfaces {
+		if ifc.Bus == bus {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks structural consistency: unique names, resolvable
+// references, sane rates, FlexRay guardians present, message endpoints
+// attached to the route.
+func (a *Architecture) Validate() error {
+	if a.Name == "" {
+		return invalidf("architecture has no name")
+	}
+	busSeen := make(map[string]bool)
+	for i := range a.Buses {
+		b := &a.Buses[i]
+		if b.Name == "" {
+			return invalidf("bus %d has no name", i)
+		}
+		if busSeen[b.Name] {
+			return invalidf("duplicate bus %q", b.Name)
+		}
+		busSeen[b.Name] = true
+		switch b.Kind {
+		case FlexRay:
+			if b.Guardian == nil {
+				return invalidf("FlexRay bus %q has no bus guardian assessment", b.Name)
+			}
+			if b.Guardian.ExploitRate < 0 || b.Guardian.PatchRate < 0 {
+				return invalidf("bus %q guardian has negative rates", b.Name)
+			}
+			if b.Guardian.CVSSVector != "" {
+				if _, err := cvss.Parse(b.Guardian.CVSSVector); err != nil {
+					return invalidf("bus %q guardian vector: %v", b.Name, err)
+				}
+			}
+		case CAN, Internet:
+			if b.Guardian != nil {
+				return invalidf("%s bus %q must not declare a bus guardian", b.Kind, b.Name)
+			}
+		default:
+			return invalidf("bus %q has unknown kind %d", b.Name, int(b.Kind))
+		}
+	}
+	ecuSeen := make(map[string]bool)
+	for i := range a.ECUs {
+		e := &a.ECUs[i]
+		if e.Name == "" {
+			return invalidf("ECU %d has no name", i)
+		}
+		if ecuSeen[e.Name] {
+			return invalidf("duplicate ECU %q", e.Name)
+		}
+		ecuSeen[e.Name] = true
+		if len(e.Interfaces) == 0 {
+			return invalidf("ECU %q has no interfaces", e.Name)
+		}
+		if _, err := e.EffectivePatchRate(); err != nil {
+			return invalidf("ECU %q: %v", e.Name, err)
+		}
+		if e.FailureRate < 0 || e.RepairRate < 0 {
+			return invalidf("ECU %q has negative reliability rates", e.Name)
+		}
+		if e.FailureRate > 0 && e.RepairRate == 0 {
+			return invalidf("ECU %q has a failure rate but no repair rate", e.Name)
+		}
+		ifaceSeen := make(map[string]bool)
+		for _, ifc := range e.Interfaces {
+			if !busSeen[ifc.Bus] {
+				return invalidf("ECU %q references unknown bus %q", e.Name, ifc.Bus)
+			}
+			if ifaceSeen[ifc.Bus] {
+				return invalidf("ECU %q has two interfaces on bus %q", e.Name, ifc.Bus)
+			}
+			ifaceSeen[ifc.Bus] = true
+			if ifc.ExploitRate < 0 {
+				return invalidf("ECU %q interface on %q has negative exploit rate", e.Name, ifc.Bus)
+			}
+			if ifc.CVSSVector != "" {
+				if _, err := cvss.Parse(ifc.CVSSVector); err != nil {
+					return invalidf("ECU %q interface on %q vector: %v", e.Name, ifc.Bus, err)
+				}
+			}
+		}
+	}
+	msgSeen := make(map[string]bool)
+	for i := range a.Messages {
+		m := &a.Messages[i]
+		if m.Name == "" {
+			return invalidf("message %d has no name", i)
+		}
+		if msgSeen[m.Name] {
+			return invalidf("duplicate message %q", m.Name)
+		}
+		msgSeen[m.Name] = true
+		sender := a.ECU(m.Sender)
+		if sender == nil {
+			return invalidf("message %q sender %q not found", m.Name, m.Sender)
+		}
+		if len(m.Receivers) == 0 {
+			return invalidf("message %q has no receivers", m.Name)
+		}
+		if len(m.Buses) == 0 {
+			return invalidf("message %q is routed over no buses", m.Name)
+		}
+		routeBus := make(map[string]bool)
+		for _, bn := range m.Buses {
+			if !busSeen[bn] {
+				return invalidf("message %q routed over unknown bus %q", m.Name, bn)
+			}
+			if routeBus[bn] {
+				return invalidf("message %q visits bus %q twice", m.Name, bn)
+			}
+			routeBus[bn] = true
+		}
+		if !onRoute(sender, m.Buses) {
+			return invalidf("message %q sender %q has no interface on the route", m.Name, m.Sender)
+		}
+		for _, rn := range m.Receivers {
+			r := a.ECU(rn)
+			if r == nil {
+				return invalidf("message %q receiver %q not found", m.Name, rn)
+			}
+			if rn == m.Sender {
+				return invalidf("message %q lists its sender as receiver", m.Name)
+			}
+			if !onRoute(r, m.Buses) {
+				return invalidf("message %q receiver %q has no interface on the route", m.Name, rn)
+			}
+		}
+	}
+	return nil
+}
+
+func onRoute(e *ECU, buses []string) bool {
+	for _, b := range buses {
+		if e.HasInterfaceOn(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy, used by parameter sweeps that mutate rates.
+func (a *Architecture) Clone() *Architecture {
+	c := &Architecture{Name: a.Name}
+	c.Buses = make([]Bus, len(a.Buses))
+	for i, b := range a.Buses {
+		c.Buses[i] = b
+		if b.Guardian != nil {
+			g := *b.Guardian
+			c.Buses[i].Guardian = &g
+		}
+	}
+	c.ECUs = make([]ECU, len(a.ECUs))
+	for i, e := range a.ECUs {
+		c.ECUs[i] = e
+		c.ECUs[i].Interfaces = append([]Interface(nil), e.Interfaces...)
+	}
+	c.Messages = make([]Message, len(a.Messages))
+	for i, m := range a.Messages {
+		c.Messages[i] = m
+		c.Messages[i].Receivers = append([]string(nil), m.Receivers...)
+		c.Messages[i].Buses = append([]string(nil), m.Buses...)
+	}
+	return c
+}

@@ -1,0 +1,137 @@
+package arch
+
+import "repro/internal/asil"
+
+// Component assessment constants from the paper's Table 2 (rates per year).
+// The CVSS vectors are recorded alongside; Table 2 publishes the rounded
+// rates, which we use verbatim so the case study matches the paper's
+// parameterisation.
+const (
+	// RateHardenedECU is η for PA / PS / GW interfaces (AV:A/AC:H/Au:S).
+	RateHardenedECU = 1.2
+	// RateTelematicsCAN is η for the telematics unit's in-vehicle interface
+	// (AV:A/AC:L/Au:S).
+	RateTelematicsCAN = 3.8
+	// RateTelematics3G is η for the telematics unit's internet interface
+	// (AV:N/AC:H/Au:M).
+	RateTelematics3G = 1.9
+	// RateBusGuardian is η for the FlexRay bus guardian (AV:L/AC:H/Au:S).
+	RateBusGuardian = 0.2
+	// RateMessageCrypto is η for breaking CMAC-128 / AES-128 message
+	// protection (AV:A/AC:H/Au:S).
+	RateMessageCrypto = 1.2
+)
+
+// Standard component names of the case study.
+const (
+	ParkAssist    = "PA"
+	PowerSteering = "PS"
+	Gateway       = "GW"
+	Telematics    = "3G"
+	BusCAN1       = "CAN1"
+	BusCAN2       = "CAN2"
+	BusFlexRay    = "FR"
+	BusInternet   = "NET"
+	MessageM      = "m"
+)
+
+const (
+	vecHardened = "AV:A/AC:H/Au:S"
+	vecTeleCAN  = "AV:A/AC:L/Au:S"
+	vecTele3G   = "AV:N/AC:H/Au:M"
+	vecGuardian = "AV:L/AC:H/Au:S"
+)
+
+// Architecture1 builds the paper's Architecture 1: message m shares CAN1
+// with the telematics unit and crosses the gateway to the power steering on
+// CAN2 (Figure 4, left).
+func Architecture1() *Architecture {
+	return &Architecture{
+		Name: "Architecture 1",
+		Buses: []Bus{
+			{Name: BusCAN1, Kind: CAN},
+			{Name: BusCAN2, Kind: CAN},
+			{Name: BusInternet, Kind: Internet},
+		},
+		ECUs: []ECU{
+			{Name: ParkAssist, ASIL: asil.C, Interfaces: []Interface{
+				{Bus: BusCAN1, ExploitRate: RateHardenedECU, CVSSVector: vecHardened},
+			}},
+			{Name: PowerSteering, ASIL: asil.D, Interfaces: []Interface{
+				{Bus: BusCAN2, ExploitRate: RateHardenedECU, CVSSVector: vecHardened},
+			}},
+			{Name: Gateway, ASIL: asil.D, Interfaces: []Interface{
+				{Bus: BusCAN1, ExploitRate: RateHardenedECU, CVSSVector: vecHardened},
+				{Bus: BusCAN2, ExploitRate: RateHardenedECU, CVSSVector: vecHardened},
+			}},
+			{Name: Telematics, ASIL: asil.A, Interfaces: []Interface{
+				{Bus: BusCAN1, ExploitRate: RateTelematicsCAN, CVSSVector: vecTeleCAN},
+				{Bus: BusInternet, ExploitRate: RateTelematics3G, CVSSVector: vecTele3G},
+			}},
+		},
+		Messages: []Message{
+			{Name: MessageM, Sender: ParkAssist, Receivers: []string{PowerSteering},
+				Buses: []string{BusCAN1, BusCAN2}},
+		},
+	}
+}
+
+// Architecture2 builds the paper's Architecture 2: the park assist gains a
+// dedicated connection on CAN2 and m is sent directly there, avoiding the
+// telematics bus — at the cost of exposing the PA on two buses (Figure 4,
+// middle).
+func Architecture2() *Architecture {
+	a := Architecture1()
+	a.Name = "Architecture 2"
+	pa := a.ECU(ParkAssist)
+	pa.Interfaces = append(pa.Interfaces, Interface{
+		Bus: BusCAN2, ExploitRate: RateHardenedECU, CVSSVector: vecHardened,
+	})
+	m := a.Message(MessageM)
+	m.Buses = []string{BusCAN2}
+	return a
+}
+
+// Architecture3 builds the paper's Architecture 3: CAN1 is replaced by a
+// time-triggered FlexRay bus whose bus guardian must additionally be
+// compromised before devices can transmit outside their slots (Figure 4,
+// right).
+func Architecture3() *Architecture {
+	return &Architecture{
+		Name: "Architecture 3",
+		Buses: []Bus{
+			{Name: BusFlexRay, Kind: FlexRay, Guardian: &Guardian{
+				ExploitRate: RateBusGuardian,
+				PatchRate:   4, // ASIL D per Table 2
+				CVSSVector:  vecGuardian,
+			}},
+			{Name: BusCAN2, Kind: CAN},
+			{Name: BusInternet, Kind: Internet},
+		},
+		ECUs: []ECU{
+			{Name: ParkAssist, ASIL: asil.C, Interfaces: []Interface{
+				{Bus: BusFlexRay, ExploitRate: RateHardenedECU, CVSSVector: vecHardened},
+			}},
+			{Name: PowerSteering, ASIL: asil.D, Interfaces: []Interface{
+				{Bus: BusCAN2, ExploitRate: RateHardenedECU, CVSSVector: vecHardened},
+			}},
+			{Name: Gateway, ASIL: asil.D, Interfaces: []Interface{
+				{Bus: BusFlexRay, ExploitRate: RateHardenedECU, CVSSVector: vecHardened},
+				{Bus: BusCAN2, ExploitRate: RateHardenedECU, CVSSVector: vecHardened},
+			}},
+			{Name: Telematics, ASIL: asil.A, Interfaces: []Interface{
+				{Bus: BusFlexRay, ExploitRate: RateTelematicsCAN, CVSSVector: vecTeleCAN},
+				{Bus: BusInternet, ExploitRate: RateTelematics3G, CVSSVector: vecTele3G},
+			}},
+		},
+		Messages: []Message{
+			{Name: MessageM, Sender: ParkAssist, Receivers: []string{PowerSteering},
+				Buses: []string{BusFlexRay, BusCAN2}},
+		},
+	}
+}
+
+// CaseStudy returns the three architectures of Figure 4 in order.
+func CaseStudy() []*Architecture {
+	return []*Architecture{Architecture1(), Architecture2(), Architecture3()}
+}

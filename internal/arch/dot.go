@@ -1,0 +1,69 @@
+package arch
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ExportDOT renders the architecture topology as a GraphViz graph: buses as
+// boxes, ECUs as ellipses, interfaces as edges annotated with exploit
+// rates, and message routes as dashed sender→receiver arcs — the style of
+// the paper's Figure 4.
+func (a *Architecture) ExportDOT() string {
+	var b strings.Builder
+	b.WriteString("graph architecture {\n")
+	fmt.Fprintf(&b, "  label=%q;\n", a.Name)
+	b.WriteString("  node [fontsize=10];\n")
+	for i := range a.Buses {
+		bus := &a.Buses[i]
+		shape := "box"
+		extra := ""
+		switch bus.Kind {
+		case FlexRay:
+			extra = fmt.Sprintf("\\nFlexRay (guardian η=%.3g ϕ=%.3g)", bus.Guardian.ExploitRate, bus.Guardian.PatchRate)
+		case Internet:
+			extra = "\\nInternet"
+			shape = "doubleoctagon"
+		default:
+			extra = "\\nCAN"
+		}
+		fmt.Fprintf(&b, "  bus_%s [shape=%s, style=filled, fillcolor=\"#dae8fc\", label=\"%s%s\"];\n",
+			ident(bus.Name), shape, bus.Name, extra)
+	}
+	for i := range a.ECUs {
+		e := &a.ECUs[i]
+		rate, err := e.EffectivePatchRate()
+		patch := "?"
+		if err == nil {
+			patch = fmt.Sprintf("%.3g", rate)
+		}
+		fmt.Fprintf(&b, "  ecu_%s [shape=ellipse, label=\"%s\\nASIL %s, ϕ=%s\"];\n",
+			ident(e.Name), e.Name, e.ASIL, patch)
+		for _, ifc := range e.Interfaces {
+			fmt.Fprintf(&b, "  ecu_%s -- bus_%s [label=\"η=%.3g\", fontsize=9];\n",
+				ident(e.Name), ident(ifc.Bus), ifc.ExploitRate)
+		}
+	}
+	for i := range a.Messages {
+		m := &a.Messages[i]
+		for _, r := range m.Receivers {
+			fmt.Fprintf(&b, "  ecu_%s -- ecu_%s [style=dashed, color=red, label=%q, fontcolor=red];\n",
+				ident(m.Sender), ident(r), m.Name)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func ident(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,38 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExportDOTArchitecture1(t *testing.T) {
+	dot := Architecture1().ExportDOT()
+	for _, want := range []string{
+		"graph architecture",
+		`label="Architecture 1"`,
+		"bus_CAN1",
+		"bus_NET",
+		"doubleoctagon", // internet bus styling
+		"ecu_PA",
+		"ecu_3G -- bus_NET",
+		`style=dashed, color=red, label="m"`,
+		"}",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("dot missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestExportDOTFlexRayGuardianAnnotation(t *testing.T) {
+	dot := Architecture3().ExportDOT()
+	if !strings.Contains(dot, "FlexRay (guardian") {
+		t.Fatalf("guardian annotation missing:\n%s", dot)
+	}
+}
+
+func TestDOTIdentSanitisation(t *testing.T) {
+	if got := ident("a-b.c"); got != "a_b_c" {
+		t.Fatalf("ident = %q", got)
+	}
+}

@@ -1,0 +1,57 @@
+package arch
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// MarshalJSON-able as-is; these helpers add validation on both directions.
+
+// ToJSON serialises the architecture (validated first).
+func (a *Architecture) ToJSON() ([]byte, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(a, "", "  ")
+}
+
+// FromJSON parses and validates an architecture.
+func FromJSON(data []byte) (*Architecture, error) {
+	var a Architecture
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("arch: parsing JSON: %w", err)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// Read parses and validates an architecture from a reader.
+func Read(r io.Reader) (*Architecture, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("arch: reading: %w", err)
+	}
+	return FromJSON(data)
+}
+
+// LoadFile parses and validates an architecture from a JSON file.
+func LoadFile(path string) (*Architecture, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("arch: %w", err)
+	}
+	return FromJSON(data)
+}
+
+// SaveFile writes the architecture as JSON.
+func (a *Architecture) SaveFile(path string) error {
+	data, err := a.ToJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

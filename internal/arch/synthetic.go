@@ -1,0 +1,102 @@
+package arch
+
+import (
+	"fmt"
+
+	"repro/internal/asil"
+)
+
+// SyntheticSpec parameterises the scalability workload generator: a family
+// of architectures with a configurable number of buses and ECUs, used to
+// recover the paper's Section 4.3 observation that state count (and hence
+// runtime) grows exponentially with the number of modelled components.
+type SyntheticSpec struct {
+	// ECUs is the total number of ECUs (≥ 3: sender, receiver, telematics).
+	ECUs int
+	// Buses is the number of internal CAN buses (≥ 1); a gateway bridges
+	// them all and a telematics unit provides the internet entry point.
+	Buses int
+	// FlexRayBackbone replaces the first internal bus with FlexRay.
+	FlexRayBackbone bool
+}
+
+// Synthetic builds a deterministic synthetic architecture: ECU 0 sends
+// message m across all internal buses to ECU 1; remaining ECUs are
+// distributed round-robin; rates follow the paper's Table 2 assessments.
+func Synthetic(spec SyntheticSpec) (*Architecture, error) {
+	if spec.ECUs < 3 {
+		return nil, invalidf("synthetic architecture needs at least 3 ECUs, got %d", spec.ECUs)
+	}
+	if spec.Buses < 1 {
+		return nil, invalidf("synthetic architecture needs at least 1 bus, got %d", spec.Buses)
+	}
+	a := &Architecture{Name: fmt.Sprintf("Synthetic(%d ECUs, %d buses)", spec.ECUs, spec.Buses)}
+
+	busName := func(i int) string { return fmt.Sprintf("BUS%d", i) }
+	var routeBuses []string
+	for i := 0; i < spec.Buses; i++ {
+		b := Bus{Name: busName(i), Kind: CAN}
+		if i == 0 && spec.FlexRayBackbone {
+			b.Kind = FlexRay
+			b.Guardian = &Guardian{ExploitRate: RateBusGuardian, PatchRate: 4, CVSSVector: vecGuardian}
+		}
+		a.Buses = append(a.Buses, b)
+		routeBuses = append(routeBuses, b.Name)
+	}
+	a.Buses = append(a.Buses, Bus{Name: BusInternet, Kind: Internet})
+
+	// Gateway bridges all internal buses.
+	gw := ECU{Name: "GW", ASIL: asil.D}
+	for i := 0; i < spec.Buses; i++ {
+		gw.Interfaces = append(gw.Interfaces, Interface{
+			Bus: busName(i), ExploitRate: RateHardenedECU, CVSSVector: vecHardened,
+		})
+	}
+	// Telematics: internet entry + first bus.
+	tele := ECU{Name: "TEL", ASIL: asil.A, Interfaces: []Interface{
+		{Bus: busName(0), ExploitRate: RateTelematicsCAN, CVSSVector: vecTeleCAN},
+		{Bus: BusInternet, ExploitRate: RateTelematics3G, CVSSVector: vecTele3G},
+	}}
+	a.ECUs = append(a.ECUs, gw, tele)
+
+	// Function ECUs: sender on the first bus, receiver on the last,
+	// remaining ECUs round-robin.
+	for i := 0; i < spec.ECUs-2; i++ {
+		var busIdx int
+		switch i {
+		case 0:
+			busIdx = 0 // sender
+		case 1:
+			busIdx = spec.Buses - 1 // receiver
+		default:
+			busIdx = i % spec.Buses
+		}
+		level := asil.C
+		if i == 1 {
+			level = asil.D // the actuated function is safety-critical
+		}
+		a.ECUs = append(a.ECUs, ECU{
+			Name: fmt.Sprintf("ECU%d", i),
+			ASIL: level,
+			Interfaces: []Interface{
+				{Bus: busName(busIdx), ExploitRate: RateHardenedECU, CVSSVector: vecHardened},
+			},
+		})
+	}
+
+	receiver := "ECU1"
+	if spec.ECUs == 3 {
+		// Only one function ECU: let the gateway act as receiver.
+		receiver = "GW"
+	}
+	a.Messages = append(a.Messages, Message{
+		Name:      MessageM,
+		Sender:    "ECU0",
+		Receivers: []string{receiver},
+		Buses:     routeBuses,
+	})
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("arch: synthetic generator produced invalid architecture: %w", err)
+	}
+	return a, nil
+}

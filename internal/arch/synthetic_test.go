@@ -1,0 +1,81 @@
+package arch
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSyntheticValidates(t *testing.T) {
+	for _, spec := range []SyntheticSpec{
+		{ECUs: 3, Buses: 1},
+		{ECUs: 5, Buses: 2},
+		{ECUs: 10, Buses: 3},
+		{ECUs: 6, Buses: 2, FlexRayBackbone: true},
+	} {
+		a, err := Synthetic(spec)
+		if err != nil {
+			t.Fatalf("%+v: %v", spec, err)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%+v: %v", spec, err)
+		}
+		if a.Message(MessageM) == nil {
+			t.Fatalf("%+v: message missing", spec)
+		}
+	}
+}
+
+func TestSyntheticECUCount(t *testing.T) {
+	a, err := Synthetic(SyntheticSpec{ECUs: 8, Buses: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.ECUs) != 8 {
+		t.Fatalf("ECUs = %d", len(a.ECUs))
+	}
+	// Internet bus + 2 internal.
+	if len(a.Buses) != 3 {
+		t.Fatalf("buses = %d", len(a.Buses))
+	}
+}
+
+func TestSyntheticFlexRayBackbone(t *testing.T) {
+	a, err := Synthetic(SyntheticSpec{ECUs: 4, Buses: 2, FlexRayBackbone: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Buses[0].Kind != FlexRay || a.Buses[0].Guardian == nil {
+		t.Fatalf("backbone = %+v", a.Buses[0])
+	}
+}
+
+func TestSyntheticRejectsTooSmall(t *testing.T) {
+	if _, err := Synthetic(SyntheticSpec{ECUs: 2, Buses: 1}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Synthetic(SyntheticSpec{ECUs: 3, Buses: 0}); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a, err := Synthetic(SyntheticSpec{ECUs: 6, Buses: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthetic(SyntheticSpec{ECUs: 6, Buses: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, err := a.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := b.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ja) != string(jb) {
+		t.Fatal("generator not deterministic")
+	}
+}

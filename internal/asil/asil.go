@@ -1,0 +1,103 @@
+// Package asil maps Automotive Safety Integrity Levels to patching rates,
+// following the paper's observation (Section 3.2) that patch frequency is
+// bounded by the re-testing and validation effort the safety level demands.
+// The A/C/D values are the paper's Table 2; QM and B are documented
+// interpolations for completeness.
+package asil
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Level is an ASIL classification per ISO 26262.
+type Level int
+
+// ASIL levels, ordered by increasing safety criticality.
+const (
+	QM Level = iota // quality management only, no ASIL
+	A
+	B
+	C
+	D
+)
+
+// ErrBadLevel reports an unknown level name.
+var ErrBadLevel = errors.New("asil: unknown level")
+
+// patchRates are patches per year. A, C and D come from the paper's Table 2
+// (telematics ASIL A patched weekly, park assist ASIL C monthly, gateway /
+// power steering ASIL D quarterly); QM and B follow the same geometric
+// trend.
+var patchRates = map[Level]float64{
+	QM: 365, // daily: no safety re-validation required
+	A:  52,  // weekly
+	B:  26,  // bi-weekly (interpolated)
+	C:  12,  // monthly
+	D:  4,   // quarterly
+}
+
+// PatchRate returns the patches-per-year rate ϕ for the level.
+func (l Level) PatchRate() (float64, error) {
+	r, ok := patchRates[l]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrBadLevel, int(l))
+	}
+	return r, nil
+}
+
+// String renders the level name.
+func (l Level) String() string {
+	switch l {
+	case QM:
+		return "QM"
+	case A:
+		return "A"
+	case B:
+		return "B"
+	case C:
+		return "C"
+	case D:
+		return "D"
+	default:
+		return fmt.Sprintf("ASIL(%d)", int(l))
+	}
+}
+
+// Parse reads a level name ("QM", "A".."D", case-insensitive).
+func Parse(s string) (Level, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "QM":
+		return QM, nil
+	case "A":
+		return A, nil
+	case "B":
+		return B, nil
+	case "C":
+		return C, nil
+	case "D":
+		return D, nil
+	default:
+		return 0, fmt.Errorf("%w: %q", ErrBadLevel, s)
+	}
+}
+
+// MarshalText implements encoding.TextMarshaler for JSON architecture
+// files.
+func (l Level) MarshalText() ([]byte, error) {
+	if _, ok := patchRates[l]; !ok {
+		return nil, fmt.Errorf("%w: %d", ErrBadLevel, int(l))
+	}
+	return []byte(l.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (l *Level) UnmarshalText(b []byte) error {
+	v, err := Parse(string(b))
+	if err != nil {
+		return err
+	}
+	*l = v
+	return nil
+}

@@ -1,0 +1,93 @@
+package asil
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+func TestTable2PatchRates(t *testing.T) {
+	// Paper Table 2: ASIL A → 52 (telematics), C → 12 (park assist),
+	// D → 4 (gateway, power steering).
+	cases := map[Level]float64{A: 52, C: 12, D: 4, B: 26, QM: 365}
+	for l, want := range cases {
+		got, err := l.PatchRate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%s: ϕ = %v, want %v", l, got, want)
+		}
+	}
+}
+
+func TestPatchRateMonotone(t *testing.T) {
+	// Higher safety criticality must never patch faster.
+	levels := []Level{QM, A, B, C, D}
+	prev := -1.0
+	for i := len(levels) - 1; i >= 0; i-- {
+		r, err := levels[i].PatchRate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && r <= prev {
+			t.Fatalf("rates not strictly decreasing with criticality at %s", levels[i])
+		}
+		prev = r
+	}
+}
+
+func TestParse(t *testing.T) {
+	for s, want := range map[string]Level{
+		"QM": QM, "qm": QM, "A": A, " b ": B, "C": C, "d": D,
+	} {
+		got, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if got != want {
+			t.Fatalf("Parse(%q) = %v", s, got)
+		}
+	}
+	if _, err := Parse("E"); !errors.Is(err, ErrBadLevel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBadLevelPatchRate(t *testing.T) {
+	if _, err := Level(42).PatchRate(); !errors.Is(err, ErrBadLevel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	type wrapper struct {
+		L Level `json:"l"`
+	}
+	b, err := json.Marshal(wrapper{L: C})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"l":"C"}` {
+		t.Fatalf("marshal = %s", b)
+	}
+	var w wrapper
+	if err := json.Unmarshal([]byte(`{"l":"D"}`), &w); err != nil {
+		t.Fatal(err)
+	}
+	if w.L != D {
+		t.Fatalf("unmarshal = %v", w.L)
+	}
+	if err := json.Unmarshal([]byte(`{"l":"Z"}`), &w); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}
+
+func TestString(t *testing.T) {
+	if Level(42).String() != "ASIL(42)" {
+		t.Fatalf("String = %q", Level(42).String())
+	}
+	if D.String() != "D" {
+		t.Fatalf("String = %q", D.String())
+	}
+}

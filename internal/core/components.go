@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/modular"
+	"repro/internal/transform"
+)
+
+// ComponentResult quantifies one architecture element's exposure: the
+// expected fraction of the horizon during which the ECU (or bus) is
+// exploited/exploitable, and the probability it is hit at least once. The
+// paper proposes exactly this per-element view ("such an analysis can be
+// performed for every element in the architecture", Section 4.2).
+type ComponentResult struct {
+	Name string
+	Kind string // "ecu" or "bus"
+	// ExploitedTimeFraction is the expected fraction of the horizon the
+	// component is exploited (ECUs) / exploitable (buses).
+	ExploitedTimeFraction float64
+	// EverExploited is P[component exploited at least once within horizon].
+	EverExploited float64
+}
+
+// AnalyzeComponents computes the per-component exposure of every ECU and
+// bus under the model generated for the given message/category/protection.
+func (a Analyzer) AnalyzeComponents(ar *arch.Architecture, msgName string, cat transform.Category, prot transform.Protection) ([]ComponentResult, error) {
+	a = a.withDefaults()
+	res, err := transform.Build(ar, msgName, a.options(cat, prot))
+	if err != nil {
+		return nil, err
+	}
+	ex, err := res.Model.Explore(modular.ExploreOpts{MaxStates: a.MaxStates})
+	if err != nil {
+		return nil, err
+	}
+	var out []ComponentResult
+	add := func(label, name, kind string) error {
+		mask, err := ex.LabelMask(label)
+		if err != nil {
+			return err
+		}
+		frac, err := ex.Chain.ExpectedTimeFraction(ex.InitDistribution(), mask, a.Horizon, a.Accuracy)
+		if err != nil {
+			return fmt.Errorf("core: component %s: %w", name, err)
+		}
+		ever, err := ex.Chain.TimeBoundedReachability(ex.InitDistribution(), mask, a.Horizon, a.Accuracy)
+		if err != nil {
+			return fmt.Errorf("core: component %s: %w", name, err)
+		}
+		out = append(out, ComponentResult{
+			Name:                  name,
+			Kind:                  kind,
+			ExploitedTimeFraction: frac,
+			EverExploited:         ever,
+		})
+		return nil
+	}
+	for i := range ar.ECUs {
+		if err := add("exp_"+ar.ECUs[i].Name, ar.ECUs[i].Name, "ecu"); err != nil {
+			return nil, err
+		}
+	}
+	for i := range ar.Buses {
+		if err := add("exp_bus_"+ar.Buses[i].Name, ar.Buses[i].Name, "bus"); err != nil {
+			return nil, err
+		}
+	}
+	// Most exposed first: the ranking decision makers act on.
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].ExploitedTimeFraction > out[j].ExploitedTimeFraction
+	})
+	return out, nil
+}

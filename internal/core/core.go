@@ -1,0 +1,430 @@
+// Package core is the paper's contribution as a library: given an
+// automotive architecture and a message stream, it quantifies the security
+// of the message in terms of confidentiality, integrity and availability by
+// transforming the architecture into a CTMC (internal/transform), model
+// checking the exploitable-time reward property (internal/ctmc, Section 3.3
+// of the paper), and reporting the percentage of a time horizon during which
+// the message is exploitable. It also provides the architecture comparison
+// of Figure 5 and the parameter explorations of Figure 6.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/csl"
+	"repro/internal/modular"
+	"repro/internal/transform"
+)
+
+// Analyzer bundles the analysis configuration. The zero value analyses with
+// the paper's settings: nmax = 2, a one-year horizon, engine-default
+// accuracy.
+type Analyzer struct {
+	// NMax caps the per-interface exploit count (default 2).
+	NMax int
+	// Horizon is the property time bound in years (default 1).
+	Horizon float64
+	// Accuracy is the uniformisation truncation accuracy (0 = engine
+	// default).
+	Accuracy float64
+	// MessagePatchRate optionally enables message-protection re-keying
+	// (Eq. 10); the paper's case study leaves it 0.
+	MessagePatchRate float64
+	// LiteralPatchGuard / LinearPatchRates select the ablation variants
+	// documented in DESIGN.md §4.
+	LiteralPatchGuard bool
+	LinearPatchRates  bool
+	// MaxStates bounds exploration (0 = engine default).
+	MaxStates int
+	// SkipSteadyState omits the long-run probability (Result.SteadyState
+	// reports NaN). Parameter sweeps enable this: they only consume the
+	// time-fraction metric and extreme rates make the stationary solve the
+	// dominant cost.
+	SkipSteadyState bool
+	// UseLumping analyses the ordinary-lumping quotient of the CTMC with
+	// respect to the violated label — the state-merging optimisation the
+	// paper proposes as future work (Sections 4.3 and 5). Results are
+	// exact; Result.LumpedStates records the reduced size.
+	UseLumping bool
+	// IncludeReliability enables the combined security + reliability
+	// analysis (paper future work): ECUs with configured failure/repair
+	// rates gain hardware-failure state; see transform.Options.
+	IncludeReliability bool
+	// Parallel runs grid analyses (AnalyzeAll, Compare) concurrently, one
+	// worker per CPU. Each combination builds its own model, so results
+	// are bitwise identical to the sequential order.
+	Parallel bool
+}
+
+func (a Analyzer) withDefaults() Analyzer {
+	if a.NMax <= 0 {
+		a.NMax = 2
+	}
+	if a.Horizon <= 0 {
+		a.Horizon = 1
+	}
+	return a
+}
+
+func (a Analyzer) options(cat transform.Category, prot transform.Protection) transform.Options {
+	return transform.Options{
+		NMax:               a.NMax,
+		Category:           cat,
+		Protection:         prot,
+		MessagePatchRate:   a.MessagePatchRate,
+		LiteralPatchGuard:  a.LiteralPatchGuard,
+		LinearPatchRates:   a.LinearPatchRates,
+		IncludeReliability: a.IncludeReliability,
+	}
+}
+
+// Result is one analysed (architecture, message, category, protection)
+// combination.
+type Result struct {
+	Architecture string
+	Message      string
+	Category     transform.Category
+	Protection   transform.Protection
+	// TimeFraction is the expected fraction of the horizon during which the
+	// message is exploitable — the paper's headline metric (multiply by 100
+	// for the percentages of Figure 5).
+	TimeFraction float64
+	// SteadyState is the long-run probability of being in a violated state.
+	SteadyState float64
+	// States and Transitions describe the explored CTMC.
+	States      int
+	Transitions int
+	// LumpedStates is the quotient size when UseLumping is enabled
+	// (0 otherwise).
+	LumpedStates int
+	// BuildTime and CheckTime separate model construction from numerical
+	// analysis.
+	BuildTime time.Duration
+	CheckTime time.Duration
+}
+
+// Percent returns the time fraction as a percentage.
+func (r *Result) Percent() float64 { return 100 * r.TimeFraction }
+
+// Analyze runs the full pipeline for one category × protection combination.
+func (a Analyzer) Analyze(ar *arch.Architecture, msgName string, cat transform.Category, prot transform.Protection) (*Result, error) {
+	a = a.withDefaults()
+	start := time.Now()
+	res, err := transform.Build(ar, msgName, a.options(cat, prot))
+	if err != nil {
+		return nil, err
+	}
+	ex, err := res.Model.Explore(modular.ExploreOpts{MaxStates: a.MaxStates})
+	if err != nil {
+		return nil, err
+	}
+	buildTime := time.Since(start)
+
+	start = time.Now()
+	mask, err := ex.LabelMask(transform.LabelViolated)
+	if err != nil {
+		return nil, err
+	}
+	chain := ex.Chain
+	init := ex.InitDistribution()
+	lumpedStates := 0
+	if a.UseLumping {
+		sig := make([]int, len(mask))
+		for i, m := range mask {
+			if m {
+				sig[i] = 1
+			}
+		}
+		l, err := chain.Lump(sig)
+		if err != nil {
+			return nil, fmt.Errorf("core: lumping: %w", err)
+		}
+		lmask, err := l.LumpMask(mask)
+		if err != nil {
+			return nil, fmt.Errorf("core: lumping: %w", err)
+		}
+		linit, err := l.LumpDistribution(init)
+		if err != nil {
+			return nil, fmt.Errorf("core: lumping: %w", err)
+		}
+		chain, mask, init = l.Quotient, lmask, linit
+		lumpedStates = l.Quotient.N()
+	}
+	frac, err := chain.ExpectedTimeFraction(init, mask, a.Horizon, a.Accuracy)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s/%s/%s: %w", ar.Name, cat, prot, err)
+	}
+	steady := math.NaN()
+	if !a.SkipSteadyState {
+		steady, err = chain.SteadyStateProbability(init, mask)
+		if err != nil {
+			return nil, fmt.Errorf("core: steady state: %w", err)
+		}
+	}
+	return &Result{
+		Architecture: ar.Name,
+		Message:      msgName,
+		Category:     cat,
+		Protection:   prot,
+		TimeFraction: frac,
+		SteadyState:  steady,
+		States:       ex.N(),
+		Transitions:  ex.Chain.Rates.NNZ(),
+		LumpedStates: lumpedStates,
+		BuildTime:    buildTime,
+		CheckTime:    time.Since(start),
+	}, nil
+}
+
+// Categories lists the paper's three security principles in Figure 5 order.
+var Categories = []transform.Category{
+	transform.Confidentiality, transform.Integrity, transform.Availability,
+}
+
+// Protections lists the paper's three protection variants in Figure 5
+// order.
+var Protections = []transform.Protection{
+	transform.Unencrypted, transform.CMAC128, transform.AES128,
+}
+
+// AnalyzeAll analyses every category × protection combination for one
+// architecture (one column group of Figure 5).
+func (a Analyzer) AnalyzeAll(ar *arch.Architecture, msgName string) ([]*Result, error) {
+	type combo struct {
+		cat  transform.Category
+		prot transform.Protection
+	}
+	var combos []combo
+	for _, cat := range Categories {
+		for _, prot := range Protections {
+			combos = append(combos, combo{cat, prot})
+		}
+	}
+	out := make([]*Result, len(combos))
+	run := func(i int) error {
+		r, err := a.Analyze(ar, msgName, combos[i].cat, combos[i].prot)
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	}
+	if err := forEach(len(combos), a.Parallel, run); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// forEach executes run(0..n-1), concurrently when parallel is set, and
+// returns the first error.
+func forEach(n int, parallel bool, run func(int) error) error {
+	if !parallel || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := run(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if firstErr != nil || next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				if err := run(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// AnalyzeMessages analyses every message stream of the architecture for one
+// category × protection — the paper's per-stream quantification ("we are
+// quantizing the security of all traffic") applied to a fully scheduled
+// message set.
+func (a Analyzer) AnalyzeMessages(ar *arch.Architecture, cat transform.Category, prot transform.Protection) ([]*Result, error) {
+	if len(ar.Messages) == 0 {
+		return nil, fmt.Errorf("core: architecture %s has no messages", ar.Name)
+	}
+	out := make([]*Result, 0, len(ar.Messages))
+	for i := range ar.Messages {
+		r, err := a.Analyze(ar, ar.Messages[i].Name, cat, prot)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Compare analyses several architectures (the full Figure 5 grid).
+func (a Analyzer) Compare(archs []*arch.Architecture, msgName string) ([]*Result, error) {
+	var out []*Result
+	for _, ar := range archs {
+		rs, err := a.AnalyzeAll(ar, msgName)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rs...)
+	}
+	return out, nil
+}
+
+// CheckProperty model-checks an arbitrary CSL property against the
+// transformed model, giving access to every state of each submodule
+// ("our framework allows the definition of properties for any submodule",
+// Section 1). The model labels violated/secure, exp_<ecu> and exp_bus_<bus>
+// are available.
+func (a Analyzer) CheckProperty(ar *arch.Architecture, msgName string, cat transform.Category, prot transform.Protection, property string) (csl.Result, error) {
+	a = a.withDefaults()
+	res, err := transform.Build(ar, msgName, a.options(cat, prot))
+	if err != nil {
+		return csl.Result{}, err
+	}
+	ex, err := res.Model.Explore(modular.ExploreOpts{MaxStates: a.MaxStates})
+	if err != nil {
+		return csl.Result{}, err
+	}
+	p, err := csl.Parse(property, csl.Environment{Model: res.Model})
+	if err != nil {
+		return csl.Result{}, err
+	}
+	checker := csl.NewChecker(ex)
+	checker.Accuracy = a.Accuracy
+	return checker.Check(p)
+}
+
+// SweepParam selects which rate the parameter exploration varies.
+type SweepParam int
+
+// Sweepable parameters (Figure 6).
+const (
+	// SweepPatchRate varies the ECU's patching rate ϕ (Figure 6a).
+	SweepPatchRate SweepParam = iota
+	// SweepExploitRate varies one interface's exploitation rate η
+	// (Figure 6b).
+	SweepExploitRate
+)
+
+// SweepPoint is one point of a parameter exploration curve.
+type SweepPoint struct {
+	Rate         float64
+	TimeFraction float64
+}
+
+// ErrSweepTarget reports a sweep over a nonexistent ECU or interface.
+var ErrSweepTarget = errors.New("core: sweep target not found")
+
+// Sweep analyses the message while varying one rate of the named ECU (for
+// SweepExploitRate, the interface on busName). Rates must be positive.
+// The architecture is cloned per point; the input is never mutated.
+func (a Analyzer) Sweep(ar *arch.Architecture, msgName string, cat transform.Category, prot transform.Protection,
+	param SweepParam, ecuName, busName string, rates []float64) ([]SweepPoint, error) {
+	if ar.ECU(ecuName) == nil {
+		return nil, fmt.Errorf("%w: ECU %q", ErrSweepTarget, ecuName)
+	}
+	a.SkipSteadyState = true
+	out := make([]SweepPoint, 0, len(rates))
+	for _, rate := range rates {
+		if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+			return nil, fmt.Errorf("core: sweep rate must be positive and finite, got %v", rate)
+		}
+		c := ar.Clone()
+		e := c.ECU(ecuName)
+		switch param {
+		case SweepPatchRate:
+			e.PatchRate = rate
+		case SweepExploitRate:
+			found := false
+			for i := range e.Interfaces {
+				if e.Interfaces[i].Bus == busName {
+					e.Interfaces[i].ExploitRate = rate
+					found = true
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("%w: ECU %q has no interface on %q", ErrSweepTarget, ecuName, busName)
+			}
+		default:
+			return nil, fmt.Errorf("core: unknown sweep parameter %d", param)
+		}
+		r, err := a.Analyze(c, msgName, cat, prot)
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep at rate %v: %w", rate, err)
+		}
+		out = append(out, SweepPoint{Rate: rate, TimeFraction: r.TimeFraction})
+	}
+	return out, nil
+}
+
+// LogSpace returns n logarithmically spaced values over [lo, hi], the grid
+// the paper's Figure 6 uses (0.1 … 8760 per year).
+func LogSpace(lo, hi float64, n int) []float64 {
+	if n <= 0 || lo <= 0 || hi <= lo {
+		return nil
+	}
+	if n == 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	ratio := math.Log(hi / lo)
+	for i := range out {
+		out[i] = lo * math.Exp(ratio*float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// ThresholdCrossing interpolates (log-linearly in the rate) where a
+// monotone sweep crosses the given time-fraction threshold, returning the
+// first crossing rate. It returns NaN if the curve never crosses.
+func ThresholdCrossing(points []SweepPoint, threshold float64) float64 {
+	for i := 1; i < len(points); i++ {
+		a, b := points[i-1], points[i]
+		fa, fb := a.TimeFraction-threshold, b.TimeFraction-threshold
+		if fa == 0 {
+			return a.Rate
+		}
+		if fa*fb < 0 {
+			// Interpolate in log(rate).
+			la, lb := math.Log(a.Rate), math.Log(b.Rate)
+			t := fa / (fa - fb)
+			return math.Exp(la + t*(lb-la))
+		}
+	}
+	if len(points) > 0 && points[len(points)-1].TimeFraction == threshold {
+		return points[len(points)-1].Rate
+	}
+	return math.NaN()
+}

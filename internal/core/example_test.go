@@ -1,0 +1,63 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/transform"
+)
+
+// The complete pipeline of the paper on Architecture 1: exploitable time of
+// the park-assist message within one year.
+func Example() {
+	analyzer := core.Analyzer{NMax: 2, Horizon: 1, SkipSteadyState: true}
+	r, err := analyzer.Analyze(arch.Architecture1(), arch.MessageM,
+		transform.Availability, transform.Unencrypted)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s / %s / %s\n", r.Architecture, r.Category, r.Protection)
+	fmt.Printf("states: %d\n", r.States)
+	fmt.Printf("exploitable time: %.2f%%\n", r.Percent())
+	// Output:
+	// Architecture 1 / availability / unencrypted
+	// states: 729
+	// exploitable time: 4.96%
+}
+
+// ExampleAnalyzer_MostProbableAttackPath recovers the paper's Figure-1
+// narrative for the FlexRay architecture.
+func ExampleAnalyzer_MostProbableAttackPath() {
+	analyzer := core.Analyzer{NMax: 2, Horizon: 1}
+	path, err := analyzer.MostProbableAttackPath(arch.Architecture3(), arch.MessageM,
+		transform.Availability, transform.Unencrypted)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, s := range path.Steps {
+		fmt.Printf("%d. %s\n", i+1, s.Description)
+	}
+	// Output:
+	// 1. exploit interface 3G_NET (now 1)
+	// 2. exploit bus guardian of FR
+}
+
+// ExampleAnalyzer_Sweep reproduces one point of the paper's Figure 6.
+func ExampleAnalyzer_Sweep() {
+	analyzer := core.Analyzer{NMax: 2, Horizon: 1}
+	pts, err := analyzer.Sweep(arch.Architecture1(), arch.MessageM,
+		transform.Confidentiality, transform.Unencrypted,
+		core.SweepPatchRate, arch.Telematics, "", []float64{5.2, 52, 520})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pts {
+		fmt.Printf("ϕ=%5.1f -> %.2f%%\n", p.Rate, 100*p.TimeFraction)
+	}
+	// Output:
+	// ϕ=  5.2 -> 33.80%
+	// ϕ= 52.0 -> 4.96%
+	// ϕ=520.0 -> 0.51%
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/modular"
+	"repro/internal/transform"
+)
+
+// TimePoint is one point of a violated-over-time curve.
+type TimePoint struct {
+	// T is the sampling time in years.
+	T float64
+	// ViolatedProbability is P[message violated at time T] (instantaneous).
+	ViolatedProbability float64
+	// EverViolated is P[violated at least once within T].
+	EverViolated float64
+	// CumulativeFraction is the expected fraction of [0, T] spent violated.
+	CumulativeFraction float64
+}
+
+// TimeSeries samples how the message's exposure develops over a vehicle's
+// life: the instantaneous violation probability, the first-violation
+// probability and the cumulated exploitable-time fraction at each sampling
+// time. Times must be positive and ascending.
+func (a Analyzer) TimeSeries(ar *arch.Architecture, msgName string, cat transform.Category, prot transform.Protection, times []float64) ([]TimePoint, error) {
+	a = a.withDefaults()
+	if len(times) == 0 {
+		return nil, fmt.Errorf("core: no sampling times")
+	}
+	if !sort.Float64sAreSorted(times) {
+		return nil, fmt.Errorf("core: sampling times must be ascending")
+	}
+	if times[0] <= 0 {
+		return nil, fmt.Errorf("core: sampling times must be positive, got %v", times[0])
+	}
+	res, err := transform.Build(ar, msgName, a.options(cat, prot))
+	if err != nil {
+		return nil, err
+	}
+	ex, err := res.Model.Explore(modular.ExploreOpts{MaxStates: a.MaxStates})
+	if err != nil {
+		return nil, err
+	}
+	mask, err := ex.LabelMask(transform.LabelViolated)
+	if err != nil {
+		return nil, err
+	}
+	init := ex.InitDistribution()
+	out := make([]TimePoint, 0, len(times))
+	for _, t := range times {
+		pi, err := ex.Chain.Transient(init, t, a.Accuracy)
+		if err != nil {
+			return nil, err
+		}
+		var inst float64
+		for i, m := range mask {
+			if m {
+				inst += pi[i]
+			}
+		}
+		ever, err := ex.Chain.TimeBoundedReachability(init, mask, t, a.Accuracy)
+		if err != nil {
+			return nil, err
+		}
+		frac, err := ex.Chain.ExpectedTimeFraction(init, mask, t, a.Accuracy)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TimePoint{
+			T:                   t,
+			ViolatedProbability: inst,
+			EverViolated:        ever,
+			CumulativeFraction:  frac,
+		})
+	}
+	return out, nil
+}

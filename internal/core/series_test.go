@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/transform"
+)
+
+func TestTimeSeriesMonotoneQuantities(t *testing.T) {
+	an := Analyzer{}
+	times := []float64{0.25, 0.5, 1, 2, 5}
+	pts, err := an.TimeSeries(arch.Architecture1(), arch.MessageM,
+		transform.Availability, transform.Unencrypted, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(times) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i, p := range pts {
+		if p.ViolatedProbability < 0 || p.ViolatedProbability > 1 {
+			t.Fatalf("instantaneous out of range: %+v", p)
+		}
+		if p.EverViolated+1e-9 < p.ViolatedProbability {
+			t.Fatalf("ever < instantaneous at %v", p.T)
+		}
+		if p.EverViolated+1e-9 < p.CumulativeFraction {
+			t.Fatalf("ever < cumulative fraction at %v", p.T)
+		}
+		if i > 0 && pts[i].EverViolated < pts[i-1].EverViolated-1e-9 {
+			t.Fatalf("first-violation probability decreased at %v", p.T)
+		}
+	}
+	// Long-horizon cumulative fraction approaches the instantaneous level
+	// (steady behaviour), both nonzero.
+	last := pts[len(pts)-1]
+	if last.CumulativeFraction <= 0 {
+		t.Fatalf("no accumulation: %+v", last)
+	}
+}
+
+func TestTimeSeriesValidation(t *testing.T) {
+	an := Analyzer{}
+	if _, err := an.TimeSeries(arch.Architecture1(), arch.MessageM,
+		transform.Availability, transform.Unencrypted, nil); err == nil {
+		t.Fatal("empty times accepted")
+	}
+	if _, err := an.TimeSeries(arch.Architecture1(), arch.MessageM,
+		transform.Availability, transform.Unencrypted, []float64{2, 1}); err == nil {
+		t.Fatal("unsorted times accepted")
+	}
+	if _, err := an.TimeSeries(arch.Architecture1(), arch.MessageM,
+		transform.Availability, transform.Unencrypted, []float64{0, 1}); err == nil {
+		t.Fatal("zero time accepted")
+	}
+}
+
+func TestSensitivities(t *testing.T) {
+	an := Analyzer{NMax: 1} // keep it fast: 2 analyses per parameter
+	sens, err := an.Sensitivities(arch.Architecture1(), arch.MessageM,
+		transform.Availability, transform.Unencrypted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 patch rates + 6 interfaces.
+	if len(sens) != 10 {
+		t.Fatalf("results = %d", len(sens))
+	}
+	byKey := make(map[string]SensitivityResult)
+	for i, s := range sens {
+		byKey[s.Component+"/"+s.Param] = s
+		if i > 0 && math.Abs(s.Elasticity) > math.Abs(sens[i-1].Elasticity)+1e-12 {
+			t.Fatal("not sorted by |elasticity|")
+		}
+	}
+	// Signs: raising the telematics patch rate reduces exposure; raising
+	// its internet exploit rate increases it.
+	if s := byKey["3G/patch"]; s.Elasticity >= 0 {
+		t.Fatalf("3G patch elasticity = %v, want negative", s.Elasticity)
+	}
+	if s := byKey["3G/exploit:NET"]; s.Elasticity <= 0 {
+		t.Fatalf("3G NET exploit elasticity = %v, want positive", s.Elasticity)
+	}
+	// The entry point must matter more than the power steering.
+	if math.Abs(byKey["3G/exploit:NET"].Elasticity) < math.Abs(byKey["PS/exploit:CAN2"].Elasticity) {
+		t.Fatal("entry point less influential than leaf ECU")
+	}
+}
+
+func TestReliabilityThroughAnalyzer(t *testing.T) {
+	a := arch.Architecture1()
+	for i := range a.ECUs {
+		a.ECUs[i].FailureRate = 0.5
+		a.ECUs[i].RepairRate = 12
+	}
+	plain := Analyzer{SkipSteadyState: true}
+	rel := Analyzer{SkipSteadyState: true, IncludeReliability: true}
+	rp := analyze(t, plain, a, transform.Availability, transform.Unencrypted)
+	rr := analyze(t, rel, a, transform.Availability, transform.Unencrypted)
+	if rr.States <= rp.States {
+		t.Fatalf("reliability did not grow the model: %d vs %d", rr.States, rp.States)
+	}
+	if rr.TimeFraction <= rp.TimeFraction {
+		t.Fatalf("reliability did not increase availability exposure: %v vs %v",
+			rr.TimeFraction, rp.TimeFraction)
+	}
+}
+
+func TestAnalyzeMessages(t *testing.T) {
+	// Two message streams: the park-assist stream plus a diagnostics stream
+	// from the gateway to the telematics unit on CAN1.
+	a := arch.Architecture1()
+	a.Messages = append(a.Messages, arch.Message{
+		Name:      "diag",
+		Sender:    arch.Gateway,
+		Receivers: []string{arch.Telematics},
+		Buses:     []string{arch.BusCAN1},
+	})
+	an := Analyzer{SkipSteadyState: true}
+	rs, err := an.AnalyzeMessages(a, transform.Confidentiality, transform.Unencrypted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("results = %d", len(rs))
+	}
+	if rs[0].Message != arch.MessageM || rs[1].Message != "diag" {
+		t.Fatalf("messages = %q, %q", rs[0].Message, rs[1].Message)
+	}
+	// m is routed over a superset of diag's buses (CAN1+CAN2 vs CAN1), so
+	// its unencrypted exposure must dominate; both must be positive.
+	if rs[0].TimeFraction < rs[1].TimeFraction || rs[1].TimeFraction <= 0 {
+		t.Fatalf("m (%v) should dominate diag (%v)", rs[0].TimeFraction, rs[1].TimeFraction)
+	}
+	// Empty message list errors.
+	b := arch.Architecture1()
+	b.Messages = nil
+	if _, err := an.AnalyzeMessages(b, transform.Availability, transform.Unencrypted); err == nil {
+		t.Fatal("no-message architecture accepted")
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/transform"
+)
+
+func TestUncertaintyBasics(t *testing.T) {
+	an := Analyzer{NMax: 1}
+	u, err := an.Uncertainty(arch.Architecture1(), arch.MessageM,
+		transform.Availability, transform.Unencrypted,
+		UncertaintyOptions{Samples: 20, Spread: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Samples != 20 {
+		t.Fatalf("samples = %d", u.Samples)
+	}
+	// The nominal value must lie within the sampled spread.
+	if !(u.P05 <= u.Nominal && u.Nominal <= u.P95) {
+		t.Fatalf("nominal %v outside [%v, %v]", u.Nominal, u.P05, u.P95)
+	}
+	if !(u.P05 <= u.P50 && u.P50 <= u.P95) {
+		t.Fatalf("quantiles out of order: %v %v %v", u.P05, u.P50, u.P95)
+	}
+	if u.Mean <= 0 || u.Mean >= 1 {
+		t.Fatalf("mean = %v", u.Mean)
+	}
+}
+
+func TestUncertaintyReproducible(t *testing.T) {
+	an := Analyzer{NMax: 1}
+	opts := UncertaintyOptions{Samples: 10, Seed: 42}
+	a, err := an.Uncertainty(arch.Architecture1(), arch.MessageM,
+		transform.Availability, transform.Unencrypted, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := an.Uncertainty(arch.Architecture1(), arch.MessageM,
+		transform.Availability, transform.Unencrypted, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mean != b.Mean || a.P95 != b.P95 {
+		t.Fatal("same seed produced different studies")
+	}
+}
+
+func TestUncertaintyWiderSpreadWiderInterval(t *testing.T) {
+	an := Analyzer{NMax: 1}
+	narrow, err := an.Uncertainty(arch.Architecture1(), arch.MessageM,
+		transform.Availability, transform.Unencrypted,
+		UncertaintyOptions{Samples: 30, Spread: 0.1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := an.Uncertainty(arch.Architecture1(), arch.MessageM,
+		transform.Availability, transform.Unencrypted,
+		UncertaintyOptions{Samples: 30, Spread: 1.0, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (wide.P95 - wide.P05) <= (narrow.P95 - narrow.P05) {
+		t.Fatalf("spread 1.0 interval [%v,%v] not wider than spread 0.1 [%v,%v]",
+			wide.P05, wide.P95, narrow.P05, narrow.P95)
+	}
+}
+
+// TestUncertaintyOrderingRobust: the headline architecture ordering
+// (A3 ≪ A1) must survive ±50 % rate uncertainty — A3's 95th percentile
+// stays below A1's 5th percentile.
+func TestUncertaintyOrderingRobust(t *testing.T) {
+	an := Analyzer{NMax: 1}
+	opts := UncertaintyOptions{Samples: 25, Spread: 0.5, Seed: 3}
+	u1, err := an.Uncertainty(arch.Architecture1(), arch.MessageM,
+		transform.Availability, transform.Unencrypted, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u3, err := an.Uncertainty(arch.Architecture3(), arch.MessageM,
+		transform.Availability, transform.Unencrypted, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u3.P95 >= u1.P05 {
+		t.Fatalf("ordering not robust: A3 P95 %v vs A1 P05 %v", u3.P95, u1.P05)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5}
+	if q := quantile(data, 0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := quantile(data, 1); q != 5 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := quantile(data, 0.5); q != 3 {
+		t.Fatalf("q50 = %v", q)
+	}
+	if q := quantile(data, 0.25); q != 2 {
+		t.Fatalf("q25 = %v", q)
+	}
+	if !math.IsNaN(quantile(nil, 0.5)) {
+		t.Fatal("empty quantile not NaN")
+	}
+}

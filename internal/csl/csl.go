@@ -1,0 +1,434 @@
+// Package csl parses and checks Continuous Stochastic Logic properties over
+// explored modular CTMC models — the property layer of the paper's analysis
+// flow (Section 3.3). Supported query forms (PRISM property syntax):
+//
+//	P=? [ X φ ]              next
+//	P=? [ φ U φ ]            unbounded until
+//	P=? [ φ U<=t φ ]         time-bounded until
+//	P=? [ F φ ] / F<=t       eventually (sugar for true U φ)
+//	P=? [ G φ ] / G<=t       globally (via duality)
+//	S=? [ φ ]                long-run probability
+//	R=? [ C<=t ]             expected cumulative reward
+//	R=? [ I=t ]              expected instantaneous reward
+//	R=? [ F φ ]              expected reachability reward
+//	R{"name"}=? [...]        named reward structure
+//
+// Each P/S/R operator also accepts a probability/reward bound (e.g.
+// P<0.01 [...]) instead of =?, returning a boolean verdict. State formulas φ
+// are boolean expressions over model variables and quoted labels; nested
+// probabilistic operators inside φ are not supported (documented subset).
+package csl
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"repro/internal/modular"
+	"repro/internal/prismlang"
+)
+
+// Kind discriminates the top-level query operator.
+type Kind int
+
+// Query kinds.
+const (
+	KindProb Kind = iota // P
+	KindSteady
+	KindReward
+)
+
+// PathKind discriminates path formulas under P.
+type PathKind int
+
+// Path formula kinds.
+const (
+	PathNext PathKind = iota
+	PathUntil
+	PathFinally
+	PathGlobally
+)
+
+// RewardKind discriminates reward queries under R.
+type RewardKind int
+
+// Reward query kinds.
+const (
+	RewardCumulative    RewardKind = iota // C<=t
+	RewardInstantaneous                   // I=t
+	RewardReachability                    // F φ
+)
+
+// CmpOp is a comparison operator for bounded queries.
+type CmpOp int
+
+// Comparison operators.
+const (
+	CmpNone CmpOp = iota // =? query
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case CmpLt:
+		return "<"
+	case CmpLe:
+		return "<="
+	case CmpGt:
+		return ">"
+	case CmpGe:
+		return ">="
+	default:
+		return "=?"
+	}
+}
+
+// Property is a parsed CSL query.
+type Property struct {
+	Kind   Kind
+	Op     CmpOp   // CmpNone for =? queries
+	Bound  float64 // threshold when Op != CmpNone
+	Source string
+
+	// P queries.
+	Path      PathKind
+	Left      modular.Expr // φ1 for U; nil otherwise
+	Right     modular.Expr // φ2 / the state formula
+	TimeBound float64      // upper bound t2; ≤ 0 means unbounded
+	TimeLow   float64      // lower bound t1 for U[t1,t2] / F[t1,t2] / G[t1,t2]
+
+	// S queries.
+	State modular.Expr
+
+	// R queries.
+	Structure  string // reward structure name; "" = sole structure
+	RKind      RewardKind
+	RTime      float64
+	RTarget    modular.Expr
+	RewardName string
+}
+
+// Result is the outcome of checking a property.
+type Result struct {
+	Value     float64 // probability or expected reward
+	Bounded   bool    // true when the query had a threshold
+	Satisfied bool    // verdict when Bounded
+}
+
+func (r Result) String() string {
+	if r.Bounded {
+		return strconv.FormatBool(r.Satisfied)
+	}
+	return strconv.FormatFloat(r.Value, 'g', 10, 64)
+}
+
+// ErrSyntax wraps property parse failures.
+var ErrSyntax = errors.New("csl: syntax error")
+
+// Environment supplies identifier resolution for state formulas inside
+// properties.
+type Environment struct {
+	Model  *modular.Model
+	Consts map[string]modular.Value
+}
+
+type envResolver struct{ env Environment }
+
+func (r envResolver) Resolve(name string, line int) (modular.Expr, error) {
+	if r.env.Consts != nil {
+		if v, ok := r.env.Consts[name]; ok {
+			return modular.Lit{V: v}, nil
+		}
+	}
+	if r.env.Model != nil {
+		if ref, err := r.env.Model.Var(name); err == nil {
+			return ref, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: line %d: unknown identifier %q", ErrSyntax, line, name)
+}
+
+func (r envResolver) ResolveLabel(name string, line int) (modular.Expr, error) {
+	if r.env.Model != nil {
+		if e, ok := r.env.Model.Labels[name]; ok {
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: line %d: unknown label %q", ErrSyntax, line, name)
+}
+
+// Parse parses a property string against the environment.
+func Parse(src string, env Environment) (*Property, error) {
+	toks, err := prismlang.Lex(src)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSyntax, err)
+	}
+	s := prismlang.NewTokenStream(toks)
+	p := &propParser{s: s}
+	p.res = propResolver{envResolver{env}, p}
+	prop, err := p.parseProperty()
+	if err != nil {
+		return nil, err
+	}
+	if !s.AtEOF() {
+		return nil, fmt.Errorf("%w: trailing input %s", ErrSyntax, s.Peek())
+	}
+	prop.Source = src
+	return prop, nil
+}
+
+type propParser struct {
+	s   *prismlang.TokenStream
+	res prismlang.Resolver
+}
+
+func (p *propParser) parseProperty() (*Property, error) {
+	t := p.s.Peek()
+	if t.Kind != prismlang.TokIdent {
+		return nil, fmt.Errorf("%w: expected P, S or R, found %s", ErrSyntax, t)
+	}
+	switch t.Text {
+	case "P":
+		p.s.Next()
+		return p.parseP()
+	case "S":
+		p.s.Next()
+		return p.parseS()
+	case "R":
+		p.s.Next()
+		return p.parseR()
+	default:
+		return nil, fmt.Errorf("%w: expected P, S or R, found %q", ErrSyntax, t.Text)
+	}
+}
+
+// parseBound parses '=?' or a comparison with a numeric threshold.
+func (p *propParser) parseBound() (CmpOp, float64, error) {
+	switch {
+	case p.s.Accept("="):
+		if err := p.s.Expect("?"); err != nil {
+			return CmpNone, 0, fmt.Errorf("%w: %v", ErrSyntax, err)
+		}
+		return CmpNone, 0, nil
+	case p.s.Accept("<="):
+		v, err := p.parseNumber()
+		return CmpLe, v, err
+	case p.s.Accept("<"):
+		v, err := p.parseNumber()
+		return CmpLt, v, err
+	case p.s.Accept(">="):
+		v, err := p.parseNumber()
+		return CmpGe, v, err
+	case p.s.Accept(">"):
+		v, err := p.parseNumber()
+		return CmpGt, v, err
+	default:
+		return CmpNone, 0, fmt.Errorf("%w: expected bound ('=?' or comparison), found %s", ErrSyntax, p.s.Peek())
+	}
+}
+
+// parseNumber parses a constant numeric expression (literals, constants,
+// arithmetic).
+func (p *propParser) parseNumber() (float64, error) {
+	e, err := prismlang.ParseExpr(p.s, p.res)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrSyntax, err)
+	}
+	v, err := e.Eval(nil)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bound must be a constant: %v", ErrSyntax, err)
+	}
+	f, err := v.Num()
+	if err != nil {
+		return 0, fmt.Errorf("%w: bound must be numeric: %v", ErrSyntax, err)
+	}
+	return f, nil
+}
+
+func (p *propParser) parseP() (*Property, error) {
+	op, bound, err := p.parseBound()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.s.Expect("["); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSyntax, err)
+	}
+	prop := &Property{Kind: KindProb, Op: op, Bound: bound}
+	t := p.s.Peek()
+	if t.Kind == prismlang.TokIdent && (t.Text == "X" || t.Text == "F" || t.Text == "G") {
+		p.s.Next()
+		switch t.Text {
+		case "X":
+			prop.Path = PathNext
+		case "F":
+			prop.Path = PathFinally
+		case "G":
+			prop.Path = PathGlobally
+		}
+		if t.Text != "X" {
+			lo, hi, err := p.parseOptionalTimeBound()
+			if err != nil {
+				return nil, err
+			}
+			prop.TimeLow, prop.TimeBound = lo, hi
+		}
+		phi, err := p.parseStateExpr()
+		if err != nil {
+			return nil, err
+		}
+		prop.Right = phi
+	} else {
+		phi1, err := p.parseStateExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.s.Expect("U"); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSyntax, err)
+		}
+		lo, hi, err := p.parseOptionalTimeBound()
+		if err != nil {
+			return nil, err
+		}
+		phi2, err := p.parseStateExpr()
+		if err != nil {
+			return nil, err
+		}
+		prop.Path = PathUntil
+		prop.Left = phi1
+		prop.Right = phi2
+		prop.TimeLow, prop.TimeBound = lo, hi
+	}
+	if err := p.s.Expect("]"); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSyntax, err)
+	}
+	return prop, nil
+}
+
+func (p *propParser) parseS() (*Property, error) {
+	op, bound, err := p.parseBound()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.s.Expect("["); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSyntax, err)
+	}
+	phi, err := p.parseStateExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.s.Expect("]"); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSyntax, err)
+	}
+	return &Property{Kind: KindSteady, Op: op, Bound: bound, State: phi}, nil
+}
+
+func (p *propParser) parseR() (*Property, error) {
+	prop := &Property{Kind: KindReward}
+	if p.s.Accept("{") {
+		t := p.s.Next()
+		if t.Kind != prismlang.TokString {
+			return nil, fmt.Errorf("%w: expected quoted reward-structure name, found %s", ErrSyntax, t)
+		}
+		prop.Structure = t.Text
+		if err := p.s.Expect("}"); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSyntax, err)
+		}
+	}
+	op, bound, err := p.parseBound()
+	if err != nil {
+		return nil, err
+	}
+	prop.Op, prop.Bound = op, bound
+	if err := p.s.Expect("["); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSyntax, err)
+	}
+	t := p.s.Next()
+	if t.Kind != prismlang.TokIdent {
+		return nil, fmt.Errorf("%w: expected C, I or F in reward query, found %s", ErrSyntax, t)
+	}
+	switch t.Text {
+	case "C":
+		prop.RKind = RewardCumulative
+		if err := p.s.Expect("<="); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSyntax, err)
+		}
+		v, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		prop.RTime = v
+	case "I":
+		prop.RKind = RewardInstantaneous
+		if err := p.s.Expect("="); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSyntax, err)
+		}
+		v, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		prop.RTime = v
+	case "F":
+		prop.RKind = RewardReachability
+		phi, err := p.parseStateExpr()
+		if err != nil {
+			return nil, err
+		}
+		prop.RTarget = phi
+	default:
+		return nil, fmt.Errorf("%w: expected C, I or F in reward query, found %q", ErrSyntax, t.Text)
+	}
+	if err := p.s.Expect("]"); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSyntax, err)
+	}
+	return prop, nil
+}
+
+// parseOptionalTimeBound parses '<= t' / '< t' (identical semantics on a
+// CTMC) or an interval '[t1, t2]', returning (lower, upper). Both are 0
+// when absent (meaning unbounded).
+func (p *propParser) parseOptionalTimeBound() (float64, float64, error) {
+	if p.s.Accept("<=") || p.s.Accept("<") {
+		v, err := p.parseNumber()
+		if err != nil {
+			return 0, 0, err
+		}
+		if v <= 0 {
+			return 0, 0, fmt.Errorf("%w: time bound must be positive, got %v", ErrSyntax, v)
+		}
+		return 0, v, nil
+	}
+	if p.s.Accept("[") {
+		lo, err := p.parseNumber()
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := p.s.Expect(","); err != nil {
+			return 0, 0, fmt.Errorf("%w: %v", ErrSyntax, err)
+		}
+		hi, err := p.parseNumber()
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := p.s.Expect("]"); err != nil {
+			return 0, 0, fmt.Errorf("%w: %v", ErrSyntax, err)
+		}
+		if lo < 0 || hi < lo || hi <= 0 {
+			return 0, 0, fmt.Errorf("%w: invalid time interval [%v, %v]", ErrSyntax, lo, hi)
+		}
+		return lo, hi, nil
+	}
+	return 0, 0, nil
+}
+
+// parseStateExpr parses a state formula, stopping before path operators at
+// the top level (U, ]).
+func (p *propParser) parseStateExpr() (modular.Expr, error) {
+	e, err := prismlang.ParseExpr(p.s, p.res)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSyntax, err)
+	}
+	return e, nil
+}

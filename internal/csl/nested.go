@@ -1,0 +1,102 @@
+package csl
+
+import (
+	"fmt"
+
+	"repro/internal/modular"
+	"repro/internal/prismlang"
+)
+
+// nestedExpr embeds a P/S/R query inside a state formula. With a bound
+// (P<0.01 [...]) it evaluates to a boolean per state; with =? it evaluates
+// to the quantitative value, usable inside arithmetic comparisons
+// (P=? [ F<=1 "v" ] < 0.5). The per-state results are filled in by the
+// checker before mask evaluation.
+type nestedExpr struct {
+	Prop *Property
+
+	ex   *modular.Explored
+	vals []float64
+}
+
+func (n *nestedExpr) prepared() bool { return n.vals != nil }
+
+func (n *nestedExpr) fill(ex *modular.Explored, vals []float64) {
+	n.ex = ex
+	n.vals = vals
+}
+
+// Eval implements modular.Expr: it looks the state up in the explored
+// space and returns the precomputed verdict or value.
+func (n *nestedExpr) Eval(state []int) (modular.Value, error) {
+	if !n.prepared() {
+		return modular.Value{}, fmt.Errorf("csl: nested property %q evaluated before preparation", n.String())
+	}
+	idx := n.ex.StateIndex(state)
+	if idx < 0 {
+		return modular.Value{}, fmt.Errorf("csl: nested property %q evaluated in unexplored state", n.String())
+	}
+	if n.Prop.Op != CmpNone {
+		return modular.BoolV(compare(n.Prop.Op, n.vals[idx], n.Prop.Bound)), nil
+	}
+	return modular.DoubleV(n.vals[idx]), nil
+}
+
+func (n *nestedExpr) String() string {
+	op := "=?"
+	if n.Prop.Op != CmpNone {
+		op = fmt.Sprintf("%s%g", n.Prop.Op, n.Prop.Bound)
+	}
+	kind := "P"
+	switch n.Prop.Kind {
+	case KindSteady:
+		kind = "S"
+	case KindReward:
+		kind = "R"
+	}
+	return kind + op + "[...]"
+}
+
+// propResolver combines identifier resolution with the nested-operator
+// primary-parser hook.
+type propResolver struct {
+	envResolver
+	p *propParser
+}
+
+// ParsePrimary implements prismlang.PrimaryParser: when the upcoming tokens
+// spell a probabilistic operator (P/S/R followed by a bound or a reward-
+// structure brace), the whole query is parsed as one primary expression.
+func (r propResolver) ParsePrimary(s *prismlang.TokenStream) (modular.Expr, bool, error) {
+	t := s.Peek()
+	if t.Kind != prismlang.TokIdent {
+		return nil, false, nil
+	}
+	switch t.Text {
+	case "P", "S", "R":
+	default:
+		return nil, false, nil
+	}
+	n1 := s.PeekAt(1)
+	if n1.Kind != prismlang.TokPunct {
+		return nil, false, nil
+	}
+	operator := false
+	switch n1.Text {
+	case "<", "<=", ">", ">=":
+		operator = true
+	case "{":
+		operator = t.Text == "R"
+	case "=":
+		n2 := s.PeekAt(2)
+		operator = n2.Kind == prismlang.TokPunct && n2.Text == "?"
+	}
+	if !operator {
+		return nil, false, nil
+	}
+	prop, err := r.p.parseProperty()
+	if err != nil {
+		return nil, true, err
+	}
+	return &nestedExpr{Prop: prop}, true, nil
+}

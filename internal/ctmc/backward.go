@@ -1,0 +1,222 @@
+package ctmc
+
+import (
+	"fmt"
+
+	"repro/internal/foxglynn"
+	"repro/internal/linalg"
+)
+
+// BackwardTransient computes u(t) = e^{Qt}·v for a value vector v: component
+// i is the expected value of v at the state occupied at time t, given start
+// in state i. One backward pass yields the result for every initial state
+// simultaneously (the dual of Transient, using matrix–vector instead of
+// vector–matrix products), which is what per-state property evaluation and
+// interval-until checking need.
+func (c *Chain) BackwardTransient(values linalg.Vector, t, accuracy float64) (linalg.Vector, error) {
+	if len(values) != c.N() {
+		return nil, fmt.Errorf("ctmc: value vector length %d, want %d", len(values), c.N())
+	}
+	if err := checkTime(t); err != nil {
+		return nil, err
+	}
+	if accuracy <= 0 {
+		accuracy = DefaultAccuracy
+	}
+	if t == 0 {
+		return values.Clone(), nil
+	}
+	uni, q, err := c.Uniformized(0)
+	if err != nil {
+		return nil, err
+	}
+	fg, err := foxglynn.Compute(q*t, accuracy)
+	if err != nil {
+		return nil, err
+	}
+	out := linalg.NewVector(c.N())
+	cur := values.Clone()
+	next := linalg.NewVector(c.N())
+	for k := 0; k <= fg.Right; k++ {
+		if k >= fg.Left {
+			out.AddScaled(fg.Weights[k-fg.Left], cur)
+		}
+		if k == fg.Right {
+			break
+		}
+		if _, err := uni.P.MulVec(cur, next); err != nil {
+			return nil, err
+		}
+		cur, next = next, cur
+	}
+	return out, nil
+}
+
+// TimeBoundedReachabilityVector computes, for every state simultaneously,
+// P_i[reach target within t] by making the target absorbing and running one
+// backward pass from the target indicator.
+func (c *Chain) TimeBoundedReachabilityVector(target []bool, t, accuracy float64) (linalg.Vector, error) {
+	if len(target) != c.N() {
+		return nil, fmt.Errorf("ctmc: target mask length %d, want %d", len(target), c.N())
+	}
+	mod, err := c.Absorbing(target)
+	if err != nil {
+		return nil, err
+	}
+	v := linalg.NewVector(c.N())
+	for i, in := range target {
+		if in {
+			v[i] = 1
+		}
+	}
+	out, err := mod.BackwardTransient(v, t, accuracy)
+	if err != nil {
+		return nil, err
+	}
+	for i := range out {
+		if target[i] {
+			out[i] = 1 // absorbing target: exact, independent of truncation
+		} else {
+			out[i] = clampUnit(out[i])
+		}
+	}
+	return out, nil
+}
+
+// BoundedUntilVector computes P_i[φ1 U≤t φ2] for every state i.
+func (c *Chain) BoundedUntilVector(phi1, phi2 []bool, t, accuracy float64) (linalg.Vector, error) {
+	n := c.N()
+	if len(phi1) != n || len(phi2) != n {
+		return nil, fmt.Errorf("ctmc: formula mask length mismatch (want %d)", n)
+	}
+	absorb := make([]bool, n)
+	for i := 0; i < n; i++ {
+		absorb[i] = phi2[i] || !phi1[i]
+	}
+	mod, err := c.Absorbing(absorb)
+	if err != nil {
+		return nil, err
+	}
+	v := linalg.NewVector(n)
+	for i := range v {
+		if phi2[i] {
+			v[i] = 1
+		}
+	}
+	out, err := mod.BackwardTransient(v, t, accuracy)
+	if err != nil {
+		return nil, err
+	}
+	for i := range out {
+		if phi2[i] {
+			out[i] = 1 // satisfied immediately
+		} else {
+			out[i] = clampUnit(out[i])
+		}
+	}
+	return out, nil
+}
+
+// IntervalUntil computes P[φ1 U[t1,t2] φ2] from init for 0 ≤ t1 ≤ t2: the
+// probability that φ2 is witnessed at some time in [t1, t2] with φ1 holding
+// continuously before the witness. The standard two-phase construction
+// (Baier, Haverkort, Hermanns, Katoen) applies:
+//
+//  1. y = per-state probabilities of φ1 U≤(t2−t1) φ2;
+//  2. result = E_init[ 1(φ1 holds on [0,t1]) · y(X_{t1}) ], computed as one
+//     backward pass over the chain with ¬φ1 states absorbing and y masked
+//     to φ1 states.
+func (c *Chain) IntervalUntil(init linalg.Vector, phi1, phi2 []bool, t1, t2, accuracy float64) (float64, error) {
+	n := c.N()
+	if err := c.checkInit(init); err != nil {
+		return 0, err
+	}
+	if len(phi1) != n || len(phi2) != n {
+		return 0, fmt.Errorf("ctmc: formula mask length mismatch (want %d)", n)
+	}
+	if t1 < 0 || t2 < t1 {
+		return 0, fmt.Errorf("%w: interval [%v, %v]", ErrBadTime, t1, t2)
+	}
+	if t1 == 0 {
+		return c.BoundedUntil(init, phi1, phi2, t2, accuracy)
+	}
+	y, err := c.BoundedUntilVector(phi1, phi2, t2-t1, accuracy)
+	if err != nil {
+		return 0, err
+	}
+	notPhi1 := make([]bool, n)
+	masked := linalg.NewVector(n)
+	for i := 0; i < n; i++ {
+		notPhi1[i] = !phi1[i]
+		if phi1[i] {
+			masked[i] = y[i]
+		}
+	}
+	mod, err := c.Absorbing(notPhi1)
+	if err != nil {
+		return 0, err
+	}
+	u, err := mod.BackwardTransient(masked, t1, accuracy)
+	if err != nil {
+		return 0, err
+	}
+	return clampUnit(init.Dot(u)), nil
+}
+
+// CumulativeRewardVector computes, for every state simultaneously, the
+// expected reward accumulated over [0, t] when starting there. Backward
+// counterpart of CumulativeReward:
+// u = Σ_k (1/q)(1 − Σ_{i≤k} γ_i) · Pᵏ·r.
+func (c *Chain) CumulativeRewardVector(reward linalg.Vector, t, accuracy float64) (linalg.Vector, error) {
+	n := c.N()
+	if len(reward) != n {
+		return nil, fmt.Errorf("ctmc: reward vector length %d, want %d", len(reward), n)
+	}
+	if err := checkTime(t); err != nil {
+		return nil, err
+	}
+	if accuracy <= 0 {
+		accuracy = DefaultAccuracy
+	}
+	out := linalg.NewVector(n)
+	if t == 0 {
+		return out, nil
+	}
+	uni, q, err := c.Uniformized(0)
+	if err != nil {
+		return nil, err
+	}
+	fg, err := foxglynn.Compute(q*t, accuracy)
+	if err != nil {
+		return nil, err
+	}
+	var cumWeight float64
+	cur := reward.Clone()
+	next := linalg.NewVector(n)
+	for k := 0; k <= fg.Right; k++ {
+		if k >= fg.Left {
+			cumWeight += fg.Weights[k-fg.Left]
+		}
+		if w := (1 - cumWeight) / q; w > 0 {
+			out.AddScaled(w, cur)
+		}
+		if k == fg.Right {
+			break
+		}
+		if _, err := uni.P.MulVec(cur, next); err != nil {
+			return nil, err
+		}
+		cur, next = next, cur
+	}
+	return out, nil
+}
+
+func clampUnit(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

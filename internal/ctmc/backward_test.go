@@ -1,0 +1,182 @@
+package ctmc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+func TestBackwardTransientMatchesForward(t *testing.T) {
+	// init·e^{Qt}·v computed both ways must agree.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		c := randomChain(r, n, 4)
+		tt := r.Float64() * 2
+		v := linalg.NewVector(n)
+		for i := range v {
+			v[i] = r.Float64() * 3
+		}
+		init := c.DiracInit(r.Intn(n))
+		fwd, err := c.Transient(init, tt, 1e-12)
+		if err != nil {
+			return false
+		}
+		bwd, err := c.BackwardTransient(v, tt, 1e-12)
+		if err != nil {
+			return false
+		}
+		return math.Abs(fwd.Dot(v)-init.Dot(bwd)) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackwardTransientZeroTime(t *testing.T) {
+	c := twoState(t, 1, 2)
+	v := linalg.Vector{3, 7}
+	out, err := c.BackwardTransient(v, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MaxDiff(v) != 0 {
+		t.Fatalf("out = %v", out)
+	}
+	out[0] = 99
+	if v[0] == 99 {
+		t.Fatal("aliases input")
+	}
+}
+
+func TestTimeBoundedReachabilityVectorMatchesScalar(t *testing.T) {
+	c := paperExample(t)
+	target := []bool{false, false, true}
+	vec, err := c.TimeBoundedReachabilityVector(target, 1, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 3; s++ {
+		scalar, err := c.TimeBoundedReachability(c.DiracInit(s), target, 1, 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(vec[s]-scalar) > 1e-9 {
+			t.Fatalf("state %d: vector %v vs scalar %v", s, vec[s], scalar)
+		}
+	}
+	if vec[2] != 1 {
+		t.Fatalf("target state reach prob = %v", vec[2])
+	}
+}
+
+func TestBoundedUntilVectorMatchesScalar(t *testing.T) {
+	c := paperExample(t)
+	phi1 := []bool{true, true, false}
+	phi2 := []bool{false, false, true}
+	vec, err := c.BoundedUntilVector(phi1, phi2, 0.7, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 3; s++ {
+		scalar, err := c.BoundedUntil(c.DiracInit(s), phi1, phi2, 0.7, 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(vec[s]-scalar) > 1e-9 {
+			t.Fatalf("state %d: vector %v vs scalar %v", s, vec[s], scalar)
+		}
+	}
+}
+
+func TestIntervalUntilDegeneratesToBounded(t *testing.T) {
+	c := paperExample(t)
+	phi1 := []bool{true, true, true}
+	phi2 := []bool{false, false, true}
+	a, err := c.IntervalUntil(c.DiracInit(0), phi1, phi2, 0, 1, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.BoundedUntil(c.DiracInit(0), phi1, phi2, 1, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("t1=0 interval %v != bounded %v", a, b)
+	}
+}
+
+func TestIntervalUntilPureBirthAnalytic(t *testing.T) {
+	// 0 → 1 at rate λ, 1 absorbing, φ1 = {0}, φ2 = {1}:
+	// P[φ1 U[t1,t2] φ2 | X_0 = 0] = P[T ∈ [0, t2]] − P[T < t1 ... ] —
+	// precisely: the jump must happen in [t1, t2] OR have happened... no:
+	// if the jump happens before t1, the state at t1 is 1 (∉ φ1) but φ2 is
+	// still witnessed at t1 only if φ2 holds at some t ∈ [t1,t2] with φ1
+	// before — φ1 fails on [T, t1). So P = e^{-λt1} − e^{-λt2}.
+	lambda := 1.3
+	b := NewBuilder(2)
+	b.Add(0, 1, lambda)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, t2 := 0.4, 1.7
+	got, err := c.IntervalUntil(c.DiracInit(0), []bool{true, false}, []bool{false, true}, t1, t2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Exp(-lambda*t1) - math.Exp(-lambda*t2)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestIntervalUntilInvalidInterval(t *testing.T) {
+	c := twoState(t, 1, 1)
+	phi := []bool{true, true}
+	if _, err := c.IntervalUntil(c.DiracInit(0), phi, phi, 2, 1, 0); err == nil {
+		t.Fatal("t2 < t1 accepted")
+	}
+	if _, err := c.IntervalUntil(c.DiracInit(0), phi, phi, -1, 1, 0); err == nil {
+		t.Fatal("negative t1 accepted")
+	}
+}
+
+func TestCumulativeRewardVectorMatchesScalar(t *testing.T) {
+	c := paperExample(t)
+	r := linalg.Vector{0, 1, 3}
+	vec, err := c.CumulativeRewardVector(r, 1.5, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 3; s++ {
+		scalar, err := c.CumulativeReward(c.DiracInit(s), r, 1.5, 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(vec[s]-scalar) > 1e-8 {
+			t.Fatalf("state %d: vector %v vs scalar %v", s, vec[s], scalar)
+		}
+	}
+}
+
+func TestReachabilityVectorMonotoneInTime(t *testing.T) {
+	c := paperExample(t)
+	target := []bool{false, false, true}
+	v1, err := c.TimeBoundedReachabilityVector(target, 0.5, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := c.TimeBoundedReachabilityVector(target, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v1 {
+		if v2[i] < v1[i]-1e-12 {
+			t.Fatalf("reach prob decreased at state %d: %v -> %v", i, v1[i], v2[i])
+		}
+	}
+}

@@ -1,0 +1,410 @@
+// Package ctmc implements finite continuous-time Markov chains and the
+// numerical analyses the paper's security methodology needs: transient
+// distributions and time-bounded reachability via uniformisation with
+// Fox–Glynn Poisson weights, expected cumulative / instantaneous rewards,
+// steady-state distributions (with bottom-SCC decomposition for reducible
+// chains), and expected reachability rewards on the embedded chain.
+package ctmc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dtmc"
+	"repro/internal/foxglynn"
+	"repro/internal/graph"
+	"repro/internal/linalg"
+)
+
+// ErrBadRate reports a negative, NaN or infinite transition rate.
+var ErrBadRate = errors.New("ctmc: transition rates must be finite and non-negative")
+
+// ErrBadTime reports a negative or non-finite time bound.
+var ErrBadTime = errors.New("ctmc: time bound must be finite and non-negative")
+
+// ErrBadInit reports an invalid initial distribution.
+var ErrBadInit = errors.New("ctmc: initial distribution invalid")
+
+// DefaultAccuracy is the truncation accuracy used for uniformisation when
+// the caller passes 0.
+const DefaultAccuracy = 1e-10
+
+// Chain is a finite CTMC. Rates holds the off-diagonal transition rates
+// R(i,j); the generator is Q = R − diag(exit) with exit_i = Σ_j R(i,j).
+type Chain struct {
+	Rates *linalg.CSR
+	Exit  linalg.Vector
+}
+
+// Builder incrementally assembles a CTMC from individual transitions.
+type Builder struct {
+	n   int
+	coo *linalg.COO
+	err error
+}
+
+// NewBuilder returns a builder for a chain with n states.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, coo: linalg.NewCOO(n, n)}
+}
+
+// Add records a transition i→j with the given rate. Self-loops are ignored
+// (they are unobservable in a CTMC). Duplicate (i,j) pairs accumulate.
+func (b *Builder) Add(i, j int, rate float64) {
+	if b.err != nil {
+		return
+	}
+	if rate < 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		b.err = fmt.Errorf("%w: rate(%d→%d) = %v", ErrBadRate, i, j, rate)
+		return
+	}
+	if i < 0 || i >= b.n || j < 0 || j >= b.n {
+		b.err = fmt.Errorf("ctmc: transition (%d→%d) outside state space of size %d", i, j, b.n)
+		return
+	}
+	if i == j {
+		return
+	}
+	b.coo.Add(i, j, rate)
+}
+
+// Build finalises the chain.
+func (b *Builder) Build() (*Chain, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	rates := b.coo.ToCSR()
+	return &Chain{Rates: rates, Exit: rates.RowSums()}, nil
+}
+
+// N returns the number of states.
+func (c *Chain) N() int { return c.Rates.Rows }
+
+// MaxExitRate returns the largest total exit rate, the uniformisation
+// constant's lower bound.
+func (c *Chain) MaxExitRate() float64 {
+	var q float64
+	for _, e := range c.Exit {
+		if e > q {
+			q = e
+		}
+	}
+	return q
+}
+
+// Generator returns the full generator matrix Q (including the diagonal) in
+// CSR form.
+func (c *Chain) Generator() *linalg.CSR {
+	coo := linalg.NewCOO(c.N(), c.N())
+	for i := 0; i < c.N(); i++ {
+		cols, vals := c.Rates.Row(i)
+		for k, j := range cols {
+			coo.Add(i, j, vals[k])
+		}
+		if c.Exit[i] != 0 {
+			coo.Add(i, i, -c.Exit[i])
+		}
+	}
+	return coo.ToCSR()
+}
+
+// Uniformized returns the uniformised DTMC P = I + Q/q and the
+// uniformisation rate q = factor · max exit rate. factor ≤ 1 is clamped to
+// 1.02 (a strictly larger q guarantees aperiodicity via self-loops). For a
+// chain with no transitions at all, q is set to 1 so P = I.
+func (c *Chain) Uniformized(factor float64) (*dtmc.Chain, float64, error) {
+	if factor < 1.02 {
+		factor = 1.02
+	}
+	q := c.MaxExitRate() * factor
+	if q == 0 {
+		q = 1
+	}
+	n := c.N()
+	coo := linalg.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		cols, vals := c.Rates.Row(i)
+		for k, j := range cols {
+			coo.Add(i, j, vals[k]/q)
+		}
+		coo.Add(i, i, 1-c.Exit[i]/q)
+	}
+	ch, err := dtmc.New(coo.ToCSR(), 1e-9)
+	if err != nil {
+		return nil, 0, fmt.Errorf("ctmc: uniformisation produced invalid DTMC: %w", err)
+	}
+	return ch, q, nil
+}
+
+// Embedded returns the embedded (jump) DTMC: P(i,j) = R(i,j)/exit_i, with a
+// self-loop on absorbing states.
+func (c *Chain) Embedded() (*dtmc.Chain, error) {
+	n := c.N()
+	coo := linalg.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		if c.Exit[i] == 0 {
+			coo.Add(i, i, 1)
+			continue
+		}
+		cols, vals := c.Rates.Row(i)
+		for k, j := range cols {
+			coo.Add(i, j, vals[k]/c.Exit[i])
+		}
+	}
+	ch, err := dtmc.New(coo.ToCSR(), 1e-9)
+	if err != nil {
+		return nil, fmt.Errorf("ctmc: embedded chain invalid: %w", err)
+	}
+	return ch, nil
+}
+
+// Digraph returns the transition digraph (positive-rate edges).
+func (c *Chain) Digraph() *graph.Digraph {
+	g := graph.New(c.N())
+	for i := 0; i < c.N(); i++ {
+		cols, vals := c.Rates.Row(i)
+		for k, j := range cols {
+			if vals[k] > 0 {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// DiracInit returns the point distribution on state s.
+func (c *Chain) DiracInit(s int) linalg.Vector {
+	d := linalg.NewVector(c.N())
+	d[s] = 1
+	return d
+}
+
+func (c *Chain) checkInit(init linalg.Vector) error {
+	if len(init) != c.N() {
+		return fmt.Errorf("%w: length %d, want %d", ErrBadInit, len(init), c.N())
+	}
+	var sum float64
+	for _, p := range init {
+		if p < 0 || math.IsNaN(p) {
+			return fmt.Errorf("%w: negative or NaN mass", ErrBadInit)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("%w: mass sums to %v", ErrBadInit, sum)
+	}
+	return nil
+}
+
+func checkTime(t float64) error {
+	if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		return fmt.Errorf("%w: %v", ErrBadTime, t)
+	}
+	return nil
+}
+
+// Transient computes the state distribution at time t from init using
+// uniformisation: π(t) = Σ_k Poisson(qt, k) · init·Pᵏ. accuracy ≤ 0 selects
+// DefaultAccuracy.
+func (c *Chain) Transient(init linalg.Vector, t, accuracy float64) (linalg.Vector, error) {
+	if err := c.checkInit(init); err != nil {
+		return nil, err
+	}
+	if err := checkTime(t); err != nil {
+		return nil, err
+	}
+	if accuracy <= 0 {
+		accuracy = DefaultAccuracy
+	}
+	if t == 0 {
+		return init.Clone(), nil
+	}
+	uni, q, err := c.Uniformized(0)
+	if err != nil {
+		return nil, err
+	}
+	fg, err := foxglynn.Compute(q*t, accuracy)
+	if err != nil {
+		return nil, err
+	}
+	out := linalg.NewVector(c.N())
+	cur := init.Clone()
+	next := linalg.NewVector(c.N())
+	for k := 0; k <= fg.Right; k++ {
+		if k >= fg.Left {
+			out.AddScaled(fg.Weights[k-fg.Left], cur)
+		}
+		if k == fg.Right {
+			break
+		}
+		if _, err := uni.Step(cur, next); err != nil {
+			return nil, err
+		}
+		cur, next = next, cur
+	}
+	// Guard against truncation drift.
+	out.Normalize1()
+	return out, nil
+}
+
+// CumulativeReward computes the expected reward accumulated over [0, t]:
+// E[∫₀ᵗ r(X_s) ds] = Σ_k (1/q)(1 − Σ_{i≤k} γ_i) · (π_k · r), where π_k is
+// the distribution of the uniformised DTMC after k steps and γ the
+// Poisson(qt) weights. With an indicator reward this is the expected time
+// spent in the indicated states — the paper's headline metric.
+func (c *Chain) CumulativeReward(init linalg.Vector, reward linalg.Vector, t, accuracy float64) (float64, error) {
+	if err := c.checkInit(init); err != nil {
+		return 0, err
+	}
+	if err := checkTime(t); err != nil {
+		return 0, err
+	}
+	if len(reward) != c.N() {
+		return 0, fmt.Errorf("ctmc: reward vector length %d, want %d", len(reward), c.N())
+	}
+	if accuracy <= 0 {
+		accuracy = DefaultAccuracy
+	}
+	if t == 0 {
+		return 0, nil
+	}
+	uni, q, err := c.Uniformized(0)
+	if err != nil {
+		return 0, err
+	}
+	fg, err := foxglynn.Compute(q*t, accuracy)
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	var cumWeight float64 // Σ_{i≤k} γ_i so far
+	cur := init.Clone()
+	next := linalg.NewVector(c.N())
+	for k := 0; k <= fg.Right; k++ {
+		if k >= fg.Left {
+			cumWeight += fg.Weights[k-fg.Left]
+		}
+		w := (1 - cumWeight) / q
+		if w > 0 {
+			total += w * cur.Dot(reward)
+		}
+		if k == fg.Right {
+			break
+		}
+		if _, err := uni.Step(cur, next); err != nil {
+			return 0, err
+		}
+		cur, next = next, cur
+	}
+	return total, nil
+}
+
+// InstantaneousReward computes E[r(X_t)] = π(t)·r.
+func (c *Chain) InstantaneousReward(init linalg.Vector, reward linalg.Vector, t, accuracy float64) (float64, error) {
+	if len(reward) != c.N() {
+		return 0, fmt.Errorf("ctmc: reward vector length %d, want %d", len(reward), c.N())
+	}
+	pi, err := c.Transient(init, t, accuracy)
+	if err != nil {
+		return 0, err
+	}
+	return pi.Dot(reward), nil
+}
+
+// TimeBoundedReachability computes P[reach a target state within t] from
+// init by making the target states absorbing and running transient
+// analysis.
+func (c *Chain) TimeBoundedReachability(init linalg.Vector, target []bool, t, accuracy float64) (float64, error) {
+	if len(target) != c.N() {
+		return 0, fmt.Errorf("ctmc: target mask length %d, want %d", len(target), c.N())
+	}
+	mod, err := c.Absorbing(target)
+	if err != nil {
+		return 0, err
+	}
+	pi, err := mod.Transient(init, t, accuracy)
+	if err != nil {
+		return 0, err
+	}
+	var p float64
+	for i, isT := range target {
+		if isT {
+			p += pi[i]
+		}
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p, nil
+}
+
+// BoundedUntil computes P[φ1 U≤t φ2] from init: the probability of reaching
+// a φ2 state within t along a path that stays in φ1 states until then.
+// Standard construction: φ2 states and ¬φ1∧¬φ2 states are made absorbing;
+// the probability is the transient mass in φ2 at time t plus any mass that
+// was already absorbed in φ2 (absorbing, so it stays there).
+func (c *Chain) BoundedUntil(init linalg.Vector, phi1, phi2 []bool, t, accuracy float64) (float64, error) {
+	n := c.N()
+	if len(phi1) != n || len(phi2) != n {
+		return 0, fmt.Errorf("ctmc: formula mask length mismatch (want %d)", n)
+	}
+	absorb := make([]bool, n)
+	for i := 0; i < n; i++ {
+		absorb[i] = phi2[i] || !phi1[i]
+	}
+	mod, err := c.Absorbing(absorb)
+	if err != nil {
+		return 0, err
+	}
+	pi, err := mod.Transient(init, t, accuracy)
+	if err != nil {
+		return 0, err
+	}
+	var p float64
+	for i := 0; i < n; i++ {
+		if phi2[i] {
+			p += pi[i]
+		}
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p, nil
+}
+
+// UnboundedReachability computes P[eventually reach target] on the embedded
+// DTMC (time plays no role for unbounded reachability).
+func (c *Chain) UnboundedReachability(init linalg.Vector, target []bool) (float64, error) {
+	if err := c.checkInit(init); err != nil {
+		return 0, err
+	}
+	emb, err := c.Embedded()
+	if err != nil {
+		return 0, err
+	}
+	x, err := emb.Reachability(target, linalg.IterOpts{})
+	if err != nil {
+		return 0, err
+	}
+	return init.Dot(x), nil
+}
+
+// Absorbing returns a copy of the chain in which every state in mask has all
+// outgoing transitions removed.
+func (c *Chain) Absorbing(mask []bool) (*Chain, error) {
+	if len(mask) != c.N() {
+		return nil, fmt.Errorf("ctmc: mask length %d, want %d", len(mask), c.N())
+	}
+	b := NewBuilder(c.N())
+	for i := 0; i < c.N(); i++ {
+		if mask[i] {
+			continue
+		}
+		cols, vals := c.Rates.Row(i)
+		for k, j := range cols {
+			b.Add(i, j, vals[k])
+		}
+	}
+	return b.Build()
+}

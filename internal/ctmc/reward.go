@@ -1,0 +1,145 @@
+package ctmc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// ReachabilityReward computes the expected reward accumulated until first
+// reaching a target state, E[∫₀^{T_target} r(X_s) ds], following PRISM's
+// semantics: states from which the target is reached with probability < 1
+// (and initial distributions touching them) yield +Inf.
+//
+// For non-target states the expectation satisfies
+//
+//	x_i = r_i/E_i + Σ_j R(i,j)/E_i · x_j
+//
+// (the mean sojourn time 1/E_i weights the state reward), which is solved
+// as a sparse linear system over the states that reach the target almost
+// surely.
+func (c *Chain) ReachabilityReward(init linalg.Vector, reward linalg.Vector, target []bool) (float64, error) {
+	if err := c.checkInit(init); err != nil {
+		return 0, err
+	}
+	x, err := c.reachabilityRewardAll(reward, target)
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for i, p := range init {
+		if p == 0 {
+			continue
+		}
+		if math.IsInf(x[i], 1) {
+			return math.Inf(1), nil
+		}
+		total += p * x[i]
+	}
+	return total, nil
+}
+
+// reachabilityRewardAll solves the expected-reward-to-target system for
+// every state at once.
+func (c *Chain) reachabilityRewardAll(reward linalg.Vector, target []bool) (linalg.Vector, error) {
+	n := c.N()
+	if len(reward) != n {
+		return nil, fmt.Errorf("ctmc: reward vector length %d, want %d", len(reward), n)
+	}
+	if len(target) != n {
+		return nil, fmt.Errorf("ctmc: target mask length %d, want %d", len(target), n)
+	}
+	emb, err := c.Embedded()
+	if err != nil {
+		return nil, err
+	}
+	reach, err := emb.Reachability(target, linalg.IterOpts{})
+	if err != nil {
+		return nil, err
+	}
+	// Classify: finite states reach the target with probability one.
+	finite := make([]bool, n)
+	for i := 0; i < n; i++ {
+		finite[i] = target[i] || reach[i] > 1-1e-9
+	}
+	idx := make([]int, n)
+	var unknowns []int
+	for i := 0; i < n; i++ {
+		if finite[i] && !target[i] {
+			idx[i] = len(unknowns)
+			unknowns = append(unknowns, i)
+		} else {
+			idx[i] = -1
+		}
+	}
+	x := linalg.NewVector(n)
+	for i := 0; i < n; i++ {
+		if !finite[i] {
+			x[i] = math.Inf(1)
+		}
+	}
+	if len(unknowns) > 0 {
+		coo := linalg.NewCOO(len(unknowns), len(unknowns))
+		b := linalg.NewVector(len(unknowns))
+		for ui, i := range unknowns {
+			e := c.Exit[i]
+			if e == 0 {
+				// Absorbing non-target state that "reaches" the target with
+				// probability 1 is impossible; guard anyway.
+				return nil, fmt.Errorf("ctmc: inconsistent reachability classification at state %d", i)
+			}
+			coo.Add(ui, ui, 1)
+			b[ui] = reward[i] / e
+			cols, vals := c.Rates.Row(i)
+			for k, j := range cols {
+				p := vals[k] / e
+				if target[j] || p == 0 {
+					continue // x_j = 0 for target states
+				}
+				uj := idx[j]
+				if uj < 0 {
+					// j is an infinite state; but then i could not reach the
+					// target almost surely unless the rate is zero.
+					return nil, fmt.Errorf("ctmc: almost-sure state %d has positive rate into divergent state %d", i, j)
+				}
+				coo.Add(ui, uj, -p)
+			}
+		}
+		// Slow-mixing chains (rare escapes out of a strongly recurrent
+		// secure region) need generous sweep budgets; the relative
+		// tolerance keeps the criterion meaningful for large expected
+		// rewards.
+		y, err := linalg.GaussSeidel(coo.ToCSR(), b, linalg.IterOpts{Tol: 1e-10, MaxIter: 2_000_000})
+		if err != nil {
+			return nil, fmt.Errorf("ctmc: reachability-reward solve: %w", err)
+		}
+		for ui, i := range unknowns {
+			x[i] = y[ui]
+		}
+	}
+	return x, nil
+}
+
+// ExpectedTimeFraction returns the expected fraction of the interval [0, t]
+// spent in the masked states — the paper's "percentage of time the message
+// is exploitable within 1 year" metric.
+func (c *Chain) ExpectedTimeFraction(init linalg.Vector, mask []bool, t, accuracy float64) (float64, error) {
+	if len(mask) != c.N() {
+		return 0, fmt.Errorf("ctmc: mask length %d, want %d", len(mask), c.N())
+	}
+	if t <= 0 {
+		return 0, fmt.Errorf("%w: horizon must be positive, got %v", ErrBadTime, t)
+	}
+	r := linalg.NewVector(c.N())
+	for i, in := range mask {
+		if in {
+			r[i] = 1
+		}
+	}
+	cum, err := c.CumulativeReward(init, r, t, accuracy)
+	if err != nil {
+		return 0, err
+	}
+	return cum / t, nil
+}

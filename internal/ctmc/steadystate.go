@@ -1,0 +1,227 @@
+package ctmc
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// directSolveThreshold is the BSCC size below which the stationary
+// distribution is computed by dense Gaussian elimination instead of power
+// iteration on the uniformised chain.
+const directSolveThreshold = 256
+
+// SteadyState computes the long-run state distribution from the given
+// initial distribution. For an irreducible chain this is the classical
+// solution of πQ = 0, Σπ = 1; for a reducible chain the distribution
+// decomposes over the bottom strongly connected components:
+// π∞(s) = Σ_B P[absorb into B | init] · π_B(s).
+func (c *Chain) SteadyState(init linalg.Vector) (linalg.Vector, error) {
+	if err := c.checkInit(init); err != nil {
+		return nil, err
+	}
+	n := c.N()
+	_, bsccs := c.Digraph().BSCCs()
+	out := linalg.NewVector(n)
+	if len(bsccs) == 1 && len(bsccs[0]) == n {
+		// Irreducible: the initial distribution is irrelevant.
+		pi, err := c.stationaryOfClosedSet(bsccs[0])
+		if err != nil {
+			return nil, err
+		}
+		for k, s := range bsccs[0] {
+			out[s] = pi[k]
+		}
+		return out, nil
+	}
+	// A single BSCC absorbs all probability mass regardless of the initial
+	// distribution, so the (potentially ill-conditioned) reachability solve
+	// is only needed when the mass splits between several BSCCs.
+	if len(bsccs) == 1 {
+		pi, err := c.stationaryOfClosedSet(bsccs[0])
+		if err != nil {
+			return nil, err
+		}
+		for k, s := range bsccs[0] {
+			out[s] = pi[k]
+		}
+		return out, nil
+	}
+	emb, err := c.Embedded()
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range bsccs {
+		target := make([]bool, n)
+		for _, s := range b {
+			target[s] = true
+		}
+		reach, err := emb.Reachability(target, linalg.IterOpts{Tol: 1e-10, MaxIter: 500000})
+		if err != nil {
+			return nil, err
+		}
+		pAbsorb := init.Dot(reach)
+		if pAbsorb == 0 {
+			continue
+		}
+		pi, err := c.stationaryOfClosedSet(b)
+		if err != nil {
+			return nil, err
+		}
+		for k, s := range b {
+			out[s] += pAbsorb * pi[k]
+		}
+	}
+	// Numerical cleanup: the BSCC absorption probabilities sum to 1.
+	out.Normalize1()
+	return out, nil
+}
+
+// stationaryOfClosedSet computes the stationary distribution of the chain
+// restricted to a closed (no outgoing rates) set of states. The result is
+// indexed like the set slice.
+func (c *Chain) stationaryOfClosedSet(set []int) (linalg.Vector, error) {
+	m := len(set)
+	if m == 1 {
+		return linalg.Vector{1}, nil
+	}
+	idx := make(map[int]int, m)
+	for k, s := range set {
+		idx[s] = k
+	}
+	if m <= directSolveThreshold {
+		return c.stationaryDirect(set, idx)
+	}
+	return c.stationaryIterative(set, idx)
+}
+
+// stationaryDirect solves πQᵀ = 0 with the normalisation Σπ = 1 replacing
+// the last (redundant) balance equation.
+func (c *Chain) stationaryDirect(set []int, idx map[int]int) (linalg.Vector, error) {
+	m := len(set)
+	a := linalg.NewDense(m, m)
+	for k, s := range set {
+		cols, vals := c.Rates.Row(s)
+		for ci, j := range cols {
+			kj, ok := idx[j]
+			if !ok {
+				return nil, fmt.Errorf("ctmc: state set not closed: %d → %d leaves the set", s, j)
+			}
+			// Column k of Qᵀ is row k of Q: balance equation for state kj
+			// receives rate from state k.
+			a.Add(kj, k, vals[ci])
+		}
+		a.Add(k, k, -c.Exit[s])
+	}
+	// Replace the last balance equation by Σπ = 1.
+	for k := 0; k < m; k++ {
+		a.Set(m-1, k, 1)
+	}
+	b := linalg.NewVector(m)
+	b[m-1] = 1
+	pi, err := linalg.SolveDense(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("ctmc: direct stationary solve: %w", err)
+	}
+	for i := range pi {
+		if pi[i] < 0 {
+			pi[i] = 0 // tiny negative round-off
+		}
+	}
+	pi.Normalize1()
+	return pi, nil
+}
+
+// stationaryIterative solves the balance equations with a fixed reference
+// state: set π_ref = 1, solve the remaining n−1 balance equations
+// Σ_i π_i Q(i,j) = 0 (j ≠ ref) by Gauss–Seidel, then normalise. Unlike
+// power iteration on the uniformised chain, this stays fast on stiff chains
+// whose rates span many orders of magnitude (the Figure-6 sweeps go from
+// 0.1 to 8760 per year).
+func (c *Chain) stationaryIterative(set []int, idx map[int]int) (linalg.Vector, error) {
+	m := len(set)
+	if m == 0 {
+		return nil, fmt.Errorf("ctmc: empty state set")
+	}
+	// Reference: any state in the (closed, strongly connected) set is
+	// correct. The state with the smallest exit rate has the longest mean
+	// sojourn and hence tends to carry large stationary mass, which keeps
+	// the unnormalised solution values ≲ 1 and the absolute convergence
+	// test meaningful.
+	ref := 0
+	for k, s := range set {
+		if c.Exit[s] < c.Exit[set[ref]] {
+			ref = k
+		}
+	}
+	// Unknown ordering: all set positions except ref.
+	unk := make([]int, 0, m-1) // position in set
+	pos := make([]int, m)      // set position -> unknown index (-1 for ref)
+	for k := range set {
+		if k == ref {
+			pos[k] = -1
+			continue
+		}
+		pos[k] = len(unk)
+		unk = append(unk, k)
+	}
+	// Balance equation for state j (column j of Q):
+	//   Σ_i π_i R(i,j) − π_j·exit_j = 0.
+	// Build A x = b with x the unknown π values and π_ref = 1 moved to b.
+	coo := linalg.NewCOO(m-1, m-1)
+	b := linalg.NewVector(m - 1)
+	for k, s := range set {
+		cols, vals := c.Rates.Row(s)
+		for ci, j := range cols {
+			kj, ok := idx[j]
+			if !ok {
+				return nil, fmt.Errorf("ctmc: state set not closed: %d → %d leaves the set", s, j)
+			}
+			if pos[kj] < 0 {
+				continue // balance equation of ref is dropped (redundant)
+			}
+			if k == ref {
+				b[pos[kj]] += vals[ci] // π_ref·R(ref,j) with π_ref = 1
+			} else {
+				coo.Add(pos[kj], pos[k], -vals[ci])
+			}
+		}
+		if pos[k] >= 0 {
+			coo.Add(pos[k], pos[k], c.Exit[s])
+		}
+	}
+	y, err := linalg.GaussSeidel(coo.ToCSR(), b, linalg.IterOpts{Tol: 1e-11, MaxIter: 500000})
+	if err != nil {
+		return nil, fmt.Errorf("ctmc: iterative stationary solve: %w", err)
+	}
+	pi := linalg.NewVector(m)
+	pi[ref] = 1
+	for u, k := range unk {
+		v := y[u]
+		if v < 0 {
+			v = 0
+		}
+		pi[k] = v
+	}
+	pi.Normalize1()
+	return pi, nil
+}
+
+// SteadyStateProbability returns the long-run probability of being in the
+// masked states.
+func (c *Chain) SteadyStateProbability(init linalg.Vector, mask []bool) (float64, error) {
+	if len(mask) != c.N() {
+		return 0, fmt.Errorf("ctmc: mask length %d, want %d", len(mask), c.N())
+	}
+	pi, err := c.SteadyState(init)
+	if err != nil {
+		return 0, err
+	}
+	var p float64
+	for i, in := range mask {
+		if in {
+			p += pi[i]
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,145 @@
+package ctmc
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+)
+
+// IntervalUntilVector computes P_i[φ1 U[t1,t2] φ2] for every state i (the
+// per-state form of IntervalUntil; see there for the construction).
+func (c *Chain) IntervalUntilVector(phi1, phi2 []bool, t1, t2, accuracy float64) (linalg.Vector, error) {
+	n := c.N()
+	if len(phi1) != n || len(phi2) != n {
+		return nil, fmt.Errorf("ctmc: formula mask length mismatch (want %d)", n)
+	}
+	if t1 < 0 || t2 < t1 {
+		return nil, fmt.Errorf("%w: interval [%v, %v]", ErrBadTime, t1, t2)
+	}
+	if t1 == 0 {
+		return c.BoundedUntilVector(phi1, phi2, t2, accuracy)
+	}
+	y, err := c.BoundedUntilVector(phi1, phi2, t2-t1, accuracy)
+	if err != nil {
+		return nil, err
+	}
+	notPhi1 := make([]bool, n)
+	masked := linalg.NewVector(n)
+	for i := 0; i < n; i++ {
+		notPhi1[i] = !phi1[i]
+		if phi1[i] {
+			masked[i] = y[i]
+		}
+	}
+	mod, err := c.Absorbing(notPhi1)
+	if err != nil {
+		return nil, err
+	}
+	u, err := mod.BackwardTransient(masked, t1, accuracy)
+	if err != nil {
+		return nil, err
+	}
+	for i := range u {
+		u[i] = clampUnit(u[i])
+	}
+	return u, nil
+}
+
+// NextVector computes P_i[X φ] for every state: the probability that the
+// first jump lands in φ (0 for absorbing states).
+func (c *Chain) NextVector(phi []bool) (linalg.Vector, error) {
+	n := c.N()
+	if len(phi) != n {
+		return nil, fmt.Errorf("ctmc: formula mask length %d, want %d", len(phi), n)
+	}
+	out := linalg.NewVector(n)
+	for i := 0; i < n; i++ {
+		if c.Exit[i] == 0 {
+			continue
+		}
+		cols, vals := c.Rates.Row(i)
+		var p float64
+		for k, j := range cols {
+			if phi[j] {
+				p += vals[k]
+			}
+		}
+		out[i] = p / c.Exit[i]
+	}
+	return out, nil
+}
+
+// UnboundedReachabilityVector computes P_i[F target] for every state via
+// the embedded chain.
+func (c *Chain) UnboundedReachabilityVector(target []bool) (linalg.Vector, error) {
+	emb, err := c.Embedded()
+	if err != nil {
+		return nil, err
+	}
+	return emb.Reachability(target, linalg.IterOpts{})
+}
+
+// SteadyStateVector computes, for every state i, the long-run probability
+// of being in the masked set when starting from i: the BSCC decomposition
+// value_i = Σ_B P_i[absorb into B] · π_B(mask).
+func (c *Chain) SteadyStateVector(mask []bool) (linalg.Vector, error) {
+	n := c.N()
+	if len(mask) != n {
+		return nil, fmt.Errorf("ctmc: mask length %d, want %d", len(mask), n)
+	}
+	_, bsccs := c.Digraph().BSCCs()
+	out := linalg.NewVector(n)
+	if len(bsccs) == 1 {
+		pi, err := c.stationaryOfClosedSet(bsccs[0])
+		if err != nil {
+			return nil, err
+		}
+		var v float64
+		for k, s := range bsccs[0] {
+			if mask[s] {
+				v += pi[k]
+			}
+		}
+		out.Fill(v)
+		return out, nil
+	}
+	emb, err := c.Embedded()
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range bsccs {
+		pi, err := c.stationaryOfClosedSet(b)
+		if err != nil {
+			return nil, err
+		}
+		var v float64
+		for k, s := range b {
+			if mask[s] {
+				v += pi[k]
+			}
+		}
+		if v == 0 {
+			continue
+		}
+		target := make([]bool, n)
+		for _, s := range b {
+			target[s] = true
+		}
+		reach, err := emb.Reachability(target, linalg.IterOpts{Tol: 1e-10, MaxIter: 500000})
+		if err != nil {
+			return nil, err
+		}
+		out.AddScaled(v, reach)
+	}
+	for i := range out {
+		out[i] = clampUnit(out[i])
+	}
+	return out, nil
+}
+
+// ReachabilityRewardVector computes, for every state, the expected reward
+// accumulated until first reaching a target state (+Inf where the target is
+// reached with probability < 1). One linear solve covers all states.
+func (c *Chain) ReachabilityRewardVector(reward linalg.Vector, target []bool) (linalg.Vector, error) {
+	return c.reachabilityRewardAll(reward, target)
+}

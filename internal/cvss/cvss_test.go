@@ -1,0 +1,120 @@
+package cvss
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestPaperSection32Example(t *testing.T) {
+	// "the Access Vector is across multiple networks (AV = 1) ... access
+	// complexity is high (AC = 0.35) ... multiple authentication steps
+	// (Au = 0.45). From Equation (11), σ = 3.15 ... η = 1.85."
+	v := MustParse("AV:N/AC:H/Au:M")
+	if got := v.Score(); math.Abs(got-3.15) > 1e-12 {
+		t.Fatalf("σ = %v, want 3.15", got)
+	}
+	if got := v.Rate(); math.Abs(got-1.85) > 1e-12 {
+		t.Fatalf("η = %v, want 1.85", got)
+	}
+}
+
+// TestTable2Rates checks every CVSS vector in the paper's Table 2 against
+// its (rounded) published rate.
+func TestTable2Rates(t *testing.T) {
+	cases := []struct {
+		vector string
+		want   float64 // Table 2 value, rounded to one decimal
+	}{
+		{"AV:A/AC:H/Au:S", 1.2}, // PA, PS, GW, message CMAC/AES
+		{"AV:A/AC:L/Au:S", 3.8}, // telematics CAN interface
+		{"AV:N/AC:H/Au:M", 1.9}, // telematics 3G interface
+		{"AV:L/AC:H/Au:S", 0.2}, // FlexRay bus guardian
+	}
+	for _, c := range cases {
+		v := MustParse(c.vector)
+		got := v.Rate()
+		if math.Abs(got-c.want) > 0.06 {
+			t.Fatalf("%s: η = %v, Table 2 says %v", c.vector, got, c.want)
+		}
+	}
+}
+
+func TestTable1Weights(t *testing.T) {
+	// Paper Table 1 values.
+	checks := []struct {
+		vector     string
+		av, ac, au float64
+	}{
+		{"AV:L/AC:H/Au:M", 0.395, 0.35, 0.45},
+		{"AV:A/AC:M/Au:S", 0.646, 0.61, 0.56},
+		{"AV:N/AC:L/Au:N", 1.0, 0.71, 0.704},
+	}
+	for _, c := range checks {
+		av, ac, au := MustParse(c.vector).Weights()
+		if av != c.av || ac != c.ac || au != c.au {
+			t.Fatalf("%s: weights (%v,%v,%v)", c.vector, av, ac, au)
+		}
+	}
+}
+
+func TestRateFloor(t *testing.T) {
+	// Weakest possible exposure: σ = 20·0.395·0.35·0.45 = 1.24425 < 1.3.
+	v := MustParse("AV:L/AC:H/Au:M")
+	if got := v.Rate(); got != 0 {
+		t.Fatalf("η = %v, want floor at 0", got)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"AV:L/AC:H/Au:M", "AV:A/AC:M/Au:S", "AV:N/AC:L/Au:N",
+	} {
+		v, err := Parse(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.String() != s {
+			t.Fatalf("round trip %q -> %q", s, v.String())
+		}
+	}
+}
+
+func TestParseOrderIndependent(t *testing.T) {
+	a := MustParse("AV:N/AC:H/Au:M")
+	b := MustParse("Au:M/AV:N/AC:H")
+	if a != b {
+		t.Fatalf("order matters: %v vs %v", a, b)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{
+		"", "AV:N", "AV:N/AC:H", "AV:X/AC:H/Au:M", "AV:N/AC:X/Au:M",
+		"AV:N/AC:H/Au:X", "XX:N/AC:H/Au:M", "AV:N/AC:H/Au:M/E:F",
+		"AV:N/AV:N/Au:M", "AVN/AC:H/Au:M",
+	} {
+		if _, err := Parse(s); !errors.Is(err, ErrBadVector) {
+			t.Fatalf("%q: err = %v", s, err)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParse("garbage")
+}
+
+func TestScoreMonotonicity(t *testing.T) {
+	// More exposure (network, low complexity, no auth) must not decrease
+	// the score.
+	weak := MustParse("AV:L/AC:H/Au:M")
+	strong := MustParse("AV:N/AC:L/Au:N")
+	if weak.Score() >= strong.Score() {
+		t.Fatalf("monotonicity violated: %v >= %v", weak.Score(), strong.Score())
+	}
+}

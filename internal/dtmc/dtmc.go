@@ -1,0 +1,269 @@
+// Package dtmc implements discrete-time Markov chains: transient step
+// distributions, stationary distributions and unbounded reachability
+// probabilities. The CTMC engine reduces its computations to these
+// primitives via uniformisation and the embedded chain.
+package dtmc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/linalg"
+)
+
+// ErrNotStochastic reports a transition matrix whose rows do not sum to one.
+var ErrNotStochastic = errors.New("dtmc: transition matrix rows must sum to 1")
+
+// ErrBadDistribution reports an initial distribution that is not a
+// probability distribution over the state space.
+var ErrBadDistribution = errors.New("dtmc: initial distribution invalid")
+
+// Chain is a finite DTMC with transition matrix P (row-stochastic CSR).
+type Chain struct {
+	P *linalg.CSR
+}
+
+// New validates P and wraps it in a Chain. Rows must sum to 1 within tol
+// (absorbing states must carry an explicit self-loop).
+func New(p *linalg.CSR, tol float64) (*Chain, error) {
+	if p.Rows != p.Cols {
+		return nil, fmt.Errorf("dtmc: transition matrix must be square, got %dx%d", p.Rows, p.Cols)
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	for i, s := range p.RowSums() {
+		if math.Abs(s-1) > tol {
+			return nil, fmt.Errorf("%w: row %d sums to %v", ErrNotStochastic, i, s)
+		}
+	}
+	for _, v := range p.Val {
+		if v < 0 {
+			return nil, fmt.Errorf("%w: negative transition probability %v", ErrNotStochastic, v)
+		}
+	}
+	return &Chain{P: p}, nil
+}
+
+// N returns the number of states.
+func (c *Chain) N() int { return c.P.Rows }
+
+// Step advances a distribution one step: dst = pi·P.
+func (c *Chain) Step(pi, dst linalg.Vector) (linalg.Vector, error) {
+	return c.P.VecMul(pi, dst)
+}
+
+// Transient returns the distribution after n steps from init.
+func (c *Chain) Transient(init linalg.Vector, n int) (linalg.Vector, error) {
+	if err := c.checkDist(init); err != nil {
+		return nil, err
+	}
+	cur := init.Clone()
+	next := linalg.NewVector(c.N())
+	for k := 0; k < n; k++ {
+		if _, err := c.P.VecMul(cur, next); err != nil {
+			return nil, err
+		}
+		cur, next = next, cur
+	}
+	return cur, nil
+}
+
+// Digraph returns the underlying transition digraph (edges with positive
+// probability).
+func (c *Chain) Digraph() *graph.Digraph {
+	g := graph.New(c.N())
+	for i := 0; i < c.N(); i++ {
+		cols, vals := c.P.Row(i)
+		for k, j := range cols {
+			if vals[k] > 0 {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// Reachability computes, for every state, the probability of eventually
+// reaching the target set. It performs the standard qualitative
+// precomputations first — prob-0 states via backward reachability, prob-1
+// states via bottom-SCC analysis (a DTMC reaches the target almost surely
+// iff it cannot reach a BSCC disjoint from the target) — and then solves
+// the linear system x = P·x + b restricted to the genuinely fractional
+// states with Gauss–Seidel. Without the prob-1 step, probabilities
+// converging to 1 through rare escapes would need iteration counts inverse
+// in the escape probability.
+func (c *Chain) Reachability(target []bool, opts linalg.IterOpts) (linalg.Vector, error) {
+	n := c.N()
+	if len(target) != n {
+		return nil, fmt.Errorf("dtmc: target mask length %d, want %d", len(target), n)
+	}
+	var targets []int
+	for i, t := range target {
+		if t {
+			targets = append(targets, i)
+		}
+	}
+	x := linalg.NewVector(n)
+	if len(targets) == 0 {
+		return x, nil
+	}
+	g := c.Digraph()
+	canReach := g.CanReach(targets)
+	// Prob-1: states that can reach the target but cannot reach any "bad"
+	// BSCC (one containing no target state) hit the target almost surely.
+	_, bsccs := g.BSCCs()
+	var badStates []int
+	for _, b := range bsccs {
+		bad := true
+		for _, s := range b {
+			if target[s] {
+				bad = false
+				break
+			}
+		}
+		if bad {
+			badStates = append(badStates, b...)
+		}
+	}
+	var canReachBad []bool
+	if len(badStates) > 0 {
+		canReachBad = g.CanReach(badStates)
+	} else {
+		canReachBad = make([]bool, n)
+	}
+	idx := make([]int, n) // state -> unknown index, -1 if known
+	var unknowns []int
+	for i := 0; i < n; i++ {
+		switch {
+		case target[i]:
+			x[i] = 1
+			idx[i] = -1
+		case !canReach[i]:
+			idx[i] = -1
+		case !canReachBad[i]:
+			x[i] = 1 // almost-sure: no escape route exists
+			idx[i] = -1
+		default:
+			idx[i] = len(unknowns)
+			unknowns = append(unknowns, i)
+		}
+	}
+	if len(unknowns) == 0 {
+		return x, nil
+	}
+	// Build (I - P_uu)·y = P_u·x_known where u are unknowns and x_known is
+	// 1 on target and almost-sure states.
+	coo := linalg.NewCOO(len(unknowns), len(unknowns))
+	b := linalg.NewVector(len(unknowns))
+	for ui, i := range unknowns {
+		coo.Add(ui, ui, 1)
+		cols, vals := c.P.Row(i)
+		for k, j := range cols {
+			p := vals[k]
+			if p == 0 {
+				continue
+			}
+			if uj := idx[j]; uj >= 0 {
+				coo.Add(ui, uj, -p)
+			} else if x[j] == 1 {
+				b[ui] += p
+			}
+		}
+	}
+	y, err := linalg.GaussSeidel(coo.ToCSR(), b, opts)
+	if err != nil {
+		return nil, fmt.Errorf("dtmc: reachability solve: %w", err)
+	}
+	for ui, i := range unknowns {
+		x[i] = clamp01(y[ui])
+	}
+	return x, nil
+}
+
+// Stationary computes the stationary distribution of an irreducible,
+// aperiodic chain by power iteration. For general chains use the BSCC
+// decomposition in the ctmc package.
+func (c *Chain) Stationary(opts linalg.IterOpts) (linalg.Vector, error) {
+	return linalg.PowerStationary(c.P, opts)
+}
+
+// ExpectedVisits computes, for an absorbing chain, the expected number of
+// visits to each transient state before absorption, starting from init:
+// v = init·(I − P_tt)⁻¹ over the transient states. Absorbing states (and
+// states inside bottom SCCs generally) report +Inf only if init can reach
+// them with positive probability and they are recurrent — the caller is
+// expected to pass a mask of transient states.
+func (c *Chain) ExpectedVisits(init linalg.Vector, transient []bool, opts linalg.IterOpts) (linalg.Vector, error) {
+	n := c.N()
+	if err := c.checkDist(init); err != nil {
+		return nil, err
+	}
+	if len(transient) != n {
+		return nil, fmt.Errorf("dtmc: transient mask length %d, want %d", len(transient), n)
+	}
+	idx := make([]int, n)
+	var trans []int
+	for i := 0; i < n; i++ {
+		if transient[i] {
+			idx[i] = len(trans)
+			trans = append(trans, i)
+		} else {
+			idx[i] = -1
+		}
+	}
+	out := linalg.NewVector(n)
+	if len(trans) == 0 {
+		return out, nil
+	}
+	// Solve vᵀ(I − P_tt) = initᵀ  ⇔  (I − P_tt)ᵀ v = init_t.
+	coo := linalg.NewCOO(len(trans), len(trans))
+	b := linalg.NewVector(len(trans))
+	for ti, i := range trans {
+		coo.Add(ti, ti, 1)
+		b[ti] = init[i]
+		cols, vals := c.P.Row(i)
+		for k, j := range cols {
+			if tj := idx[j]; tj >= 0 && vals[k] != 0 {
+				coo.Add(tj, ti, -vals[k]) // transposed entry
+			}
+		}
+	}
+	v, err := linalg.GaussSeidel(coo.ToCSR(), b, opts)
+	if err != nil {
+		return nil, fmt.Errorf("dtmc: expected-visits solve: %w", err)
+	}
+	for ti, i := range trans {
+		out[i] = v[ti]
+	}
+	return out, nil
+}
+
+func (c *Chain) checkDist(d linalg.Vector) error {
+	if len(d) != c.N() {
+		return fmt.Errorf("%w: length %d, want %d", ErrBadDistribution, len(d), c.N())
+	}
+	var sum float64
+	for _, p := range d {
+		if p < 0 || math.IsNaN(p) {
+			return fmt.Errorf("%w: negative or NaN mass", ErrBadDistribution)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("%w: mass sums to %v", ErrBadDistribution, sum)
+	}
+	return nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

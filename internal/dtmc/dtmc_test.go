@@ -1,0 +1,347 @@
+package dtmc
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+func chainFromRows(t *testing.T, rows [][]float64) *Chain {
+	t.Helper()
+	n := len(rows)
+	coo := linalg.NewCOO(n, n)
+	for i, r := range rows {
+		for j, v := range r {
+			coo.Add(i, j, v)
+		}
+	}
+	c, err := New(coo.ToCSR(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewRejectsNonStochastic(t *testing.T) {
+	coo := linalg.NewCOO(2, 2)
+	coo.Add(0, 0, 0.5) // row sums to 0.5
+	coo.Add(1, 1, 1)
+	if _, err := New(coo.ToCSR(), 0); !errors.Is(err, ErrNotStochastic) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNewRejectsNonSquare(t *testing.T) {
+	if _, err := New(linalg.NewCOO(2, 3).ToCSR(), 0); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestTransientTwoState(t *testing.T) {
+	c := chainFromRows(t, [][]float64{{0.5, 0.5}, {0, 1}})
+	pi, err := c.Transient(linalg.Vector{1, 0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After 3 steps from state 0: P[still in 0] = 0.125.
+	if math.Abs(pi[0]-0.125) > 1e-15 || math.Abs(pi[1]-0.875) > 1e-15 {
+		t.Fatalf("pi = %v", pi)
+	}
+}
+
+func TestTransientZeroSteps(t *testing.T) {
+	c := chainFromRows(t, [][]float64{{1, 0}, {0, 1}})
+	init := linalg.Vector{0.3, 0.7}
+	pi, err := c.Transient(init, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi.MaxDiff(init) != 0 {
+		t.Fatalf("pi = %v", pi)
+	}
+}
+
+func TestTransientRejectsBadInit(t *testing.T) {
+	c := chainFromRows(t, [][]float64{{1, 0}, {0, 1}})
+	if _, err := c.Transient(linalg.Vector{0.5, 0.1}, 1); !errors.Is(err, ErrBadDistribution) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := c.Transient(linalg.Vector{1}, 1); !errors.Is(err, ErrBadDistribution) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReachabilityGamblersRuin(t *testing.T) {
+	// States 0..4, absorbing at 0 and 4, fair coin. P[reach 4 | start i] = i/4.
+	rows := [][]float64{
+		{1, 0, 0, 0, 0},
+		{0.5, 0, 0.5, 0, 0},
+		{0, 0.5, 0, 0.5, 0},
+		{0, 0, 0.5, 0, 0.5},
+		{0, 0, 0, 0, 1},
+	}
+	c := chainFromRows(t, rows)
+	target := []bool{false, false, false, false, true}
+	x, err := c.Reachability(target, linalg.IterOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= 4; i++ {
+		want := float64(i) / 4
+		if math.Abs(x[i]-want) > 1e-9 {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], want)
+		}
+	}
+}
+
+func TestReachabilityUnreachableIsZero(t *testing.T) {
+	// 2 disconnected absorbing states.
+	c := chainFromRows(t, [][]float64{{1, 0}, {0, 1}})
+	x, err := c.Reachability([]bool{false, true}, linalg.IterOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 0 || x[1] != 1 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestReachabilityEmptyTarget(t *testing.T) {
+	c := chainFromRows(t, [][]float64{{1, 0}, {0, 1}})
+	x, err := c.Reachability([]bool{false, false}, linalg.IterOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 0 || x[1] != 0 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestReachabilityBadMask(t *testing.T) {
+	c := chainFromRows(t, [][]float64{{1, 0}, {0, 1}})
+	if _, err := c.Reachability([]bool{true}, linalg.IterOpts{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestStationaryTwoState(t *testing.T) {
+	c := chainFromRows(t, [][]float64{{0.9, 0.1}, {0.2, 0.8}})
+	pi, err := c.Stationary(linalg.IterOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi[0]-2.0/3) > 1e-9 {
+		t.Fatalf("pi = %v", pi)
+	}
+}
+
+func TestExpectedVisits(t *testing.T) {
+	// Transient state 0 loops with p=0.5, exits to absorbing 1 otherwise.
+	// Expected visits to 0 starting at 0: 1/(1-0.5) = 2.
+	c := chainFromRows(t, [][]float64{{0.5, 0.5}, {0, 1}})
+	v, err := c.ExpectedVisits(linalg.Vector{1, 0}, []bool{true, false}, linalg.IterOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v[0]-2) > 1e-9 {
+		t.Fatalf("visits = %v", v)
+	}
+	if v[1] != 0 {
+		t.Fatalf("absorbing state got visits: %v", v)
+	}
+}
+
+func TestExpectedVisitsChain(t *testing.T) {
+	// 0 -> 1 -> 2 (absorbing), deterministic: one visit each.
+	c := chainFromRows(t, [][]float64{{0, 1, 0}, {0, 0, 1}, {0, 0, 1}})
+	v, err := c.ExpectedVisits(linalg.Vector{1, 0, 0}, []bool{true, true, false}, linalg.IterOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v[0]-1) > 1e-9 || math.Abs(v[1]-1) > 1e-9 {
+		t.Fatalf("visits = %v", v)
+	}
+}
+
+// Property: transient distributions remain distributions (non-negative,
+// sum 1) for random stochastic matrices.
+func TestQuickTransientIsDistribution(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(8)
+		coo := linalg.NewCOO(n, n)
+		for i := 0; i < n; i++ {
+			w := make([]float64, n)
+			var sum float64
+			for j := range w {
+				w[j] = r.Float64()
+				sum += w[j]
+			}
+			for j := range w {
+				coo.Add(i, j, w[j]/sum)
+			}
+		}
+		c, err := New(coo.ToCSR(), 0)
+		if err != nil {
+			return false
+		}
+		init := linalg.NewVector(n)
+		init[r.Intn(n)] = 1
+		pi, err := c.Transient(init, 1+r.Intn(30))
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, p := range pi {
+			if p < -1e-12 {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reachability probabilities satisfy the fixed-point equation
+// x = P·x on non-target states with x=1 on targets (within solver tolerance).
+func TestQuickReachabilityFixedPoint(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(7)
+		coo := linalg.NewCOO(n, n)
+		for i := 0; i < n; i++ {
+			w := make([]float64, n)
+			var sum float64
+			for j := range w {
+				if r.Float64() < 0.5 {
+					w[j] = r.Float64()
+					sum += w[j]
+				}
+			}
+			if sum == 0 {
+				w[i] = 1
+				sum = 1
+			}
+			for j := range w {
+				if w[j] > 0 {
+					coo.Add(i, j, w[j]/sum)
+				}
+			}
+		}
+		c, err := New(coo.ToCSR(), 0)
+		if err != nil {
+			return false
+		}
+		target := make([]bool, n)
+		target[r.Intn(n)] = true
+		x, err := c.Reachability(target, linalg.IterOpts{})
+		if err != nil {
+			return false
+		}
+		px, err := c.P.VecMul(x, nil) // note: this is xᵀPᵀ... need P·x
+		_ = px
+		// Compute P·x directly.
+		for i := 0; i < n; i++ {
+			if target[i] {
+				if x[i] != 1 {
+					return false
+				}
+				continue
+			}
+			cols, vals := c.P.Row(i)
+			var s float64
+			for k, j := range cols {
+				s += vals[k] * x[j]
+			}
+			if x[i] > 0 && math.Abs(s-x[i]) > 1e-6 {
+				return false
+			}
+			if x[i] == 0 && s > 1e-9 {
+				// prob-0 state must not flow into positive mass
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReachabilityProb1Precomputation: a chain that reaches the target
+// almost surely through an arbitrarily rare escape must report exactly 1
+// (the qualitative precomputation decides it; no iterative solve could).
+func TestReachabilityProb1Precomputation(t *testing.T) {
+	// 0 loops to itself with probability 1-ε and escapes to the absorbing
+	// target 1 with probability ε.
+	eps := 1e-12
+	c := chainFromRows(t, [][]float64{
+		{1 - eps, eps},
+		{0, 1},
+	})
+	x, err := c.Reachability([]bool{false, true}, linalg.IterOpts{MaxIter: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 1 {
+		t.Fatalf("P = %v, want exactly 1 (prob-1 precomputation)", x[0])
+	}
+}
+
+// TestReachabilityFractionalWithBadBSCC: with a competing absorbing trap
+// the probability is genuinely fractional and must still be solved.
+func TestReachabilityFractionalWithBadBSCC(t *testing.T) {
+	c := chainFromRows(t, [][]float64{
+		{0, 0.3, 0.7},
+		{0, 1, 0}, // target
+		{0, 0, 1}, // trap (bad BSCC)
+	})
+	x, err := c.Reachability([]bool{false, true, false}, linalg.IterOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-0.3) > 1e-9 || x[1] != 1 || x[2] != 0 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+// TestReachabilityMixedKnowns: unknown states feeding into almost-sure
+// states must receive their mass through the right-hand side.
+func TestReachabilityMixedKnowns(t *testing.T) {
+	// 3 -> {0 (almost-sure region), 2 (trap)}; 0 loops then surely escapes
+	// to target 1.
+	c := chainFromRows(t, [][]float64{
+		{0.9, 0.1, 0, 0},
+		{0, 1, 0, 0}, // target
+		{0, 0, 1, 0}, // trap
+		{0.5, 0, 0.5, 0},
+	})
+	x, err := c.Reachability([]bool{false, true, false, false}, linalg.IterOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 1 {
+		t.Fatalf("x[0] = %v, want 1", x[0])
+	}
+	if math.Abs(x[3]-0.5) > 1e-9 {
+		t.Fatalf("x[3] = %v, want 0.5", x[3])
+	}
+}
+
+func TestStepAdvancesDistribution(t *testing.T) {
+	c := chainFromRows(t, [][]float64{{0, 1}, {1, 0}})
+	dst, err := c.Step(linalg.Vector{1, 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 0 || dst[1] != 1 {
+		t.Fatalf("dst = %v", dst)
+	}
+}

@@ -1,0 +1,123 @@
+// Package expm computes the dense matrix exponential via scaling and
+// squaring with a diagonal Padé approximant (Higham's method with fixed
+// degree 6). It exists as an independent numerical oracle: uniformisation in
+// internal/ctmc must agree with exp(Q·t) on small random generators, and the
+// two implementations share no code.
+package expm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// ErrNotSquare reports a non-square input.
+var ErrNotSquare = errors.New("expm: matrix must be square")
+
+// Exp returns e^A for a square dense matrix A.
+func Exp(a *linalg.Dense) (*linalg.Dense, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("%w: %dx%d", ErrNotSquare, a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if n == 0 {
+		return linalg.NewDense(0, 0), nil
+	}
+	// Scaling: divide by 2^s until the norm is ≤ 0.5 so the Padé
+	// approximation is accurate, then square s times.
+	norm := a.NormInf()
+	s := 0
+	if norm > 0.5 {
+		s = int(math.Ceil(math.Log2(norm / 0.5)))
+	}
+	scaled := a.Clone()
+	scaled.Scale(math.Pow(2, -float64(s)))
+
+	e, err := pade6(scaled)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < s; i++ {
+		e, err = e.Mul(e)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// pade6 evaluates the degree-(6,6) diagonal Padé approximant of e^X for
+// ||X|| ≤ 0.5. Coefficients c_k = (12-k)!·6! / (12!·k!·(6-k)!).
+func pade6(x *linalg.Dense) (*linalg.Dense, error) {
+	n := x.Rows
+	c := padeCoefficients(6)
+	// Powers of X.
+	x2, err := x.Mul(x)
+	if err != nil {
+		return nil, err
+	}
+	x4, err := x2.Mul(x2)
+	if err != nil {
+		return nil, err
+	}
+	x6, err := x4.Mul(x2)
+	if err != nil {
+		return nil, err
+	}
+	// Even part U_even = c0·I + c2·X² + c4·X⁴ + c6·X⁶
+	even := linalg.Identity(n)
+	even.Scale(c[0])
+	mustAdd(even, c[2], x2)
+	mustAdd(even, c[4], x4)
+	mustAdd(even, c[6], x6)
+	// Odd part pre-multiplication: V = X·(c1·I + c3·X² + c5·X⁴)
+	vin := linalg.Identity(n)
+	vin.Scale(c[1])
+	mustAdd(vin, c[3], x2)
+	mustAdd(vin, c[5], x4)
+	odd, err := x.Mul(vin)
+	if err != nil {
+		return nil, err
+	}
+	// e^X ≈ (even - odd)⁻¹ (even + odd); solve column by column.
+	num := even.Clone()
+	if err := num.AddMat(1, odd); err != nil {
+		return nil, err
+	}
+	den := even
+	if err := den.AddMat(-1, odd); err != nil {
+		return nil, err
+	}
+	out := linalg.NewDense(n, n)
+	for col := 0; col < n; col++ {
+		b := linalg.NewVector(n)
+		for i := 0; i < n; i++ {
+			b[i] = num.At(i, col)
+		}
+		sol, err := linalg.SolveDense(den, b)
+		if err != nil {
+			return nil, fmt.Errorf("expm: Padé denominator solve failed: %w", err)
+		}
+		for i := 0; i < n; i++ {
+			out.Set(i, col, sol[i])
+		}
+	}
+	return out, nil
+}
+
+func padeCoefficients(m int) []float64 {
+	c := make([]float64, m+1)
+	c[0] = 1
+	for k := 1; k <= m; k++ {
+		c[k] = c[k-1] * float64(m-k+1) / (float64(2*m-k+1) * float64(k))
+	}
+	return c
+}
+
+func mustAdd(dst *linalg.Dense, a float64, src *linalg.Dense) {
+	if err := dst.AddMat(a, src); err != nil {
+		panic(err) // shapes are constructed locally; mismatch is a bug
+	}
+}

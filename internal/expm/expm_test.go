@@ -1,0 +1,162 @@
+package expm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+func TestExpZeroMatrix(t *testing.T) {
+	e, err := Exp(linalg.NewDense(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := linalg.Identity(3)
+	for k := range id.Data {
+		if math.Abs(e.Data[k]-id.Data[k]) > 1e-14 {
+			t.Fatalf("exp(0) != I: %v", e)
+		}
+	}
+}
+
+func TestExpDiagonal(t *testing.T) {
+	a := linalg.NewDense(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, -2)
+	e, err := Exp(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.At(0, 0)-math.E) > 1e-12 {
+		t.Fatalf("e^1 = %v", e.At(0, 0))
+	}
+	if math.Abs(e.At(1, 1)-math.Exp(-2)) > 1e-12 {
+		t.Fatalf("e^-2 = %v", e.At(1, 1))
+	}
+	if math.Abs(e.At(0, 1)) > 1e-14 || math.Abs(e.At(1, 0)) > 1e-14 {
+		t.Fatal("off-diagonals nonzero")
+	}
+}
+
+func TestExpNilpotent(t *testing.T) {
+	// A = [[0,1],[0,0]] => e^A = [[1,1],[0,1]] exactly.
+	a := linalg.NewDense(2, 2)
+	a.Set(0, 1, 1)
+	e, err := Exp(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{1, 1}, {0, 1}}
+	for i := range want {
+		for j := range want[i] {
+			if math.Abs(e.At(i, j)-want[i][j]) > 1e-12 {
+				t.Fatalf("e = %v", e)
+			}
+		}
+	}
+}
+
+func TestExpRotation(t *testing.T) {
+	// A = [[0,-θ],[θ,0]] => e^A = rotation by θ.
+	theta := 0.7
+	a := linalg.NewDense(2, 2)
+	a.Set(0, 1, -theta)
+	a.Set(1, 0, theta)
+	e, err := Exp(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.At(0, 0)-math.Cos(theta)) > 1e-10 ||
+		math.Abs(e.At(1, 0)-math.Sin(theta)) > 1e-10 {
+		t.Fatalf("rotation wrong: %v", e)
+	}
+}
+
+func TestExpNotSquare(t *testing.T) {
+	if _, err := Exp(linalg.NewDense(2, 3)); !errors.Is(err, ErrNotSquare) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Property: for CTMC generators Q (rows sum to zero, off-diagonals ≥ 0),
+// e^{Qt} is row-stochastic.
+func TestQuickGeneratorExponentialIsStochastic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		q := linalg.NewDense(n, n)
+		for i := 0; i < n; i++ {
+			var out float64
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				v := r.Float64() * 3
+				q.Set(i, j, v)
+				out += v
+			}
+			q.Set(i, i, -out)
+		}
+		e, err := Exp(q)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			var sum float64
+			for j := 0; j < n; j++ {
+				p := e.At(i, j)
+				if p < -1e-10 {
+					return false
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: e^{A}·e^{-A} = I.
+func TestQuickExpInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(4)
+		a := linalg.NewDense(n, n)
+		for i := range a.Data {
+			a.Data[i] = r.Float64()*2 - 1
+		}
+		na := a.Clone()
+		na.Scale(-1)
+		ea, err := Exp(a)
+		if err != nil {
+			return false
+		}
+		ena, err := Exp(na)
+		if err != nil {
+			return false
+		}
+		prod, err := ea.Mul(ena)
+		if err != nil {
+			return false
+		}
+		id := linalg.Identity(n)
+		for k := range id.Data {
+			if math.Abs(prod.Data[k]-id.Data[k]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

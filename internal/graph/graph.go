@@ -1,0 +1,169 @@
+// Package graph provides the directed-graph algorithms the model checker
+// needs: strongly connected components (Tarjan, iterative), bottom SCC
+// detection for steady-state analysis of reducible chains, and forward /
+// backward reachability used to precompute trivially-0 / trivially-1 states
+// for probabilistic reachability.
+package graph
+
+// Digraph is a directed graph in adjacency-list form over vertices 0..N-1.
+type Digraph struct {
+	N   int
+	Adj [][]int
+}
+
+// New returns an empty digraph on n vertices.
+func New(n int) *Digraph {
+	return &Digraph{N: n, Adj: make([][]int, n)}
+}
+
+// AddEdge inserts the edge u→v. Parallel edges are permitted and harmless.
+func (g *Digraph) AddEdge(u, v int) {
+	g.Adj[u] = append(g.Adj[u], v)
+}
+
+// Reverse returns the graph with every edge flipped.
+func (g *Digraph) Reverse() *Digraph {
+	r := New(g.N)
+	for u, outs := range g.Adj {
+		for _, v := range outs {
+			r.Adj[v] = append(r.Adj[v], u)
+		}
+	}
+	return r
+}
+
+// SCCs computes the strongly connected components with an iterative Tarjan
+// algorithm (no recursion, so million-state chains cannot overflow the
+// stack). It returns the component index of each vertex and the components
+// themselves in reverse topological order (Tarjan emits a component only
+// after all components it can reach).
+func (g *Digraph) SCCs() (comp []int, comps [][]int) {
+	const unvisited = -1
+	n := g.N
+	comp = make([]int, n)
+	index := make([]int, n)
+	lowlink := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int
+	next := 0
+
+	// Explicit DFS frames: vertex plus position in its adjacency list.
+	type frame struct {
+		v, ai int
+	}
+	var dfs []frame
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		dfs = append(dfs[:0], frame{root, 0})
+		index[root] = next
+		lowlink[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(dfs) > 0 {
+			f := &dfs[len(dfs)-1]
+			v := f.v
+			if f.ai < len(g.Adj[v]) {
+				w := g.Adj[v][f.ai]
+				f.ai++
+				if index[w] == unvisited {
+					index[w] = next
+					lowlink[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					dfs = append(dfs, frame{w, 0})
+				} else if onStack[w] && index[w] < lowlink[v] {
+					lowlink[v] = index[w]
+				}
+				continue
+			}
+			// Post-order: pop the frame, propagate lowlink, maybe emit SCC.
+			dfs = dfs[:len(dfs)-1]
+			if len(dfs) > 0 {
+				p := dfs[len(dfs)-1].v
+				if lowlink[v] < lowlink[p] {
+					lowlink[p] = lowlink[v]
+				}
+			}
+			if lowlink[v] == index[v] {
+				var c []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = len(comps)
+					c = append(c, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, c)
+			}
+		}
+	}
+	return comp, comps
+}
+
+// BSCCs returns the bottom strongly connected components: SCCs with no edge
+// leaving the component. Every finite Markov chain eventually settles in one
+// of these, which is why steady-state analysis decomposes over them.
+func (g *Digraph) BSCCs() (comp []int, bsccs [][]int) {
+	comp, comps := g.SCCs()
+	isBottom := make([]bool, len(comps))
+	for i := range isBottom {
+		isBottom[i] = true
+	}
+	for u := 0; u < g.N; u++ {
+		cu := comp[u]
+		for _, v := range g.Adj[u] {
+			if comp[v] != cu {
+				isBottom[cu] = false
+				break
+			}
+		}
+	}
+	for i, c := range comps {
+		if isBottom[i] {
+			bsccs = append(bsccs, c)
+		}
+	}
+	return comp, bsccs
+}
+
+// Reachable returns the set of vertices reachable from any source (forward
+// BFS). The result is a boolean membership slice of length N; sources are
+// included.
+func (g *Digraph) Reachable(sources []int) []bool {
+	seen := make([]bool, g.N)
+	queue := make([]int, 0, len(sources))
+	for _, s := range sources {
+		if !seen[s] {
+			seen[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return seen
+}
+
+// CanReach returns the set of vertices from which some target is reachable
+// (backward BFS over the reversed graph). Targets are included.
+func (g *Digraph) CanReach(targets []int) []bool {
+	return g.Reverse().Reachable(targets)
+}

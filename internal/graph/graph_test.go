@@ -1,0 +1,211 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sortedComps(comps [][]int) [][]int {
+	out := make([][]int, len(comps))
+	for i, c := range comps {
+		cc := append([]int(nil), c...)
+		sort.Ints(cc)
+		out[i] = cc
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out
+}
+
+func TestSCCsSimpleCycle(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	_, comps := g.SCCs()
+	if len(comps) != 1 || len(comps[0]) != 3 {
+		t.Fatalf("comps = %v", comps)
+	}
+}
+
+func TestSCCsChain(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	comp, comps := g.SCCs()
+	if len(comps) != 4 {
+		t.Fatalf("want 4 singleton comps, got %v", comps)
+	}
+	// Reverse topological order: the sink (3) must be emitted first.
+	if comp[3] >= comp[0] {
+		t.Fatalf("ordering not reverse-topological: comp=%v", comp)
+	}
+}
+
+func TestSCCsTwoCyclesWithBridge(t *testing.T) {
+	// {0,1} -> {2,3}
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 2)
+	_, comps := g.SCCs()
+	got := sortedComps(comps)
+	if len(got) != 2 || got[0][0] != 0 || got[0][1] != 1 || got[1][0] != 2 || got[1][1] != 3 {
+		t.Fatalf("comps = %v", got)
+	}
+}
+
+func TestBSCCs(t *testing.T) {
+	// 0 -> {1,2} cycle (bottom); 0 -> 3 (absorbing, bottom); 0 is transient.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 1)
+	g.AddEdge(0, 3)
+	g.AddEdge(3, 3)
+	_, bsccs := g.BSCCs()
+	got := sortedComps(bsccs)
+	if len(got) != 2 {
+		t.Fatalf("bsccs = %v", got)
+	}
+	if !(len(got[0]) == 2 && got[0][0] == 1 && got[0][1] == 2) {
+		t.Fatalf("bsccs = %v", got)
+	}
+	if !(len(got[1]) == 1 && got[1][0] == 3) {
+		t.Fatalf("bsccs = %v", got)
+	}
+}
+
+func TestBSCCAbsorbingWithoutSelfLoop(t *testing.T) {
+	// A vertex with no outgoing edges is its own bottom SCC.
+	g := New(2)
+	g.AddEdge(0, 1)
+	_, bsccs := g.BSCCs()
+	if len(bsccs) != 1 || len(bsccs[0]) != 1 || bsccs[0][0] != 1 {
+		t.Fatalf("bsccs = %v", bsccs)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	seen := g.Reachable([]int{0})
+	want := []bool{true, true, true, false, false}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("Reachable = %v", seen)
+		}
+	}
+}
+
+func TestCanReach(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 3)
+	can := g.CanReach([]int{2})
+	want := []bool{true, true, true, false}
+	for i := range want {
+		if can[i] != want[i] {
+			t.Fatalf("CanReach = %v", can)
+		}
+	}
+}
+
+func TestSCCsLargeChainNoStackOverflow(t *testing.T) {
+	// A 200k-vertex path would overflow a recursive Tarjan; the iterative
+	// one must handle it.
+	n := 200000
+	g := New(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(i, i+1)
+	}
+	_, comps := g.SCCs()
+	if len(comps) != n {
+		t.Fatalf("got %d comps", len(comps))
+	}
+}
+
+// Property: SCC partition is consistent — vertices u, v share a component
+// iff u reaches v and v reaches u.
+func TestQuickSCCConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(10)
+		g := New(n)
+		edges := r.Intn(3 * n)
+		for e := 0; e < edges; e++ {
+			g.AddEdge(r.Intn(n), r.Intn(n))
+		}
+		comp, _ := g.SCCs()
+		for u := 0; u < n; u++ {
+			fromU := g.Reachable([]int{u})
+			for v := 0; v < n; v++ {
+				fromV := g.Reachable([]int{v})
+				mutual := fromU[v] && fromV[u]
+				if mutual != (comp[u] == comp[v]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every vertex can reach some BSCC, and no edge leaves a BSCC.
+func TestQuickBSCCClosure(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(12)
+		g := New(n)
+		for e := 0; e < 3*n; e++ {
+			g.AddEdge(r.Intn(n), r.Intn(n))
+		}
+		comp, bsccs := g.BSCCs()
+		inBSCC := make([]bool, n)
+		bsccComp := make(map[int]bool)
+		for _, c := range bsccs {
+			for _, v := range c {
+				inBSCC[v] = true
+			}
+			bsccComp[comp[c[0]]] = true
+		}
+		// No edge leaves a BSCC.
+		for u := 0; u < n; u++ {
+			if !inBSCC[u] {
+				continue
+			}
+			for _, v := range g.Adj[u] {
+				if comp[v] != comp[u] {
+					return false
+				}
+			}
+		}
+		// Every vertex reaches a BSCC member.
+		var members []int
+		for v, in := range inBSCC {
+			if in {
+				members = append(members, v)
+			}
+		}
+		can := g.CanReach(members)
+		for v := 0; v < n; v++ {
+			if !can[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

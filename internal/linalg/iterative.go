@@ -1,0 +1,155 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoConvergence is returned when an iterative solver exhausts its
+// iteration budget before reaching the requested tolerance.
+var ErrNoConvergence = errors.New("linalg: iteration limit reached without convergence")
+
+// IterOpts configures the iterative solvers. The zero value selects the
+// defaults below.
+type IterOpts struct {
+	// Tol is the termination tolerance on the max-norm change between
+	// successive iterates, relative to the solution magnitude
+	// (delta ≤ Tol·(1 + maxᵢ|xᵢ|)). Default 1e-12.
+	Tol float64
+	// MaxIter bounds the number of sweeps. Default 100000.
+	MaxIter int
+}
+
+func (o IterOpts) withDefaults() IterOpts {
+	if o.Tol <= 0 {
+		o.Tol = 1e-12
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 100000
+	}
+	return o
+}
+
+// Jacobi solves A·x = b for square CSR A with nonzero diagonal using Jacobi
+// iteration: x_i ← (b_i − Σ_{j≠i} a_ij x_j) / a_ii.
+func Jacobi(a *CSR, b Vector, opts IterOpts) (Vector, error) {
+	if a.Rows != a.Cols || a.Rows != len(b) {
+		return nil, fmt.Errorf("%w: Jacobi A %dx%d, b %d", ErrDimension, a.Rows, a.Cols, len(b))
+	}
+	opts = opts.withDefaults()
+	n := a.Rows
+	diag, err := extractDiag(a)
+	if err != nil {
+		return nil, err
+	}
+	x := NewVector(n)
+	next := NewVector(n)
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		for i := 0; i < n; i++ {
+			s := b[i]
+			cols, vals := a.Row(i)
+			for k, j := range cols {
+				if j != i {
+					s -= vals[k] * x[j]
+				}
+			}
+			next[i] = s / diag[i]
+		}
+		d := x.MaxDiff(next)
+		x, next = next, x
+		if d <= opts.Tol*(1+x.NormInf()) {
+			if !x.AllFinite() {
+				return nil, ErrSingular
+			}
+			return x, nil
+		}
+	}
+	return nil, ErrNoConvergence
+}
+
+// GaussSeidel solves A·x = b for square CSR A with nonzero diagonal using
+// Gauss–Seidel sweeps (in-place updates, typically ~2x faster than Jacobi on
+// the diagonally dominant systems produced by Markov models).
+func GaussSeidel(a *CSR, b Vector, opts IterOpts) (Vector, error) {
+	if a.Rows != a.Cols || a.Rows != len(b) {
+		return nil, fmt.Errorf("%w: GaussSeidel A %dx%d, b %d", ErrDimension, a.Rows, a.Cols, len(b))
+	}
+	opts = opts.withDefaults()
+	n := a.Rows
+	diag, err := extractDiag(a)
+	if err != nil {
+		return nil, err
+	}
+	x := NewVector(n)
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		var maxDelta, maxAbs float64
+		for i := 0; i < n; i++ {
+			s := b[i]
+			cols, vals := a.Row(i)
+			for k, j := range cols {
+				if j != i {
+					s -= vals[k] * x[j]
+				}
+			}
+			nv := s / diag[i]
+			if d := math.Abs(nv - x[i]); d > maxDelta {
+				maxDelta = d
+			}
+			if a := math.Abs(nv); a > maxAbs {
+				maxAbs = a
+			}
+			x[i] = nv
+		}
+		if maxDelta <= opts.Tol*(1+maxAbs) {
+			if !x.AllFinite() {
+				return nil, ErrSingular
+			}
+			return x, nil
+		}
+	}
+	return nil, ErrNoConvergence
+}
+
+func extractDiag(a *CSR) (Vector, error) {
+	diag := NewVector(a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		d := a.At(i, i)
+		if d == 0 {
+			return nil, fmt.Errorf("linalg: zero diagonal at row %d: %w", i, ErrSingular)
+		}
+		diag[i] = d
+	}
+	return diag, nil
+}
+
+// PowerStationary computes the stationary distribution π = π·P of a row-
+// stochastic CSR matrix P by power iteration starting from the uniform
+// distribution. The chain must have a unique stationary distribution that
+// power iteration can reach (e.g. the uniformised DTMC of an irreducible
+// CTMC, which is aperiodic by construction).
+func PowerStationary(p *CSR, opts IterOpts) (Vector, error) {
+	if p.Rows != p.Cols {
+		return nil, fmt.Errorf("%w: PowerStationary needs square matrix, got %dx%d", ErrDimension, p.Rows, p.Cols)
+	}
+	opts = opts.withDefaults()
+	n := p.Rows
+	x := NewVector(n)
+	x.Fill(1 / float64(n))
+	next := NewVector(n)
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		if _, err := p.VecMul(x, next); err != nil {
+			return nil, err
+		}
+		next.Normalize1()
+		d := x.MaxDiff(next)
+		x, next = next, x
+		if d < opts.Tol {
+			if !x.AllFinite() {
+				return nil, ErrSingular
+			}
+			return x, nil
+		}
+	}
+	return nil, ErrNoConvergence
+}

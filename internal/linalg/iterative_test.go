@@ -1,0 +1,146 @@
+package linalg
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func diagonallyDominantCSR(r *rand.Rand, n int) *CSR {
+	coo := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		var rowSum float64
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if r.Float64() < 0.4 {
+				v := r.Float64()*2 - 1
+				coo.Add(i, j, v)
+				if v < 0 {
+					rowSum -= v
+				} else {
+					rowSum += v
+				}
+			}
+		}
+		coo.Add(i, i, rowSum+1+r.Float64())
+	}
+	return coo.ToCSR()
+}
+
+func TestJacobiAndGaussSeidelAgreeWithDirect(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + r.Intn(15)
+		a := diagonallyDominantCSR(r, n)
+		b := NewVector(n)
+		for i := range b {
+			b[i] = r.Float64()*10 - 5
+		}
+		direct, err := SolveDense(a.ToDense(), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jac, err := Jacobi(a, b, IterOpts{})
+		if err != nil {
+			t.Fatalf("Jacobi: %v", err)
+		}
+		gs, err := GaussSeidel(a, b, IterOpts{})
+		if err != nil {
+			t.Fatalf("GaussSeidel: %v", err)
+		}
+		if jac.MaxDiff(direct) > 1e-8 {
+			t.Fatalf("Jacobi off by %v", jac.MaxDiff(direct))
+		}
+		if gs.MaxDiff(direct) > 1e-8 {
+			t.Fatalf("GaussSeidel off by %v", gs.MaxDiff(direct))
+		}
+	}
+}
+
+func TestIterativeZeroDiagonal(t *testing.T) {
+	coo := NewCOO(2, 2)
+	coo.Add(0, 1, 1)
+	coo.Add(1, 0, 1)
+	a := coo.ToCSR()
+	if _, err := Jacobi(a, Vector{1, 1}, IterOpts{}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("Jacobi err = %v, want ErrSingular", err)
+	}
+	if _, err := GaussSeidel(a, Vector{1, 1}, IterOpts{}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("GaussSeidel err = %v, want ErrSingular", err)
+	}
+}
+
+func TestIterativeDimensionErrors(t *testing.T) {
+	a := NewCOO(2, 3).ToCSR()
+	if _, err := Jacobi(a, Vector{1, 1}, IterOpts{}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("err = %v", err)
+	}
+	sq := NewCOO(2, 2).ToCSR()
+	if _, err := GaussSeidel(sq, Vector{1}, IterOpts{}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIterativeNoConvergence(t *testing.T) {
+	// A non-dominant system with a tiny iteration budget.
+	coo := NewCOO(2, 2)
+	coo.Add(0, 0, 1)
+	coo.Add(0, 1, -10)
+	coo.Add(1, 0, -10)
+	coo.Add(1, 1, 1)
+	a := coo.ToCSR()
+	if _, err := Jacobi(a, Vector{1, 1}, IterOpts{MaxIter: 5}); !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("err = %v, want ErrNoConvergence", err)
+	}
+}
+
+func TestPowerStationaryTwoState(t *testing.T) {
+	// P = [[0.9, 0.1], [0.2, 0.8]] has stationary (2/3, 1/3).
+	coo := NewCOO(2, 2)
+	coo.Add(0, 0, 0.9)
+	coo.Add(0, 1, 0.1)
+	coo.Add(1, 0, 0.2)
+	coo.Add(1, 1, 0.8)
+	pi, err := PowerStationary(coo.ToCSR(), IterOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(pi[0], 2.0/3, 1e-9) || !almostEq(pi[1], 1.0/3, 1e-9) {
+		t.Fatalf("stationary = %v", pi)
+	}
+}
+
+func TestPowerStationaryInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	n := 12
+	coo := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		// Random strictly positive rows: irreducible + aperiodic.
+		weights := make([]float64, n)
+		var sum float64
+		for j := range weights {
+			weights[j] = r.Float64() + 0.01
+			sum += weights[j]
+		}
+		for j := range weights {
+			coo.Add(i, j, weights[j]/sum)
+		}
+	}
+	p := coo.ToCSR()
+	pi, err := PowerStationary(p, IterOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := p.VecMul(pi, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi.MaxDiff(next) > 1e-9 {
+		t.Fatalf("π not invariant: diff %v", pi.MaxDiff(next))
+	}
+	if !almostEq(pi.Sum(), 1, 1e-9) {
+		t.Fatalf("π sums to %v", pi.Sum())
+	}
+}

@@ -1,0 +1,165 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomCSR(r *rand.Rand, rows, cols int, density float64) *CSR {
+	coo := NewCOO(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if r.Float64() < density {
+				coo.Add(i, j, r.Float64()*4-2)
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+func TestCOODuplicatesSummed(t *testing.T) {
+	coo := NewCOO(2, 2)
+	coo.Add(0, 1, 1.5)
+	coo.Add(0, 1, 2.5)
+	coo.Add(1, 0, 3)
+	m := coo.ToCSR()
+	if m.At(0, 1) != 4 {
+		t.Fatalf("duplicate not summed: %v", m.At(0, 1))
+	}
+	if m.At(1, 0) != 3 {
+		t.Fatalf("entry lost: %v", m.At(1, 0))
+	}
+	if m.NNZ() != 2 {
+		t.Fatalf("NNZ = %d", m.NNZ())
+	}
+}
+
+func TestCOOCancellationDropped(t *testing.T) {
+	coo := NewCOO(1, 1)
+	coo.Add(0, 0, 2)
+	coo.Add(0, 0, -2)
+	m := coo.ToCSR()
+	if m.NNZ() != 0 {
+		t.Fatalf("cancelled entry kept, NNZ = %d", m.NNZ())
+	}
+}
+
+func TestCOOZeroDropped(t *testing.T) {
+	coo := NewCOO(1, 1)
+	coo.Add(0, 0, 0)
+	if coo.NNZ() != 0 {
+		t.Fatal("zero entry stored")
+	}
+}
+
+func TestCOOOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCOO(1, 1).Add(1, 0, 1)
+}
+
+func TestCSRMulVecMatchesDense(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		m := randomCSR(r, 5+r.Intn(10), 5+r.Intn(10), 0.3)
+		d := m.ToDense()
+		v := NewVector(m.Cols)
+		for i := range v {
+			v[i] = r.Float64()
+		}
+		sp, err := m.MulVec(v, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		de, err := d.MulVec(v, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp.MaxDiff(de) > 1e-12 {
+			t.Fatalf("CSR.MulVec disagrees with dense by %v", sp.MaxDiff(de))
+		}
+	}
+}
+
+func TestCSRVecMulMatchesDense(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		m := randomCSR(r, 5+r.Intn(10), 5+r.Intn(10), 0.3)
+		d := m.ToDense()
+		v := NewVector(m.Rows)
+		for i := range v {
+			v[i] = r.Float64()
+		}
+		sp, err := m.VecMul(v, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		de, err := d.VecMul(v, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp.MaxDiff(de) > 1e-12 {
+			t.Fatalf("CSR.VecMul disagrees with dense by %v", sp.MaxDiff(de))
+		}
+	}
+}
+
+// Property: transposing twice is the identity, and (i,j) of m equals (j,i)
+// of mᵀ.
+func TestQuickCSRTranspose(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomCSR(r, 1+r.Intn(12), 1+r.Intn(12), 0.4)
+		tt := m.Transpose().Transpose()
+		if tt.Rows != m.Rows || tt.Cols != m.Cols || tt.NNZ() != m.NNZ() {
+			return false
+		}
+		mt := m.Transpose()
+		for i := 0; i < m.Rows; i++ {
+			cols, vals := m.Row(i)
+			for k, j := range cols {
+				if mt.At(j, i) != vals[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRRowSums(t *testing.T) {
+	coo := NewCOO(2, 3)
+	coo.Add(0, 0, 1)
+	coo.Add(0, 2, 2)
+	coo.Add(1, 1, 5)
+	m := coo.ToCSR()
+	s := m.RowSums()
+	if s[0] != 3 || s[1] != 5 {
+		t.Fatalf("RowSums = %v", s)
+	}
+}
+
+func TestCSRScale(t *testing.T) {
+	coo := NewCOO(1, 2)
+	coo.Add(0, 0, 2)
+	coo.Add(0, 1, 4)
+	m := coo.ToCSR()
+	m.Scale(0.5)
+	if m.At(0, 0) != 1 || m.At(0, 1) != 2 {
+		t.Fatalf("Scale wrong: %v %v", m.At(0, 0), m.At(0, 1))
+	}
+}
+
+func TestCSRAtMissing(t *testing.T) {
+	m := NewCOO(2, 2).ToCSR()
+	if m.At(1, 1) != 0 {
+		t.Fatal("missing entry not zero")
+	}
+}

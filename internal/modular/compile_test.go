@@ -1,0 +1,116 @@
+package modular
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: compiled evaluation agrees with interpreted evaluation on random
+// expressions and states, including error presence.
+func TestQuickCompileMatchesEval(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		state := []int{r.Intn(5), r.Intn(2)}
+		e := randomExpr(r, 4)
+		c := Compile(e)
+		v1, err1 := e.Eval(state)
+		v2, err2 := c(state)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		eq, err := v1.Equal(v2)
+		return err == nil && eq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileSpecialisedComparisons(t *testing.T) {
+	x := VarRef{Index: 0, Name: "x"}
+	cases := []struct {
+		e    Expr
+		st   []int
+		want bool
+	}{
+		{Gt(x, IntLit(1)), []int{2}, true},
+		{Gt(x, IntLit(1)), []int{1}, false},
+		{Lt(x, IntLit(3)), []int{2}, true},
+		{Eq(x, IntLit(2)), []int{2}, true},
+		{Binary{OpGe, x, IntLit(2)}, []int{2}, true},
+		{Binary{OpLe, x, IntLit(2)}, []int{3}, false},
+		{Binary{OpNeq, x, IntLit(2)}, []int{3}, true},
+	}
+	for _, c := range cases {
+		f := CompileBool(c.e)
+		got, err := f(c.st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Fatalf("%s in %v = %v", c.e, c.st, got)
+		}
+	}
+}
+
+func TestCompileShortCircuit(t *testing.T) {
+	boom := Binary{OpEq, Binary{OpDiv, IntLit(1), IntLit(0)}, DoubleLit(1)}
+	f := CompileBool(Binary{OpAnd, BoolLit(false), boom})
+	got, err := f(nil)
+	if err != nil || got {
+		t.Fatalf("false & boom = %v, %v", got, err)
+	}
+	f = CompileBool(Binary{OpOr, BoolLit(true), boom})
+	got, err = f(nil)
+	if err != nil || !got {
+		t.Fatalf("true | boom = %v, %v", got, err)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := CompileNum(BoolLit(true))(nil); err == nil {
+		t.Fatal("bool as num accepted")
+	}
+	if _, err := CompileBool(IntLit(1))(nil); err == nil {
+		t.Fatal("int as bool accepted")
+	}
+	if _, err := Compile(VarRef{Index: 7, Name: "oob"})([]int{0}); err == nil {
+		t.Fatal("out-of-range var accepted")
+	}
+	if _, err := Compile(VarRef{Index: 0, Name: "b", IsBool: true})(nil); err == nil {
+		t.Fatal("out-of-range bool var accepted")
+	}
+}
+
+// BenchmarkCompiledVsInterpreted measures the exploration-hot-path win of
+// closure compilation on a representative transformation guard.
+func BenchmarkCompiledVsInterpreted(b *testing.B) {
+	// Shape: (x0>0 | x1>0 | x2>0) & x3 < 2 — a bus predicate with an
+	// exploit-cap conjunct.
+	x := func(i int) Expr { return VarRef{Index: i, Name: "x"} }
+	guard := And(
+		Or(Gt(x(0), IntLit(0)), Gt(x(1), IntLit(0)), Gt(x(2), IntLit(0))),
+		Lt(x(3), IntLit(2)),
+	)
+	state := []int{0, 1, 0, 1}
+	b.Run("interpreted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := guard.Eval(state); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		f := CompileBool(guard)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := f(state); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

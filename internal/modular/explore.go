@@ -1,0 +1,404 @@
+package modular
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/ctmc"
+	"repro/internal/linalg"
+)
+
+// ErrStateSpaceLimit is returned when exploration exceeds the configured
+// state budget.
+var ErrStateSpaceLimit = errors.New("modular: state-space limit exceeded")
+
+// ErrAssignConflict is returned when synchronised commands write the same
+// variable.
+var ErrAssignConflict = errors.New("modular: conflicting assignments in synchronised update")
+
+// ErrRangeViolation is returned when an update drives a variable outside its
+// declared range.
+var ErrRangeViolation = errors.New("modular: update drives variable out of range")
+
+// ExploreOpts configures state-space exploration.
+type ExploreOpts struct {
+	// MaxStates bounds the number of reachable states (default 5,000,000).
+	MaxStates int
+}
+
+// Explored is the result of state-space exploration: the reachable states,
+// the compiled CTMC over them, and evaluators for labels and rewards.
+type Explored struct {
+	Model  *Model
+	States [][]int
+	Chain  *ctmc.Chain
+	index  map[string]int
+}
+
+type pendingTransition struct {
+	from, to int
+	rate     float64
+}
+
+// Explore performs breadth-first exploration of the composed model from its
+// initial state and compiles the result into a CTMC.
+func (m *Model) Explore(opts ExploreOpts) (*Explored, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = 5_000_000
+	}
+	ex := &Explored{Model: m, index: make(map[string]int)}
+	init := m.InitState()
+	ex.States = append(ex.States, init)
+	ex.index[encodeState(init)] = 0
+
+	syncActions := m.syncActions()
+	compiled := m.compileCommands()
+	var transitions []pendingTransition
+	for head := 0; head < len(ex.States); head++ {
+		st := ex.States[head]
+		succs, err := m.successors(st, syncActions, compiled)
+		if err != nil {
+			return nil, fmt.Errorf("modular: exploring state %s: %w", m.FormatState(st), err)
+		}
+		for _, s := range succs {
+			key := encodeState(s.state)
+			to, seen := ex.index[key]
+			if !seen {
+				if len(ex.States) >= maxStates {
+					return nil, fmt.Errorf("%w (%d states)", ErrStateSpaceLimit, maxStates)
+				}
+				to = len(ex.States)
+				ex.States = append(ex.States, s.state)
+				ex.index[key] = to
+			}
+			transitions = append(transitions, pendingTransition{from: head, to: to, rate: s.rate})
+		}
+	}
+	b := ctmc.NewBuilder(len(ex.States))
+	for _, tr := range transitions {
+		b.Add(tr.from, tr.to, tr.rate)
+	}
+	chain, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	ex.Chain = chain
+	return ex, nil
+}
+
+type successor struct {
+	state []int
+	rate  float64
+}
+
+// syncActions returns, per action name, the module indices that participate
+// in that action.
+func (m *Model) syncActions() map[string][]int {
+	out := make(map[string][]int)
+	for mi := range m.Modules {
+		seen := make(map[string]bool)
+		for _, c := range m.Modules[mi].Commands {
+			if c.Action != "" && !seen[c.Action] {
+				seen[c.Action] = true
+				out[c.Action] = append(out[c.Action], mi)
+			}
+		}
+	}
+	return out
+}
+
+// compiledUpdate is an update with its expressions translated to closures.
+type compiledUpdate struct {
+	rate    func([]int) (float64, error)
+	assigns []compiledAssign
+}
+
+type compiledAssign struct {
+	varIdx int
+	expr   EvalFunc
+}
+
+// compiledCommand caches closure forms of one command's guard and updates.
+type compiledCommand struct {
+	action  string
+	guard   func([]int) (bool, error)
+	updates []compiledUpdate
+}
+
+// compileCommands translates every command of every module into closure
+// form once, so exploration does not re-walk expression trees per state.
+func (m *Model) compileCommands() [][]compiledCommand {
+	out := make([][]compiledCommand, len(m.Modules))
+	for mi := range m.Modules {
+		cmds := m.Modules[mi].Commands
+		cc := make([]compiledCommand, len(cmds))
+		for ci := range cmds {
+			cmd := &cmds[ci]
+			c := compiledCommand{action: cmd.Action, guard: CompileBool(cmd.Guard)}
+			for _, u := range cmd.Updates {
+				cu := compiledUpdate{rate: CompileNum(u.Rate)}
+				for _, a := range u.Assigns {
+					cu.assigns = append(cu.assigns, compiledAssign{varIdx: a.Var, expr: Compile(a.Expr)})
+				}
+				c.updates = append(c.updates, cu)
+			}
+			cc[ci] = c
+		}
+		out[mi] = cc
+	}
+	return out
+}
+
+// successors enumerates all rate-weighted successor states of st.
+func (m *Model) successors(st []int, syncActions map[string][]int, compiled [][]compiledCommand) ([]successor, error) {
+	var out []successor
+	// Asynchronous commands.
+	for mi := range compiled {
+		for ci := range compiled[mi] {
+			cmd := &compiled[mi][ci]
+			if cmd.action != "" {
+				continue
+			}
+			enabled, err := cmd.guard(st)
+			if err != nil {
+				return nil, err
+			}
+			if !enabled {
+				continue
+			}
+			for ui := range cmd.updates {
+				s, err := m.applyUpdate(st, []*compiledUpdate{&cmd.updates[ui]})
+				if err != nil {
+					return nil, err
+				}
+				if s != nil {
+					out = append(out, *s)
+				}
+			}
+		}
+	}
+	// Synchronised actions: cross product of enabled commands (and their
+	// updates) over participating modules; rates multiply.
+	for action, mods := range syncActions {
+		perModule := make([][]*compiledUpdate, 0, len(mods))
+		blocked := false
+		for _, mi := range mods {
+			var enabledUpdates []*compiledUpdate
+			for ci := range compiled[mi] {
+				cmd := &compiled[mi][ci]
+				if cmd.action != action {
+					continue
+				}
+				enabled, err := cmd.guard(st)
+				if err != nil {
+					return nil, err
+				}
+				if enabled {
+					for ui := range cmd.updates {
+						enabledUpdates = append(enabledUpdates, &cmd.updates[ui])
+					}
+				}
+			}
+			if len(enabledUpdates) == 0 {
+				blocked = true
+				break
+			}
+			perModule = append(perModule, enabledUpdates)
+		}
+		if blocked {
+			continue
+		}
+		combo := make([]*compiledUpdate, len(perModule))
+		var rec func(depth int) error
+		rec = func(depth int) error {
+			if depth == len(perModule) {
+				s, err := m.applyUpdate(st, combo)
+				if err != nil {
+					return err
+				}
+				if s != nil {
+					out = append(out, *s)
+				}
+				return nil
+			}
+			for _, u := range perModule[depth] {
+				combo[depth] = u
+				if err := rec(depth + 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := rec(0); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// applyUpdate evaluates the combined updates in state st, multiplying rates
+// and merging assignments. It returns nil (no transition) for zero rates.
+func (m *Model) applyUpdate(st []int, updates []*compiledUpdate) (*successor, error) {
+	rate := 1.0
+	next := make([]int, len(st))
+	copy(next, st)
+	written := make(map[int]bool)
+	for _, u := range updates {
+		r, err := u.rate(st)
+		if err != nil {
+			return nil, err
+		}
+		if r < 0 {
+			return nil, fmt.Errorf("%w: rate %v", ctmc.ErrBadRate, r)
+		}
+		rate *= r
+		for _, a := range u.assigns {
+			if written[a.varIdx] {
+				return nil, fmt.Errorf("%w: variable %q", ErrAssignConflict, m.Vars[a.varIdx].Name)
+			}
+			written[a.varIdx] = true
+			v, err := a.expr(st)
+			if err != nil {
+				return nil, err
+			}
+			var iv int
+			switch v.Kind {
+			case KindInt:
+				iv = v.I
+			case KindBool:
+				if v.B {
+					iv = 1
+				}
+			default:
+				return nil, fmt.Errorf("%w: assignment to %q must be int or bool, got %s", ErrType, m.Vars[a.varIdx].Name, v.Kind)
+			}
+			d := m.Vars[a.varIdx]
+			if iv < d.Min || iv > d.Max {
+				return nil, fmt.Errorf("%w: %q := %d outside [%d..%d]", ErrRangeViolation, d.Name, iv, d.Min, d.Max)
+			}
+			next[a.varIdx] = iv
+		}
+	}
+	if rate == 0 {
+		return nil, nil
+	}
+	return &successor{state: next, rate: rate}, nil
+}
+
+func evalGuard(g Expr, st []int) (bool, error) {
+	v, err := g.Eval(st)
+	if err != nil {
+		return false, err
+	}
+	return v.Bool()
+}
+
+func encodeState(st []int) string {
+	buf := make([]byte, 4*len(st))
+	for i, v := range st {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(int32(v)))
+	}
+	return string(buf)
+}
+
+// N returns the number of reachable states.
+func (e *Explored) N() int { return len(e.States) }
+
+// InitIndex returns the index of the initial state (always 0).
+func (e *Explored) InitIndex() int { return 0 }
+
+// InitDistribution returns the point distribution on the initial state.
+func (e *Explored) InitDistribution() linalg.Vector {
+	d := linalg.NewVector(e.N())
+	d[0] = 1
+	return d
+}
+
+// ExprMask evaluates a boolean expression in every reachable state.
+func (e *Explored) ExprMask(expr Expr) ([]bool, error) {
+	mask := make([]bool, e.N())
+	for i, st := range e.States {
+		v, err := expr.Eval(st)
+		if err != nil {
+			return nil, fmt.Errorf("modular: evaluating %s in state %s: %w", expr, e.Model.FormatState(st), err)
+		}
+		b, err := v.Bool()
+		if err != nil {
+			return nil, err
+		}
+		mask[i] = b
+	}
+	return mask, nil
+}
+
+// LabelMask evaluates a named label in every reachable state.
+func (e *Explored) LabelMask(name string) ([]bool, error) {
+	expr, ok := e.Model.Labels[name]
+	if !ok {
+		return nil, fmt.Errorf("modular: unknown label %q", name)
+	}
+	return e.ExprMask(expr)
+}
+
+// RewardVector evaluates a named reward structure in every reachable state.
+func (e *Explored) RewardVector(name string) (linalg.Vector, error) {
+	items, ok := e.Model.Rewards[name]
+	if !ok {
+		return nil, fmt.Errorf("modular: unknown reward structure %q", name)
+	}
+	r := linalg.NewVector(e.N())
+	for i, st := range e.States {
+		for _, item := range items {
+			g, err := evalGuard(item.Guard, st)
+			if err != nil {
+				return nil, err
+			}
+			if !g {
+				continue
+			}
+			v, err := item.Value.Eval(st)
+			if err != nil {
+				return nil, err
+			}
+			f, err := v.Num()
+			if err != nil {
+				return nil, err
+			}
+			r[i] += f
+		}
+	}
+	return r, nil
+}
+
+// StateIndex looks up a state vector, returning -1 when unreachable.
+func (e *Explored) StateIndex(st []int) int {
+	if i, ok := e.index[encodeState(st)]; ok {
+		return i
+	}
+	return -1
+}
+
+// FormatState renders a state vector as "(name=value, ...)".
+func (m *Model) FormatState(st []int) string {
+	out := "("
+	for i, d := range m.Vars {
+		if i > 0 {
+			out += ", "
+		}
+		if d.IsBool {
+			if st[i] != 0 {
+				out += d.Name + "=true"
+			} else {
+				out += d.Name + "=false"
+			}
+		} else {
+			out += fmt.Sprintf("%s=%d", d.Name, st[i])
+		}
+	}
+	return out + ")"
+}

@@ -1,0 +1,276 @@
+package modular
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// evalIn evaluates an expression with no state variables.
+func evalIn(t *testing.T, e Expr) Value {
+	t.Helper()
+	v, err := e.Eval(nil)
+	if err != nil {
+		t.Fatalf("%s: %v", e, err)
+	}
+	return v
+}
+
+func wantErr(t *testing.T, e Expr) error {
+	t.Helper()
+	_, err := e.Eval(nil)
+	if err == nil {
+		t.Fatalf("%s: expected error", e)
+	}
+	return err
+}
+
+func TestArithmeticTyping(t *testing.T) {
+	// int ∘ int stays int.
+	v := evalIn(t, Binary{OpAdd, IntLit(2), IntLit(3)})
+	if v.Kind != KindInt || v.I != 5 {
+		t.Fatalf("2+3 = %v", v)
+	}
+	v = evalIn(t, Binary{OpMul, IntLit(4), IntLit(-3)})
+	if v.Kind != KindInt || v.I != -12 {
+		t.Fatalf("4*-3 = %v", v)
+	}
+	v = evalIn(t, Binary{OpSub, IntLit(1), IntLit(9)})
+	if v.Kind != KindInt || v.I != -8 {
+		t.Fatalf("1-9 = %v", v)
+	}
+	// Mixing promotes to double.
+	v = evalIn(t, Binary{OpAdd, IntLit(2), DoubleLit(0.5)})
+	if v.Kind != KindDouble || v.F != 2.5 {
+		t.Fatalf("2+0.5 = %v", v)
+	}
+	// Division is always double (PRISM semantics).
+	v = evalIn(t, Binary{OpDiv, IntLit(3), IntLit(2)})
+	if v.Kind != KindDouble || v.F != 1.5 {
+		t.Fatalf("3/2 = %v", v)
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	wantErr(t, Binary{OpDiv, IntLit(1), IntLit(0)})
+}
+
+func TestComparisons(t *testing.T) {
+	cases := []struct {
+		op   BinOp
+		l, r Expr
+		want bool
+	}{
+		{OpEq, IntLit(2), DoubleLit(2), true},
+		{OpNeq, IntLit(2), IntLit(3), true},
+		{OpLt, DoubleLit(1.5), IntLit(2), true},
+		{OpLe, IntLit(2), IntLit(2), true},
+		{OpGt, IntLit(3), IntLit(2), true},
+		{OpGe, IntLit(1), IntLit(2), false},
+		{OpEq, BoolLit(true), BoolLit(true), true},
+		{OpNeq, BoolLit(true), BoolLit(false), true},
+	}
+	for _, c := range cases {
+		v := evalIn(t, Binary{c.op, c.l, c.r})
+		b, err := v.Bool()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b != c.want {
+			t.Fatalf("%s %v %s = %v", c.l, c.op, c.r, b)
+		}
+	}
+}
+
+func TestComparingBoolWithNumberFails(t *testing.T) {
+	err := wantErr(t, Binary{OpEq, BoolLit(true), IntLit(1)})
+	if !errors.Is(err, ErrType) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLogicShortCircuit(t *testing.T) {
+	// Right operand would divide by zero but must never be evaluated.
+	boom := Binary{OpEq, Binary{OpDiv, IntLit(1), IntLit(0)}, DoubleLit(1)}
+	v := evalIn(t, Binary{OpAnd, BoolLit(false), boom})
+	if b, _ := v.Bool(); b {
+		t.Fatal("false & _ = true")
+	}
+	v = evalIn(t, Binary{OpOr, BoolLit(true), boom})
+	if b, _ := v.Bool(); !b {
+		t.Fatal("true | _ = false")
+	}
+}
+
+func TestImpliesAndIff(t *testing.T) {
+	tests := []struct {
+		op       BinOp
+		l, r     bool
+		expected bool
+	}{
+		{OpImplies, false, false, true},
+		{OpImplies, true, false, false},
+		{OpImplies, true, true, true},
+		{OpIff, true, true, true},
+		{OpIff, true, false, false},
+		{OpIff, false, false, true},
+	}
+	for _, c := range tests {
+		v := evalIn(t, Binary{c.op, BoolLit(c.l), BoolLit(c.r)})
+		if b, _ := v.Bool(); b != c.expected {
+			t.Fatalf("%v %v %v = %v", c.l, c.op, c.r, b)
+		}
+	}
+}
+
+func TestUnary(t *testing.T) {
+	v := evalIn(t, Unary{OpNot, BoolLit(false)})
+	if b, _ := v.Bool(); !b {
+		t.Fatal("!false != true")
+	}
+	v = evalIn(t, Unary{OpNeg, IntLit(7)})
+	if v.Kind != KindInt || v.I != -7 {
+		t.Fatalf("-7 = %v", v)
+	}
+	v = evalIn(t, Unary{OpNeg, DoubleLit(2.5)})
+	if v.Kind != KindDouble || v.F != -2.5 {
+		t.Fatalf("-2.5 = %v", v)
+	}
+	wantErr(t, Unary{OpNot, IntLit(1)})
+	wantErr(t, Unary{OpNeg, BoolLit(true)})
+}
+
+func TestITE(t *testing.T) {
+	v := evalIn(t, ITE{BoolLit(true), IntLit(1), IntLit(2)})
+	if v.I != 1 {
+		t.Fatalf("ite = %v", v)
+	}
+	v = evalIn(t, ITE{BoolLit(false), IntLit(1), IntLit(2)})
+	if v.I != 2 {
+		t.Fatalf("ite = %v", v)
+	}
+	wantErr(t, ITE{IntLit(1), IntLit(1), IntLit(2)})
+}
+
+func TestBuiltins(t *testing.T) {
+	cases := []struct {
+		expr Expr
+		want float64
+	}{
+		{Call{"min", []Expr{IntLit(3), IntLit(1), IntLit(2)}}, 1},
+		{Call{"max", []Expr{IntLit(3), DoubleLit(7.5)}}, 7.5},
+		{Call{"floor", []Expr{DoubleLit(1.9)}}, 1},
+		{Call{"ceil", []Expr{DoubleLit(1.1)}}, 2},
+		{Call{"pow", []Expr{IntLit(2), IntLit(10)}}, 1024},
+		{Call{"mod", []Expr{IntLit(7), IntLit(3)}}, 1},
+		{Call{"mod", []Expr{IntLit(-1), IntLit(3)}}, 2}, // mathematical mod
+		{Call{"log", []Expr{DoubleLit(8), DoubleLit(2)}}, 3},
+	}
+	for _, c := range cases {
+		v := evalIn(t, c.expr)
+		f, err := v.Num()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(f-c.want) > 1e-12 {
+			t.Fatalf("%s = %v, want %v", c.expr, f, c.want)
+		}
+	}
+}
+
+func TestBuiltinTyping(t *testing.T) {
+	// min/max of all ints stays int.
+	v := evalIn(t, Call{"min", []Expr{IntLit(3), IntLit(1)}})
+	if v.Kind != KindInt {
+		t.Fatalf("min kind = %v", v.Kind)
+	}
+	v = evalIn(t, Call{"max", []Expr{IntLit(3), DoubleLit(1)}})
+	if v.Kind != KindDouble {
+		t.Fatalf("mixed max kind = %v", v.Kind)
+	}
+}
+
+func TestBuiltinErrors(t *testing.T) {
+	wantErr(t, Call{"min", []Expr{IntLit(1)}})
+	wantErr(t, Call{"floor", []Expr{IntLit(1), IntLit(2)}})
+	wantErr(t, Call{"pow", []Expr{IntLit(1)}})
+	wantErr(t, Call{"mod", []Expr{IntLit(1), IntLit(0)}})
+	wantErr(t, Call{"mod", []Expr{DoubleLit(1.5), IntLit(2)}})
+	wantErr(t, Call{"log", []Expr{IntLit(1)}})
+	wantErr(t, Call{"nosuchfn", []Expr{IntLit(1)}})
+}
+
+func TestVarRefEval(t *testing.T) {
+	x := VarRef{Index: 0, Name: "x"}
+	flag := VarRef{Index: 1, Name: "flag", IsBool: true}
+	st := []int{5, 1}
+	v, err := x.Eval(st)
+	if err != nil || v.I != 5 {
+		t.Fatalf("x = %v (%v)", v, err)
+	}
+	v, err = flag.Eval(st)
+	if err != nil || !v.B {
+		t.Fatalf("flag = %v (%v)", v, err)
+	}
+	if _, err := (VarRef{Index: 9, Name: "oob"}).Eval(st); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	e := And(Gt(VarRef{Name: "x"}, IntLit(0)), Not(BoolLit(false)))
+	s := e.String()
+	for _, want := range []string{"x", ">", "0", "&", "!"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+	if got := (ITE{BoolLit(true), IntLit(1), IntLit(2)}).String(); !strings.Contains(got, "?") {
+		t.Fatalf("ITE string = %q", got)
+	}
+	if got := (Call{"min", []Expr{IntLit(1), IntLit(2)}}).String(); got != "min(1, 2)" {
+		t.Fatalf("Call string = %q", got)
+	}
+	if got := (Unary{OpNeg, IntLit(3)}).String(); got != "-(3)" {
+		t.Fatalf("Neg string = %q", got)
+	}
+}
+
+func TestAndOrEmpty(t *testing.T) {
+	v := evalIn(t, And())
+	if b, _ := v.Bool(); !b {
+		t.Fatal("empty And != true")
+	}
+	v = evalIn(t, Or())
+	if b, _ := v.Bool(); b {
+		t.Fatal("empty Or != false")
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if _, err := BoolV(true).Num(); !errors.Is(err, ErrType) {
+		t.Fatalf("bool Num: %v", err)
+	}
+	if _, err := DoubleV(1.5).Int(); !errors.Is(err, ErrType) {
+		t.Fatalf("double Int: %v", err)
+	}
+	if _, err := IntV(1).Bool(); !errors.Is(err, ErrType) {
+		t.Fatalf("int Bool: %v", err)
+	}
+	if IntV(3).String() != "3" || DoubleV(2.5).String() != "2.5" ||
+		BoolV(true).String() != "true" || BoolV(false).String() != "false" {
+		t.Fatal("Value.String broken")
+	}
+	if KindInt.String() != "int" || KindDouble.String() != "double" || KindBool.String() != "bool" {
+		t.Fatal("Kind.String broken")
+	}
+}
+
+func TestErrorsPropagateThroughTree(t *testing.T) {
+	// A type error deep in the tree must surface.
+	e := Binary{OpAdd, IntLit(1), Binary{OpAnd, IntLit(1), BoolLit(true)}}
+	wantErr(t, e)
+	e2 := ITE{BoolLit(true), Binary{OpDiv, IntLit(1), IntLit(0)}, IntLit(0)}
+	wantErr(t, e2)
+}

@@ -1,0 +1,166 @@
+package modular
+
+// Simplify performs conservative constant folding and boolean
+// simplification on an expression tree. State-space exploration evaluates
+// every guard in every state, and the architecture transformation generates
+// guards with literal scaffolding (e.g. `true ∧ x > 0` for internet-facing
+// buses), so folding pays for itself immediately.
+//
+// Soundness: a rewrite is applied only when it cannot change the value *or*
+// the error behaviour of an expression whose evaluation can fail (division
+// by zero, mod by zero). Subtrees are dropped only when they provably
+// cannot fail (cannotFail), or when short-circuit evaluation would have
+// skipped them anyway.
+func Simplify(e Expr) Expr {
+	switch x := e.(type) {
+	case Lit, VarRef:
+		return e
+	case Unary:
+		inner := Simplify(x.X)
+		if lit, ok := inner.(Lit); ok {
+			if v, err := (Unary{Op: x.Op, X: lit}).Eval(nil); err == nil {
+				return Lit{v}
+			}
+		}
+		// Double negation.
+		if x.Op == OpNot {
+			if u, ok := inner.(Unary); ok && u.Op == OpNot {
+				return u.X
+			}
+		}
+		return Unary{Op: x.Op, X: inner}
+	case Binary:
+		l := Simplify(x.L)
+		r := Simplify(x.R)
+		// Fold fully-literal nodes (keeping nodes whose evaluation fails,
+		// e.g. 1/0, so the error surfaces at run time as before).
+		if _, lok := l.(Lit); lok {
+			if _, rok := r.(Lit); rok {
+				if v, err := (Binary{Op: x.Op, L: l, R: r}).Eval(nil); err == nil {
+					return Lit{v}
+				}
+				return Binary{Op: x.Op, L: l, R: r}
+			}
+		}
+		switch x.Op {
+		case OpAnd:
+			if b, ok := boolLit(l); ok {
+				if !b {
+					return BoolLit(false) // short-circuit drops r anyway
+				}
+				return r
+			}
+			if b, ok := boolLit(r); ok {
+				if b {
+					return l
+				}
+				if cannotFail(l) {
+					return BoolLit(false)
+				}
+			}
+		case OpOr:
+			if b, ok := boolLit(l); ok {
+				if b {
+					return BoolLit(true)
+				}
+				return r
+			}
+			if b, ok := boolLit(r); ok {
+				if !b {
+					return l
+				}
+				if cannotFail(l) {
+					return BoolLit(true)
+				}
+			}
+		}
+		return Binary{Op: x.Op, L: l, R: r}
+	case ITE:
+		cond := Simplify(x.Cond)
+		thenE := Simplify(x.Then)
+		elseE := Simplify(x.Else)
+		if b, ok := boolLit(cond); ok {
+			if b {
+				return thenE
+			}
+			return elseE
+		}
+		return ITE{Cond: cond, Then: thenE, Else: elseE}
+	case Call:
+		args := make([]Expr, len(x.Args))
+		allLit := true
+		for i, a := range x.Args {
+			args[i] = Simplify(a)
+			if _, ok := args[i].(Lit); !ok {
+				allLit = false
+			}
+		}
+		folded := Call{Fn: x.Fn, Args: args}
+		if allLit {
+			if v, err := folded.Eval(nil); err == nil {
+				return Lit{v}
+			}
+		}
+		return folded
+	default:
+		return e
+	}
+}
+
+func boolLit(e Expr) (bool, bool) {
+	if l, ok := e.(Lit); ok && l.V.Kind == KindBool {
+		return l.V.B, true
+	}
+	return false, false
+}
+
+// cannotFail reports whether evaluating e can never return an error in a
+// validated model: literals and variable references are total; operators
+// are total except division, mod-by-variable and built-in calls with
+// dynamic arguments. (Type errors are state-independent — Validate catches
+// them on the initial state — so they are not counted here.)
+func cannotFail(e Expr) bool {
+	switch x := e.(type) {
+	case Lit, VarRef:
+		return true
+	case Unary:
+		return cannotFail(x.X)
+	case Binary:
+		if x.Op == OpDiv {
+			return false
+		}
+		return cannotFail(x.L) && cannotFail(x.R)
+	case ITE:
+		return cannotFail(x.Cond) && cannotFail(x.Then) && cannotFail(x.Else)
+	default:
+		return false
+	}
+}
+
+// SimplifyAll folds every guard, rate, update expression, label and reward
+// in the model in place.
+func (m *Model) SimplifyAll() {
+	for mi := range m.Modules {
+		mod := &m.Modules[mi]
+		for ci := range mod.Commands {
+			cmd := &mod.Commands[ci]
+			cmd.Guard = Simplify(cmd.Guard)
+			for ui := range cmd.Updates {
+				cmd.Updates[ui].Rate = Simplify(cmd.Updates[ui].Rate)
+				for ai := range cmd.Updates[ui].Assigns {
+					cmd.Updates[ui].Assigns[ai].Expr = Simplify(cmd.Updates[ui].Assigns[ai].Expr)
+				}
+			}
+		}
+	}
+	for name, e := range m.Labels {
+		m.Labels[name] = Simplify(e)
+	}
+	for name, rs := range m.Rewards {
+		for i := range rs {
+			rs[i].Guard = Simplify(rs[i].Guard)
+			rs[i].Value = Simplify(rs[i].Value)
+		}
+		m.Rewards[name] = rs
+	}
+}

@@ -1,0 +1,125 @@
+// Package modular implements PRISM-style modular stochastic models:
+// integer/boolean state variables, guarded commands with rate-weighted
+// updates, optional action synchronisation (rates multiply, as in PRISM),
+// named label and reward definitions, and breadth-first state-space
+// exploration that compiles the composed model into a CTMC.
+//
+// It is the target representation both of the automotive architecture
+// transformation (internal/transform) and of the PRISM-language parser
+// (internal/prismlang).
+package modular
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// Kind enumerates the value types of the expression language.
+type Kind int
+
+// Value kinds. Int and Double are interchangeable where a number is needed
+// (ints promote); Bool is distinct.
+const (
+	KindInt Kind = iota
+	KindDouble
+	KindBool
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindDouble:
+		return "double"
+	case KindBool:
+		return "bool"
+	default:
+		return "unknown"
+	}
+}
+
+// Value is a dynamically typed expression value.
+type Value struct {
+	Kind Kind
+	I    int
+	F    float64
+	B    bool
+}
+
+// IntV wraps an int.
+func IntV(i int) Value { return Value{Kind: KindInt, I: i} }
+
+// DoubleV wraps a float64.
+func DoubleV(f float64) Value { return Value{Kind: KindDouble, F: f} }
+
+// BoolV wraps a bool.
+func BoolV(b bool) Value { return Value{Kind: KindBool, B: b} }
+
+// ErrType reports an expression type error.
+var ErrType = errors.New("modular: type error")
+
+// Num returns the value as a float64, promoting ints.
+func (v Value) Num() (float64, error) {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.I), nil
+	case KindDouble:
+		return v.F, nil
+	default:
+		return 0, fmt.Errorf("%w: expected number, got %s", ErrType, v.Kind)
+	}
+}
+
+// Int returns the value as an int; doubles are rejected (PRISM semantics:
+// no implicit narrowing).
+func (v Value) Int() (int, error) {
+	if v.Kind != KindInt {
+		return 0, fmt.Errorf("%w: expected int, got %s", ErrType, v.Kind)
+	}
+	return v.I, nil
+}
+
+// Bool returns the value as a bool.
+func (v Value) Bool() (bool, error) {
+	if v.Kind != KindBool {
+		return false, fmt.Errorf("%w: expected bool, got %s", ErrType, v.Kind)
+	}
+	return v.B, nil
+}
+
+// String renders the value as PRISM source.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		return strconv.Itoa(v.I)
+	case KindDouble:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindBool:
+		if v.B {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// Equal compares two values, promoting int/double as needed.
+func (v Value) Equal(w Value) (bool, error) {
+	if v.Kind == KindBool || w.Kind == KindBool {
+		if v.Kind != KindBool || w.Kind != KindBool {
+			return false, fmt.Errorf("%w: cannot compare %s with %s", ErrType, v.Kind, w.Kind)
+		}
+		return v.B == w.B, nil
+	}
+	a, err := v.Num()
+	if err != nil {
+		return false, err
+	}
+	b, err := w.Num()
+	if err != nil {
+		return false, err
+	}
+	return a == b, nil
+}

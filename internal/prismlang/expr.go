@@ -1,0 +1,358 @@
+package prismlang
+
+import (
+	"strconv"
+
+	"repro/internal/modular"
+)
+
+// Resolver maps identifiers in expressions to modular expressions: declared
+// constants become literals, formulas are substituted, state variables
+// become references. Labels (quoted names) are resolved separately by
+// ResolveLabel, which property parsers use; model files reject labels inside
+// expressions.
+type Resolver interface {
+	Resolve(name string, line int) (modular.Expr, error)
+	ResolveLabel(name string, line int) (modular.Expr, error)
+}
+
+// PrimaryParser is an optional extension of Resolver: when implemented, it
+// is offered the token stream before the built-in primary-expression rules.
+// The CSL property parser uses this to embed nested probabilistic operators
+// (P, S, R with a bound) inside state formulas. Returning handled = false
+// (with no tokens consumed) falls through to the normal rules.
+type PrimaryParser interface {
+	ParsePrimary(s *TokenStream) (expr modular.Expr, handled bool, err error)
+}
+
+// TokenStream is a cursor over a token slice shared by the expression and
+// model parsers.
+type TokenStream struct {
+	toks []Token
+	pos  int
+}
+
+// NewTokenStream wraps a token slice, appending an EOF sentinel if the
+// slice does not already end with one (sub-slices of a larger stream won't).
+func NewTokenStream(toks []Token) *TokenStream {
+	if n := len(toks); n == 0 || toks[n-1].Kind != TokEOF {
+		line := 0
+		if n > 0 {
+			line = toks[n-1].Line
+		}
+		toks = append(append([]Token{}, toks...), Token{Kind: TokEOF, Line: line})
+	}
+	return &TokenStream{toks: toks}
+}
+
+// Peek returns the current token without consuming it.
+func (s *TokenStream) Peek() Token { return s.toks[s.pos] }
+
+// PeekAt returns the token k positions ahead (0 = current) without
+// consuming; past the end it returns the EOF token.
+func (s *TokenStream) PeekAt(k int) Token {
+	if s.pos+k >= len(s.toks) {
+		return s.toks[len(s.toks)-1]
+	}
+	return s.toks[s.pos+k]
+}
+
+// Next consumes and returns the current token.
+func (s *TokenStream) Next() Token {
+	t := s.toks[s.pos]
+	if s.toks[s.pos].Kind != TokEOF {
+		s.pos++
+	}
+	return t
+}
+
+// Accept consumes the current token if it is the given punctuation or
+// identifier spelling.
+func (s *TokenStream) Accept(text string) bool {
+	t := s.Peek()
+	if (t.Kind == TokPunct || t.Kind == TokIdent) && t.Text == text {
+		s.Next()
+		return true
+	}
+	return false
+}
+
+// Expect consumes the given spelling or fails.
+func (s *TokenStream) Expect(text string) error {
+	if s.Accept(text) {
+		return nil
+	}
+	return errf(s.Peek().Line, "expected %q, found %s", text, s.Peek())
+}
+
+// AtEOF reports whether the stream is exhausted.
+func (s *TokenStream) AtEOF() bool { return s.Peek().Kind == TokEOF }
+
+// ParseExpr parses a full expression (lowest precedence: ?:) from the
+// stream.
+func ParseExpr(s *TokenStream, r Resolver) (modular.Expr, error) {
+	return parseITE(s, r)
+}
+
+// parseITE: iff ('?' expr ':' expr)?
+func parseITE(s *TokenStream, r Resolver) (modular.Expr, error) {
+	cond, err := parseIff(s, r)
+	if err != nil {
+		return nil, err
+	}
+	if !s.Accept("?") {
+		return cond, nil
+	}
+	thenE, err := parseITE(s, r)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Expect(":"); err != nil {
+		return nil, err
+	}
+	elseE, err := parseITE(s, r)
+	if err != nil {
+		return nil, err
+	}
+	return modular.ITE{Cond: cond, Then: thenE, Else: elseE}, nil
+}
+
+func parseIff(s *TokenStream, r Resolver) (modular.Expr, error) {
+	l, err := parseImplies(s, r)
+	if err != nil {
+		return nil, err
+	}
+	for s.Accept("<=>") {
+		rhs, err := parseImplies(s, r)
+		if err != nil {
+			return nil, err
+		}
+		l = modular.Binary{Op: modular.OpIff, L: l, R: rhs}
+	}
+	return l, nil
+}
+
+func parseImplies(s *TokenStream, r Resolver) (modular.Expr, error) {
+	l, err := parseOr(s, r)
+	if err != nil {
+		return nil, err
+	}
+	// Right-associative.
+	if s.Accept("=>") {
+		rhs, err := parseImplies(s, r)
+		if err != nil {
+			return nil, err
+		}
+		return modular.Binary{Op: modular.OpImplies, L: l, R: rhs}, nil
+	}
+	return l, nil
+}
+
+func parseOr(s *TokenStream, r Resolver) (modular.Expr, error) {
+	l, err := parseAnd(s, r)
+	if err != nil {
+		return nil, err
+	}
+	for s.Accept("|") {
+		rhs, err := parseAnd(s, r)
+		if err != nil {
+			return nil, err
+		}
+		l = modular.Binary{Op: modular.OpOr, L: l, R: rhs}
+	}
+	return l, nil
+}
+
+func parseAnd(s *TokenStream, r Resolver) (modular.Expr, error) {
+	l, err := parseNot(s, r)
+	if err != nil {
+		return nil, err
+	}
+	for s.Accept("&") {
+		rhs, err := parseNot(s, r)
+		if err != nil {
+			return nil, err
+		}
+		l = modular.Binary{Op: modular.OpAnd, L: l, R: rhs}
+	}
+	return l, nil
+}
+
+func parseNot(s *TokenStream, r Resolver) (modular.Expr, error) {
+	if s.Accept("!") {
+		x, err := parseNot(s, r)
+		if err != nil {
+			return nil, err
+		}
+		return modular.Unary{Op: modular.OpNot, X: x}, nil
+	}
+	return parseRelational(s, r)
+}
+
+var relOps = map[string]modular.BinOp{
+	"=": modular.OpEq, "!=": modular.OpNeq,
+	"<": modular.OpLt, "<=": modular.OpLe,
+	">": modular.OpGt, ">=": modular.OpGe,
+}
+
+func parseRelational(s *TokenStream, r Resolver) (modular.Expr, error) {
+	l, err := parseAdditive(s, r)
+	if err != nil {
+		return nil, err
+	}
+	t := s.Peek()
+	if t.Kind == TokPunct {
+		if op, ok := relOps[t.Text]; ok {
+			s.Next()
+			rhs, err := parseAdditive(s, r)
+			if err != nil {
+				return nil, err
+			}
+			return modular.Binary{Op: op, L: l, R: rhs}, nil
+		}
+	}
+	return l, nil
+}
+
+func parseAdditive(s *TokenStream, r Resolver) (modular.Expr, error) {
+	l, err := parseMultiplicative(s, r)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case s.Accept("+"):
+			rhs, err := parseMultiplicative(s, r)
+			if err != nil {
+				return nil, err
+			}
+			l = modular.Binary{Op: modular.OpAdd, L: l, R: rhs}
+		case s.Accept("-"):
+			rhs, err := parseMultiplicative(s, r)
+			if err != nil {
+				return nil, err
+			}
+			l = modular.Binary{Op: modular.OpSub, L: l, R: rhs}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func parseMultiplicative(s *TokenStream, r Resolver) (modular.Expr, error) {
+	l, err := parseUnaryMinus(s, r)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case s.Accept("*"):
+			rhs, err := parseUnaryMinus(s, r)
+			if err != nil {
+				return nil, err
+			}
+			l = modular.Binary{Op: modular.OpMul, L: l, R: rhs}
+		case s.Accept("/"):
+			rhs, err := parseUnaryMinus(s, r)
+			if err != nil {
+				return nil, err
+			}
+			l = modular.Binary{Op: modular.OpDiv, L: l, R: rhs}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func parseUnaryMinus(s *TokenStream, r Resolver) (modular.Expr, error) {
+	if s.Accept("-") {
+		x, err := parseUnaryMinus(s, r)
+		if err != nil {
+			return nil, err
+		}
+		return modular.Unary{Op: modular.OpNeg, X: x}, nil
+	}
+	return parsePrimary(s, r)
+}
+
+var builtins = map[string]bool{
+	"min": true, "max": true, "floor": true, "ceil": true,
+	"pow": true, "mod": true, "log": true,
+}
+
+func parsePrimary(s *TokenStream, r Resolver) (modular.Expr, error) {
+	if pp, ok := r.(PrimaryParser); ok {
+		e, handled, err := pp.ParsePrimary(s)
+		if err != nil {
+			return nil, err
+		}
+		if handled {
+			return e, nil
+		}
+	}
+	t := s.Peek()
+	switch t.Kind {
+	case TokInt:
+		s.Next()
+		v, err := strconv.Atoi(t.Text)
+		if err != nil {
+			return nil, errf(t.Line, "bad integer %q: %v", t.Text, err)
+		}
+		return modular.IntLit(v), nil
+	case TokDouble:
+		s.Next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, errf(t.Line, "bad number %q: %v", t.Text, err)
+		}
+		return modular.DoubleLit(v), nil
+	case TokString:
+		s.Next()
+		return r.ResolveLabel(t.Text, t.Line)
+	case TokIdent:
+		switch t.Text {
+		case "true":
+			s.Next()
+			return modular.BoolLit(true), nil
+		case "false":
+			s.Next()
+			return modular.BoolLit(false), nil
+		}
+		if builtins[t.Text] {
+			s.Next()
+			if err := s.Expect("("); err != nil {
+				return nil, err
+			}
+			var args []modular.Expr
+			for {
+				a, err := ParseExpr(s, r)
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if !s.Accept(",") {
+					break
+				}
+			}
+			if err := s.Expect(")"); err != nil {
+				return nil, err
+			}
+			return modular.Call{Fn: t.Text, Args: args}, nil
+		}
+		s.Next()
+		return r.Resolve(t.Text, t.Line)
+	case TokPunct:
+		if t.Text == "(" {
+			s.Next()
+			e, err := ParseExpr(s, r)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.Expect(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, errf(t.Line, "unexpected token %s in expression", t)
+}

@@ -1,0 +1,163 @@
+// Package prismlang implements a parser for the subset of the PRISM
+// modelling language needed for CTMC security models: constants, formulas,
+// labels, modules with bounded integer / boolean variables and guarded
+// commands, module renaming, and named reward structures. Parsed files
+// compile to internal/modular models, so everything the engine can analyse
+// can also be written as a .pm file (and everything internal/transform
+// generates can be exported back to PRISM source and re-parsed).
+//
+// The expression grammar and operator precedences follow the PRISM 4.x
+// manual; the package also exposes the expression parser for reuse by the
+// CSL property parser in internal/csl.
+package prismlang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokInt
+	TokDouble
+	TokString // "quoted"
+	TokPunct  // operators and punctuation, Text holds the spelling
+)
+
+// Token is a lexical token with its source position (1-based line).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Line int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+// SyntaxError reports a lexical or parse error with a line number.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
+}
+
+func errf(line int, format string, args ...any) error {
+	return &SyntaxError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// multi-character punctuation, longest first.
+var multiPunct = []string{
+	"<=>", "=>", "->", "..", "<=", ">=", "!=", "'",
+}
+
+const singlePunct = "()[]{};:,?=<>!&|+-*/"
+
+// Lex tokenises PRISM source. Comments run from // to end of line.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '"':
+			j := i + 1
+			for j < n && src[j] != '"' && src[j] != '\n' {
+				j++
+			}
+			if j >= n || src[j] != '"' {
+				return nil, errf(line, "unterminated string literal")
+			}
+			toks = append(toks, Token{Kind: TokString, Text: src[i+1 : j], Line: line})
+			i = j + 1
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < n && unicode.IsDigit(rune(src[i+1]))):
+			j := i
+			isDouble := false
+			for j < n && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			// ".." is range punctuation, not a decimal point.
+			if j < n && src[j] == '.' && !(j+1 < n && src[j+1] == '.') {
+				isDouble = true
+				j++
+				for j < n && unicode.IsDigit(rune(src[j])) {
+					j++
+				}
+			}
+			if j < n && (src[j] == 'e' || src[j] == 'E') {
+				k := j + 1
+				if k < n && (src[k] == '+' || src[k] == '-') {
+					k++
+				}
+				if k < n && unicode.IsDigit(rune(src[k])) {
+					isDouble = true
+					j = k
+					for j < n && unicode.IsDigit(rune(src[j])) {
+						j++
+					}
+				}
+			}
+			kind := TokInt
+			if isDouble {
+				kind = TokDouble
+			}
+			toks = append(toks, Token{Kind: kind, Text: src[i:j], Line: line})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, Token{Kind: TokIdent, Text: src[i:j], Line: line})
+			i = j
+		default:
+			matched := false
+			for _, p := range multiPunct {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, Token{Kind: TokPunct, Text: p, Line: line})
+					i += len(p)
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+			if strings.IndexByte(singlePunct, c) >= 0 {
+				toks = append(toks, Token{Kind: TokPunct, Text: string(c), Line: line})
+				i++
+				continue
+			}
+			return nil, errf(line, "unexpected character %q", c)
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line})
+	return toks, nil
+}

@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Statistical model checking: instead of numerically computing
+// P[reach target within t], sample trajectories and decide the hypothesis
+// P ≥ θ against P < θ with Wald's sequential probability ratio test (SPRT).
+// This is the standard simulation-based verification technique (Younes &
+// Simmons) and serves as a third, fully independent backend next to
+// uniformisation and plain Monte-Carlo estimation.
+
+// Verdict is the outcome of a sequential hypothesis test.
+type Verdict int
+
+// SPRT outcomes.
+const (
+	// VerdictAccept means the hypothesis P ≥ θ was accepted.
+	VerdictAccept Verdict = iota
+	// VerdictReject means the hypothesis P ≥ θ was rejected (P < θ).
+	VerdictReject
+	// VerdictUndecided means the sample budget ran out inside the
+	// indifference region.
+	VerdictUndecided
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictAccept:
+		return "accept"
+	case VerdictReject:
+		return "reject"
+	default:
+		return "undecided"
+	}
+}
+
+// SPRTOptions configures the sequential test. The zero value selects
+// α = β = 0.01, δ = 0.01 and a 1e6-sample budget.
+type SPRTOptions struct {
+	// Alpha is the acceptable probability of wrongly rejecting P ≥ θ
+	// (type-I error).
+	Alpha float64
+	// Beta is the acceptable probability of wrongly accepting (type-II).
+	Beta float64
+	// Delta is the half-width of the indifference region [θ−δ, θ+δ].
+	Delta float64
+	// MaxSamples bounds the walk count.
+	MaxSamples int
+}
+
+func (o SPRTOptions) withDefaults() SPRTOptions {
+	if o.Alpha <= 0 {
+		o.Alpha = 0.01
+	}
+	if o.Beta <= 0 {
+		o.Beta = 0.01
+	}
+	if o.Delta <= 0 {
+		o.Delta = 0.01
+	}
+	if o.MaxSamples <= 0 {
+		o.MaxSamples = 1_000_000
+	}
+	return o
+}
+
+// SPRTResult reports the verdict together with the evidence consumed.
+type SPRTResult struct {
+	Verdict  Verdict
+	Samples  int
+	Positive int
+}
+
+// Estimate returns the positive fraction observed so far.
+func (r SPRTResult) Estimate() float64 {
+	if r.Samples == 0 {
+		return 0
+	}
+	return float64(r.Positive) / float64(r.Samples)
+}
+
+// ErrBadThreshold reports an untestable threshold/indifference combination.
+var ErrBadThreshold = errors.New("sim: threshold ± delta must stay within (0, 1)")
+
+// TestReachabilityWithin sequentially tests the hypothesis
+// P[reach mask within horizon | start init] ≥ theta.
+func (s *Simulator) TestReachabilityWithin(init int, mask []bool, horizon, theta float64, opts SPRTOptions) (SPRTResult, error) {
+	if err := s.validate(init, mask); err != nil {
+		return SPRTResult{}, err
+	}
+	if horizon <= 0 {
+		return SPRTResult{}, fmt.Errorf("%w: horizon %v", ErrBadArgs, horizon)
+	}
+	opts = opts.withDefaults()
+	p0 := theta + opts.Delta // hypothesis boundary for accept
+	p1 := theta - opts.Delta // hypothesis boundary for reject
+	if p1 <= 0 || p0 >= 1 {
+		return SPRTResult{}, fmt.Errorf("%w: θ=%v δ=%v", ErrBadThreshold, theta, opts.Delta)
+	}
+	// Wald boundaries on the log-likelihood ratio log(L1/L0): crossing the
+	// upper bound favours H1 (p ≤ p1, reject), the lower favours H0.
+	upper := math.Log((1 - opts.Beta) / opts.Alpha)
+	lower := math.Log(opts.Beta / (1 - opts.Alpha))
+	// Per-observation increments.
+	incPos := math.Log(p1 / p0)
+	incNeg := math.Log((1 - p1) / (1 - p0))
+
+	var llr float64
+	res := SPRTResult{Verdict: VerdictUndecided}
+	for res.Samples < opts.MaxSamples {
+		hit := s.sampleReach(init, mask, horizon)
+		res.Samples++
+		if hit {
+			res.Positive++
+			llr += incPos
+		} else {
+			llr += incNeg
+		}
+		if llr >= upper {
+			res.Verdict = VerdictReject
+			return res, nil
+		}
+		if llr <= lower {
+			res.Verdict = VerdictAccept
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// TestTimeFraction sequentially tests the hypothesis that the expected
+// fraction of [0, horizon] spent in mask is ≥ theta, by treating each
+// trajectory's fraction as a Bernoulli observation through the auxiliary
+// trick of sampling a uniform threshold (an unbiased Bernoulli reduction:
+// P[frac ≥ U] = E[frac] for U ~ Uniform(0,1)).
+func (s *Simulator) TestTimeFraction(init int, mask []bool, horizon, theta float64, opts SPRTOptions) (SPRTResult, error) {
+	if err := s.validate(init, mask); err != nil {
+		return SPRTResult{}, err
+	}
+	if horizon <= 0 {
+		return SPRTResult{}, fmt.Errorf("%w: horizon %v", ErrBadArgs, horizon)
+	}
+	opts = opts.withDefaults()
+	p0 := theta + opts.Delta
+	p1 := theta - opts.Delta
+	if p1 <= 0 || p0 >= 1 {
+		return SPRTResult{}, fmt.Errorf("%w: θ=%v δ=%v", ErrBadThreshold, theta, opts.Delta)
+	}
+	upper := math.Log((1 - opts.Beta) / opts.Alpha)
+	lower := math.Log(opts.Beta / (1 - opts.Alpha))
+	incPos := math.Log(p1 / p0)
+	incNeg := math.Log((1 - p1) / (1 - p0))
+
+	var llr float64
+	res := SPRTResult{Verdict: VerdictUndecided}
+	for res.Samples < opts.MaxSamples {
+		frac := s.sampleFraction(init, mask, horizon)
+		hit := s.rng.Float64() < frac // unbiased Bernoulli reduction
+		res.Samples++
+		if hit {
+			res.Positive++
+			llr += incPos
+		} else {
+			llr += incNeg
+		}
+		if llr >= upper {
+			res.Verdict = VerdictReject
+			return res, nil
+		}
+		if llr <= lower {
+			res.Verdict = VerdictAccept
+			return res, nil
+		}
+	}
+	return res, nil
+}

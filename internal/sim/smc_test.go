@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/ctmc"
+)
+
+// pureBirth builds 0 → 1 at the given rate; P[reach 1 within t] = 1−e^{−λt}.
+func pureBirth(t *testing.T, lambda float64) *ctmc.Chain {
+	t.Helper()
+	b := ctmc.NewBuilder(2)
+	b.Add(0, 1, lambda)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSPRTAcceptsTrueHypothesis(t *testing.T) {
+	// P[reach within 1] = 1 − e^{−2} ≈ 0.8647. Test θ = 0.5: clearly true.
+	c := pureBirth(t, 2)
+	s := New(c, 7)
+	res, err := s.TestReachabilityWithin(0, []bool{false, true}, 1, 0.5, SPRTOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictAccept {
+		t.Fatalf("verdict = %v (samples %d, est %v)", res.Verdict, res.Samples, res.Estimate())
+	}
+}
+
+func TestSPRTRejectsFalseHypothesis(t *testing.T) {
+	// Same chain, θ = 0.99: clearly false.
+	c := pureBirth(t, 2)
+	s := New(c, 8)
+	res, err := s.TestReachabilityWithin(0, []bool{false, true}, 1, 0.99, SPRTOptions{Delta: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictReject {
+		t.Fatalf("verdict = %v", res.Verdict)
+	}
+}
+
+func TestSPRTUndecidedOnTinyBudget(t *testing.T) {
+	// True probability right at the threshold with a minuscule budget.
+	c := pureBirth(t, 2)
+	s := New(c, 9)
+	trueP := 1 - math.Exp(-2.0)
+	res, err := s.TestReachabilityWithin(0, []bool{false, true}, 1, trueP, SPRTOptions{
+		Delta: 0.001, MaxSamples: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictUndecided {
+		t.Fatalf("verdict = %v on 10 samples at the boundary", res.Verdict)
+	}
+	if res.Samples != 10 {
+		t.Fatalf("samples = %d", res.Samples)
+	}
+}
+
+func TestSPRTNeedsFewerSamplesFarFromThreshold(t *testing.T) {
+	c := pureBirth(t, 2)
+	near, err := New(c, 10).TestReachabilityWithin(0, []bool{false, true}, 1, 0.85, SPRTOptions{Delta: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := New(c, 10).TestReachabilityWithin(0, []bool{false, true}, 1, 0.2, SPRTOptions{Delta: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far.Samples >= near.Samples {
+		t.Fatalf("far-from-threshold used %d samples, near used %d", far.Samples, near.Samples)
+	}
+}
+
+func TestSPRTTimeFraction(t *testing.T) {
+	// Two-state repair model: long-run fraction in state 1 is λ/(λ+μ);
+	// over horizon 10 the expected fraction is close to it.
+	b := ctmc.NewBuilder(2)
+	b.Add(0, 1, 3)
+	b.Add(1, 0, 5)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := []bool{false, true}
+	s := New(c, 11)
+	res, err := s.TestTimeFraction(0, mask, 10, 0.2, SPRTOptions{}) // true ≈ 0.375
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictAccept {
+		t.Fatalf("fraction ≥ 0.2 should hold: %v (est %v)", res.Verdict, res.Estimate())
+	}
+	res, err = s.TestTimeFraction(0, mask, 10, 0.6, SPRTOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictReject {
+		t.Fatalf("fraction ≥ 0.6 should fail: %v (est %v)", res.Verdict, res.Estimate())
+	}
+}
+
+func TestSPRTValidation(t *testing.T) {
+	c := pureBirth(t, 1)
+	s := New(c, 1)
+	if _, err := s.TestReachabilityWithin(0, []bool{false, true}, 1, 0.995, SPRTOptions{Delta: 0.01}); !errors.Is(err, ErrBadThreshold) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.TestReachabilityWithin(0, []bool{false, true}, 1, 0.005, SPRTOptions{Delta: 0.01}); !errors.Is(err, ErrBadThreshold) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.TestReachabilityWithin(0, []bool{true}, 1, 0.5, SPRTOptions{}); !errors.Is(err, ErrBadArgs) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.TestTimeFraction(0, []bool{false, true}, -1, 0.5, SPRTOptions{}); !errors.Is(err, ErrBadArgs) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if VerdictAccept.String() != "accept" || VerdictReject.String() != "reject" ||
+		VerdictUndecided.String() != "undecided" {
+		t.Fatal("Verdict.String broken")
+	}
+}
+
+// TestSPRTAgreesWithNumericOnCaseStudy: the statistical backend must agree
+// with uniformisation on the paper's model for a clearly-separated
+// threshold.
+func TestSPRTAgreesWithNumeric(t *testing.T) {
+	// Paper worked example: P[reach s2 within 1] ≈ 0.0678.
+	b := ctmc.NewBuilder(3)
+	b.Add(0, 1, 2)
+	b.Add(1, 0, 52)
+	b.Add(1, 2, 2)
+	b.Add(2, 1, 52)
+	b.Add(2, 0, 52)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := []bool{false, false, true}
+	s := New(c, 2026)
+	res, err := s.TestReachabilityWithin(0, mask, 1, 0.03, SPRTOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictAccept {
+		t.Fatalf("P ≥ 0.03 should hold (true ≈ 0.068): %v", res.Verdict)
+	}
+	res, err = s.TestReachabilityWithin(0, mask, 1, 0.15, SPRTOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictReject {
+		t.Fatalf("P ≥ 0.15 should fail (true ≈ 0.068): %v", res.Verdict)
+	}
+}

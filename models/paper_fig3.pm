@@ -1,0 +1,32 @@
+// The paper's Figure-3 worked example (Section 3.3, Eqs. 13-15): a
+// telematics unit exploited/patched at rates eta/phi, and a message
+// protection that can only be attacked while the telematics unit is
+// exploited. States: (s3g, smc) with the paper's s0=(0,0), s1=(1,0),
+// s2=(1,1); the chain below reproduces the 3-state model exactly because
+// (0,1) is unreachable: patching 3G from s2 also resets the message
+// (paper transition s2 -> s0).
+ctmc
+
+const double eta = 2;  // exploits discovered bi-annually
+const double phi = 52; // patched weekly
+
+module system
+  s3g : bool init false;
+  smc : bool init false;
+  // s0 -> s1: telematics exploited.
+  [] !s3g & !smc -> eta : (s3g'=true);
+  // s1 -> s0: telematics patched.
+  [] s3g & !smc -> phi : (s3g'=false);
+  // s1 -> s2: message protection exploited.
+  [] s3g & !smc -> eta : (smc'=true);
+  // s2 -> s1: message protection patched.
+  [] s3g & smc -> phi : (smc'=false);
+  // s2 -> s0: telematics patched, access removed.
+  [] s3g & smc -> phi : (s3g'=false) & (smc'=false);
+endmodule
+
+label "exploited" = s3g & smc;
+
+rewards "exploited_time"
+  s3g & smc : 1;
+endrewards

@@ -1,0 +1,32 @@
+// Classic tandem queueing network (two M/M/1 stations in series), a
+// standard CTMC model-checking benchmark: customers arrive at station 1
+// with rate lambda, are served with rate mu1, move to station 2 and leave
+// with rate mu2. Both queues have finite capacity c.
+ctmc
+
+const int c = 5;
+const double lambda = 2;
+const double mu1 = 3;
+const double mu2 = 4;
+
+module station1
+  q1 : [0..c] init 0;
+  [arrive]  q1 < c -> lambda : (q1'=q1+1);
+  [handoff] q1 > 0 -> mu1 : (q1'=q1-1);
+endmodule
+
+module station2
+  q2 : [0..c] init 0;
+  [handoff] q2 < c -> 1 : (q2'=q2+1);
+  [depart]  q2 > 0 -> mu2 : (q2'=q2-1);
+endmodule
+
+formula total = q1 + q2;
+
+label "empty" = total = 0;
+label "full" = q1 = c & q2 = c;
+label "station1_blocked" = q1 = c;
+
+rewards "customers"
+  true : total;
+endrewards

@@ -1,0 +1,27 @@
+// Triple-modular-redundant (TMR) sensor system: three identical sensors
+// fail and are repaired independently; the system is operational while at
+// least two sensors work. The three modules are symmetric, which makes the
+// model a showcase for ordinary lumping (8 states collapse to 4).
+ctmc
+
+const double fail = 0.5;  // sensor failures per year
+const double repair = 12; // monthly repair
+
+module sensor1
+  up1 : bool init true;
+  [] up1 -> fail : (up1'=false);
+  [] !up1 -> repair : (up1'=true);
+endmodule
+
+module sensor2 = sensor1 [up1=up2] endmodule
+module sensor3 = sensor1 [up1=up3] endmodule
+
+formula working = (up1 ? 1 : 0) + (up2 ? 1 : 0) + (up3 ? 1 : 0);
+
+label "operational" = working >= 2;
+label "degraded" = working = 2;
+label "down" = working <= 1;
+
+rewards "downtime"
+  working <= 1 : 1;
+endrewards
