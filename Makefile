@@ -4,12 +4,18 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench examples experiments fuzz clean
+.PHONY: all build vet test race check cover bench examples experiments fuzz clean
 
-all: build test
+all: check
+
+# check is the full local gate: compile, static analysis, unit tests, and
+# the race detector over the concurrent paths (parallel grids, sinks).
+check: build vet test race
 
 build:
 	$(GO) build ./...
+
+vet:
 	$(GO) vet ./...
 
 test:

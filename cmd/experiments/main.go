@@ -22,6 +22,7 @@ import (
 	"repro/internal/csl"
 	"repro/internal/cvss"
 	"repro/internal/modular"
+	"repro/internal/obs"
 	"repro/internal/prismlang"
 	"repro/internal/report"
 	"repro/internal/transform"
@@ -34,12 +35,23 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	only := fs.String("only", "", "run a single experiment: eq15|table2|fig5|fig6|scalability|ablations")
+	var ocli obs.CLI
+	ocli.Bind(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	orun, err := ocli.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := ocli.Finish(orun, "experiments", args); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 	all := map[string]func(io.Writer) error{
 		"eq15":        eq15,
 		"table2":      table2,

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/transform"
 )
@@ -36,7 +37,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("secanalyze", flag.ContinueOnError)
 	archFlag := fs.String("arch", "", "architecture: builtin:1|2|3 or a JSON file (default: all built-ins)")
 	msg := fs.String("message", arch.MessageM, "message stream to analyse")
@@ -55,9 +56,21 @@ func run(args []string, out io.Writer) error {
 	critical := fs.Bool("critical", false, "hardening analysis: residual exposure after making each component unexploitable")
 	uncertainty := fs.Bool("uncertainty", false, "rate-uncertainty study: exploitable-time quantiles under ±50% rate perturbation")
 	literalGuard := fs.Bool("literal-patch-guard", false, "use the paper's literal Eq. (2) patch guard")
+	var ocli obs.CLI
+	ocli.Bind(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	orun, err := ocli.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := ocli.Finish(orun, "secanalyze", args); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 
 	archs, err := selectArchitectures(*archFlag)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/arch"
+	"repro/internal/obs"
 )
 
 func runCapture(t *testing.T, args ...string) (string, error) {
@@ -179,5 +180,96 @@ func TestJSONMode(t *testing.T) {
 	}
 	if _, ok := rows[0]["exploitable_time"].(float64); !ok {
 		t.Fatalf("exploitable_time missing: %v", rows[0])
+	}
+}
+
+func TestTraceAndManifestFlags(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "out.jsonl")
+	manifest := filepath.Join(dir, "manifest.json")
+	if _, err := runCapture(t, "-arch", "builtin:1", "-nmax", "1",
+		"-trace", trace, "-manifest", manifest); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("trace implausibly short: %d lines", len(lines))
+	}
+	// Every span the pipeline promises must appear, parented into one tree:
+	// analysis root → transform/explore/solvers.
+	spanNames := map[string]bool{}
+	parents := map[string]uint64{}
+	ids := map[uint64]bool{}
+	for _, ln := range lines[:len(lines)-1] {
+		e, err := obs.DecodeJSONL([]byte(ln))
+		if err != nil {
+			t.Fatalf("decode %q: %v", ln, err)
+		}
+		if e.Kind != obs.EventSpan {
+			continue
+		}
+		spanNames[e.Name] = true
+		parents[e.Name] = e.Parent
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"core.analyze_all", "core.analyze", "transform.build",
+		"modular.explore", "ctmc.cumulative_reward", "ctmc.steadystate"} {
+		if !spanNames[want] {
+			t.Errorf("trace missing span %q (got %v)", want, spanNames)
+		}
+	}
+	if p := parents["modular.explore"]; p == 0 || !ids[p] {
+		t.Errorf("modular.explore not parented into the tree (parent %d)", parents["modular.explore"])
+	}
+
+	// Final line is the embedded manifest envelope.
+	var envelope struct {
+		Kind     string        `json:"kind"`
+		Manifest *obs.Manifest `json:"manifest"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &envelope); err != nil {
+		t.Fatalf("manifest line: %v", err)
+	}
+	if envelope.Kind != "manifest" || envelope.Manifest == nil {
+		t.Fatalf("trace does not end in a manifest line: %q", lines[len(lines)-1])
+	}
+
+	// Standalone manifest file agrees on the essentials.
+	mraw, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m obs.Manifest
+	if err := json.Unmarshal(mraw, &m); err != nil {
+		t.Fatalf("manifest file: %v\n%s", err, mraw)
+	}
+	if m.Tool != "secanalyze" || m.Model.States == 0 || m.Model.Transitions == 0 {
+		t.Fatalf("manifest incomplete: %+v", m)
+	}
+	var foundExplore bool
+	for _, ph := range m.Phases {
+		if ph.Name == "modular.explore" && ph.Seconds > 0 && ph.Count > 0 {
+			foundExplore = true
+		}
+	}
+	if !foundExplore {
+		t.Fatalf("manifest lacks explore phase timing: %+v", m.Phases)
+	}
+}
+
+func TestProgressFlag(t *testing.T) {
+	// -progress writes to stderr; just confirm it does not disturb results
+	// and that the analysis completes with the tracer installed.
+	out, err := runCapture(t, "-arch", "builtin:1", "-nmax", "1", "-progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Architecture 1") {
+		t.Fatalf("out = %q", out)
 	}
 }

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/transform"
 )
@@ -31,7 +32,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	archFlag := fs.String("arch", "builtin:1", "architecture: builtin:1|2|3 or JSON file")
 	msg := fs.String("message", arch.MessageM, "message stream")
@@ -47,9 +48,21 @@ func run(args []string, out io.Writer) error {
 	protection := fs.String("protection", "unencrypted", "message protection")
 	threshold := fs.Float64("threshold", 0.005, "report the crossing of this exploitable-time fraction")
 	csv := fs.Bool("csv", false, "emit CSV")
+	var ocli obs.CLI
+	ocli.Bind(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	orun, err := ocli.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := ocli.Finish(orun, "sweep", args); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
 
 	a, err := selectArchitecture(*archFlag)
 	if err != nil {

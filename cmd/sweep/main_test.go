@@ -1,8 +1,12 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func runCapture(t *testing.T, args ...string) (string, error) {
@@ -64,5 +68,33 @@ func TestErrors(t *testing.T) {
 		if _, err := runCapture(t, args...); err == nil {
 			t.Fatalf("no error for %v", args)
 		}
+	}
+}
+
+func TestSweepTraceEmitsProgress(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "sweep.jsonl")
+	if _, err := runCapture(t, "-points", "3", "-from", "1", "-to", "100",
+		"-trace", trace); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sweepSpans, progress int
+	for _, ln := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		e, err := obs.DecodeJSONL([]byte(ln))
+		if err != nil {
+			continue // manifest envelope line
+		}
+		switch {
+		case e.Kind == obs.EventSpan && e.Name == "core.sweep":
+			sweepSpans++
+		case e.Kind == obs.EventProgress && e.Name == "core.sweep" && e.Total == 3:
+			progress++
+		}
+	}
+	if sweepSpans != 1 || progress == 0 {
+		t.Fatalf("sweep trace: %d core.sweep spans, %d progress events\n%s", sweepSpans, progress, raw)
 	}
 }

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/csl"
 	"repro/internal/modular"
+	"repro/internal/obs"
 	"repro/internal/transform"
 )
 
@@ -114,13 +116,31 @@ func (r *Result) Percent() float64 { return 100 * r.TimeFraction }
 
 // Analyze runs the full pipeline for one category × protection combination.
 func (a Analyzer) Analyze(ar *arch.Architecture, msgName string, cat transform.Category, prot transform.Protection) (*Result, error) {
+	return a.AnalyzeContext(context.Background(), ar, msgName, cat, prot)
+}
+
+// AnalyzeContext is Analyze with span propagation: a "core.analyze" span
+// (attributed with architecture, message, category and protection) covering
+// the transform, explore and check phases, each of which appears as a child
+// span in the trace.
+func (a Analyzer) AnalyzeContext(ctx context.Context, ar *arch.Architecture, msgName string, cat transform.Category, prot transform.Protection) (*Result, error) {
+	ctx, sp := obs.Start(ctx, "core.analyze")
+	defer sp.End()
+	if sp != nil {
+		sp.Str("arch", ar.Name)
+		sp.Str("message", msgName)
+		sp.Str("category", cat.String())
+		sp.Str("protection", prot.String())
+	}
 	a = a.withDefaults()
 	start := time.Now()
+	_, tsp := obs.Start(ctx, "transform.build")
 	res, err := transform.Build(ar, msgName, a.options(cat, prot))
+	tsp.End()
 	if err != nil {
 		return nil, err
 	}
-	ex, err := res.Model.Explore(modular.ExploreOpts{MaxStates: a.MaxStates})
+	ex, err := res.Model.ExploreContext(ctx, modular.ExploreOpts{MaxStates: a.MaxStates})
 	if err != nil {
 		return nil, err
 	}
@@ -156,13 +176,13 @@ func (a Analyzer) Analyze(ar *arch.Architecture, msgName string, cat transform.C
 		chain, mask, init = l.Quotient, lmask, linit
 		lumpedStates = l.Quotient.N()
 	}
-	frac, err := chain.ExpectedTimeFraction(init, mask, a.Horizon, a.Accuracy)
+	frac, err := chain.ExpectedTimeFractionContext(ctx, init, mask, a.Horizon, a.Accuracy)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s/%s/%s: %w", ar.Name, cat, prot, err)
 	}
 	steady := math.NaN()
 	if !a.SkipSteadyState {
-		steady, err = chain.SteadyStateProbability(init, mask)
+		steady, err = chain.SteadyStateProbabilityContext(ctx, init, mask)
 		if err != nil {
 			return nil, fmt.Errorf("core: steady state: %w", err)
 		}
@@ -196,6 +216,16 @@ var Protections = []transform.Protection{
 // AnalyzeAll analyses every category × protection combination for one
 // architecture (one column group of Figure 5).
 func (a Analyzer) AnalyzeAll(ar *arch.Architecture, msgName string) ([]*Result, error) {
+	return a.AnalyzeAllContext(context.Background(), ar, msgName)
+}
+
+// AnalyzeAllContext is AnalyzeAll with span propagation and per-combination
+// progress events. Parallel workers emit through the same sinks (sinks are
+// required to be concurrency-safe).
+func (a Analyzer) AnalyzeAllContext(ctx context.Context, ar *arch.Architecture, msgName string) ([]*Result, error) {
+	ctx, sp := obs.Start(ctx, "core.analyze_all")
+	defer sp.End()
+	sp.Str("arch", ar.Name)
 	type combo struct {
 		cat  transform.Category
 		prot transform.Protection
@@ -207,18 +237,34 @@ func (a Analyzer) AnalyzeAll(ar *arch.Architecture, msgName string) ([]*Result, 
 		}
 	}
 	out := make([]*Result, len(combos))
+	var done atomic64
 	run := func(i int) error {
-		r, err := a.Analyze(ar, msgName, combos[i].cat, combos[i].prot)
+		r, err := a.AnalyzeContext(ctx, ar, msgName, combos[i].cat, combos[i].prot)
 		if err != nil {
 			return err
 		}
 		out[i] = r
+		sp.Progress(done.inc(), int64(len(combos)))
 		return nil
 	}
 	if err := forEach(len(combos), a.Parallel, run); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// atomic64 is a tiny atomic counter for progress accounting across the
+// forEach worker pool.
+type atomic64 struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (c *atomic64) inc() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
 }
 
 // forEach executes run(0..n-1), concurrently when parallel is set, and
@@ -308,12 +354,27 @@ func (a Analyzer) Compare(archs []*arch.Architecture, msgName string) ([]*Result
 // Section 1). The model labels violated/secure, exp_<ecu> and exp_bus_<bus>
 // are available.
 func (a Analyzer) CheckProperty(ar *arch.Architecture, msgName string, cat transform.Category, prot transform.Protection, property string) (csl.Result, error) {
+	return a.CheckPropertyContext(context.Background(), ar, msgName, cat, prot, property)
+}
+
+// CheckPropertyContext is CheckProperty with span propagation: the build,
+// exploration and per-property check all nest under a "core.check_property"
+// span.
+func (a Analyzer) CheckPropertyContext(ctx context.Context, ar *arch.Architecture, msgName string, cat transform.Category, prot transform.Protection, property string) (csl.Result, error) {
+	ctx, sp := obs.Start(ctx, "core.check_property")
+	defer sp.End()
+	if sp != nil {
+		sp.Str("arch", ar.Name)
+		sp.Str("property", property)
+	}
 	a = a.withDefaults()
+	_, bsp := obs.Start(ctx, "transform.build")
 	res, err := transform.Build(ar, msgName, a.options(cat, prot))
+	bsp.End()
 	if err != nil {
 		return csl.Result{}, err
 	}
-	ex, err := res.Model.Explore(modular.ExploreOpts{MaxStates: a.MaxStates})
+	ex, err := res.Model.ExploreContext(ctx, modular.ExploreOpts{MaxStates: a.MaxStates})
 	if err != nil {
 		return csl.Result{}, err
 	}
@@ -323,7 +384,7 @@ func (a Analyzer) CheckProperty(ar *arch.Architecture, msgName string, cat trans
 	}
 	checker := csl.NewChecker(ex)
 	checker.Accuracy = a.Accuracy
-	return checker.Check(p)
+	return checker.CheckContext(ctx, p)
 }
 
 // SweepParam selects which rate the parameter exploration varies.
@@ -352,6 +413,20 @@ var ErrSweepTarget = errors.New("core: sweep target not found")
 // The architecture is cloned per point; the input is never mutated.
 func (a Analyzer) Sweep(ar *arch.Architecture, msgName string, cat transform.Category, prot transform.Protection,
 	param SweepParam, ecuName, busName string, rates []float64) ([]SweepPoint, error) {
+	return a.SweepContext(context.Background(), ar, msgName, cat, prot, param, ecuName, busName, rates)
+}
+
+// SweepContext is Sweep with span propagation: a "core.sweep" span with one
+// progress event per analysed rate point.
+func (a Analyzer) SweepContext(ctx context.Context, ar *arch.Architecture, msgName string, cat transform.Category, prot transform.Protection,
+	param SweepParam, ecuName, busName string, rates []float64) ([]SweepPoint, error) {
+	ctx, sp := obs.Start(ctx, "core.sweep")
+	defer sp.End()
+	if sp != nil {
+		sp.Str("arch", ar.Name)
+		sp.Str("ecu", ecuName)
+		sp.Int("points", int64(len(rates)))
+	}
 	if ar.ECU(ecuName) == nil {
 		return nil, fmt.Errorf("%w: ECU %q", ErrSweepTarget, ecuName)
 	}
@@ -380,11 +455,12 @@ func (a Analyzer) Sweep(ar *arch.Architecture, msgName string, cat transform.Cat
 		default:
 			return nil, fmt.Errorf("core: unknown sweep parameter %d", param)
 		}
-		r, err := a.Analyze(c, msgName, cat, prot)
+		r, err := a.AnalyzeContext(ctx, c, msgName, cat, prot)
 		if err != nil {
 			return nil, fmt.Errorf("core: sweep at rate %v: %w", rate, err)
 		}
 		out = append(out, SweepPoint{Rate: rate, TimeFraction: r.TimeFraction})
+		sp.Progress(int64(len(out)), int64(len(rates)))
 	}
 	return out, nil
 }

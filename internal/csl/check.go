@@ -1,12 +1,14 @@
 package csl
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/linalg"
 	"repro/internal/modular"
+	"repro/internal/obs"
 )
 
 // ErrCheck wraps property-checking failures.
@@ -29,7 +31,20 @@ func NewChecker(ex *modular.Explored) *Checker {
 // every query is evaluated for all states at once (backward algorithms), so
 // nested probabilistic operators inside state formulas come for free.
 func (c *Checker) Check(p *Property) (Result, error) {
-	vec, err := c.vector(p)
+	return c.CheckContext(context.Background(), p)
+}
+
+// CheckContext is Check with span propagation: every property evaluation
+// opens a "csl.check" span (attributed with the property source text), and
+// the numerical sub-analyses — transient passes, steady-state solves,
+// reachability rewards — nest beneath it in the trace.
+func (c *Checker) CheckContext(ctx context.Context, p *Property) (Result, error) {
+	ctx, sp := obs.Start(ctx, "csl.check")
+	defer sp.End()
+	if sp != nil && p.Source != "" {
+		sp.Str("property", p.Source)
+	}
+	vec, err := c.vector(ctx, p)
 	if err != nil {
 		return Result{}, err
 	}
@@ -69,18 +84,18 @@ func compare(op CmpOp, value, bound float64) bool {
 }
 
 // vector computes the quantitative per-state answer of a query.
-func (c *Checker) vector(p *Property) (linalg.Vector, error) {
+func (c *Checker) vector(ctx context.Context, p *Property) (linalg.Vector, error) {
 	switch p.Kind {
 	case KindProb:
-		return c.pathVector(p)
+		return c.pathVector(ctx, p)
 	case KindSteady:
-		phi, err := c.mask(p.State)
+		phi, err := c.mask(ctx, p.State)
 		if err != nil {
 			return nil, err
 		}
-		return c.Ex.Chain.SteadyStateVector(phi)
+		return c.Ex.Chain.SteadyStateVectorContext(ctx, phi)
 	case KindReward:
-		return c.rewardVectorQuery(p)
+		return c.rewardVectorQuery(ctx, p)
 	default:
 		return nil, fmt.Errorf("%w: unknown property kind %d", ErrCheck, p.Kind)
 	}
@@ -88,8 +103,8 @@ func (c *Checker) vector(p *Property) (linalg.Vector, error) {
 
 // mask evaluates a state formula in every state, preparing nested
 // probabilistic operators first.
-func (c *Checker) mask(e modular.Expr) ([]bool, error) {
-	if err := c.prepare(e); err != nil {
+func (c *Checker) mask(ctx context.Context, e modular.Expr) ([]bool, error) {
+	if err := c.prepare(ctx, e); err != nil {
 		return nil, err
 	}
 	m, err := c.Ex.ExprMask(e)
@@ -101,12 +116,12 @@ func (c *Checker) mask(e modular.Expr) ([]bool, error) {
 
 // prepare recursively evaluates every nested P/S/R node inside a state
 // formula, storing per-state results for Eval-time lookup.
-func (c *Checker) prepare(e modular.Expr) error {
+func (c *Checker) prepare(ctx context.Context, e modular.Expr) error {
 	return walkNested(e, func(n *nestedExpr) error {
 		if n.prepared() {
 			return nil
 		}
-		vec, err := c.vector(n.Prop) // recurses through nested levels
+		vec, err := c.vector(ctx, n.Prop) // recurses through nested levels
 		if err != nil {
 			return err
 		}
@@ -160,31 +175,31 @@ func (p *Property) stateExprs() []modular.Expr {
 	return []modular.Expr{p.Left, p.Right, p.State, p.RTarget}
 }
 
-func (c *Checker) pathVector(p *Property) (linalg.Vector, error) {
+func (c *Checker) pathVector(ctx context.Context, p *Property) (linalg.Vector, error) {
 	chain := c.Ex.Chain
 	switch p.Path {
 	case PathNext:
-		phi, err := c.mask(p.Right)
+		phi, err := c.mask(ctx, p.Right)
 		if err != nil {
 			return nil, err
 		}
 		return chain.NextVector(phi)
 	case PathFinally:
-		phi, err := c.mask(p.Right)
+		phi, err := c.mask(ctx, p.Right)
 		if err != nil {
 			return nil, err
 		}
 		switch {
 		case p.TimeLow > 0:
 			all := trueMask(chain.N())
-			return chain.IntervalUntilVector(all, phi, p.TimeLow, p.TimeBound, c.Accuracy)
+			return chain.IntervalUntilVectorContext(ctx, all, phi, p.TimeLow, p.TimeBound, c.Accuracy)
 		case p.TimeBound > 0:
-			return chain.TimeBoundedReachabilityVector(phi, p.TimeBound, c.Accuracy)
+			return chain.TimeBoundedReachabilityVectorContext(ctx, phi, p.TimeBound, c.Accuracy)
 		default:
-			return chain.UnboundedReachabilityVector(phi)
+			return chain.UnboundedReachabilityVectorContext(ctx, phi)
 		}
 	case PathGlobally:
-		notPhi, err := c.mask(modular.Not(p.Right))
+		notPhi, err := c.mask(ctx, modular.Not(p.Right))
 		if err != nil {
 			return nil, err
 		}
@@ -192,11 +207,11 @@ func (c *Checker) pathVector(p *Property) (linalg.Vector, error) {
 		switch {
 		case p.TimeLow > 0:
 			all := trueMask(chain.N())
-			q, err = chain.IntervalUntilVector(all, notPhi, p.TimeLow, p.TimeBound, c.Accuracy)
+			q, err = chain.IntervalUntilVectorContext(ctx, all, notPhi, p.TimeLow, p.TimeBound, c.Accuracy)
 		case p.TimeBound > 0:
-			q, err = chain.TimeBoundedReachabilityVector(notPhi, p.TimeBound, c.Accuracy)
+			q, err = chain.TimeBoundedReachabilityVectorContext(ctx, notPhi, p.TimeBound, c.Accuracy)
 		default:
-			q, err = chain.UnboundedReachabilityVector(notPhi)
+			q, err = chain.UnboundedReachabilityVectorContext(ctx, notPhi)
 		}
 		if err != nil {
 			return nil, err
@@ -206,19 +221,19 @@ func (c *Checker) pathVector(p *Property) (linalg.Vector, error) {
 		}
 		return q, nil
 	case PathUntil:
-		phi1, err := c.mask(p.Left)
+		phi1, err := c.mask(ctx, p.Left)
 		if err != nil {
 			return nil, err
 		}
-		phi2, err := c.mask(p.Right)
+		phi2, err := c.mask(ctx, p.Right)
 		if err != nil {
 			return nil, err
 		}
 		switch {
 		case p.TimeLow > 0:
-			return chain.IntervalUntilVector(phi1, phi2, p.TimeLow, p.TimeBound, c.Accuracy)
+			return chain.IntervalUntilVectorContext(ctx, phi1, phi2, p.TimeLow, p.TimeBound, c.Accuracy)
 		case p.TimeBound > 0:
-			return chain.BoundedUntilVector(phi1, phi2, p.TimeBound, c.Accuracy)
+			return chain.BoundedUntilVectorContext(ctx, phi1, phi2, p.TimeBound, c.Accuracy)
 		default:
 			// Unbounded until: ¬φ1 ∧ ¬φ2 absorbing, then unbounded reach.
 			absorb := make([]bool, chain.N())
@@ -229,14 +244,14 @@ func (c *Checker) pathVector(p *Property) (linalg.Vector, error) {
 			if err != nil {
 				return nil, err
 			}
-			return mod.UnboundedReachabilityVector(phi2)
+			return mod.UnboundedReachabilityVectorContext(ctx, phi2)
 		}
 	default:
 		return nil, fmt.Errorf("%w: unknown path kind %d", ErrCheck, p.Path)
 	}
 }
 
-func (c *Checker) rewardVectorQuery(p *Property) (linalg.Vector, error) {
+func (c *Checker) rewardVectorQuery(ctx context.Context, p *Property) (linalg.Vector, error) {
 	reward, err := c.rewardStructure(p.Structure)
 	if err != nil {
 		return nil, err
@@ -244,15 +259,15 @@ func (c *Checker) rewardVectorQuery(p *Property) (linalg.Vector, error) {
 	chain := c.Ex.Chain
 	switch p.RKind {
 	case RewardCumulative:
-		return chain.CumulativeRewardVector(reward, p.RTime, c.Accuracy)
+		return chain.CumulativeRewardVectorContext(ctx, reward, p.RTime, c.Accuracy)
 	case RewardInstantaneous:
-		return chain.BackwardTransient(reward, p.RTime, c.Accuracy)
+		return chain.BackwardTransientContext(ctx, reward, p.RTime, c.Accuracy)
 	case RewardReachability:
-		target, err := c.mask(p.RTarget)
+		target, err := c.mask(ctx, p.RTarget)
 		if err != nil {
 			return nil, err
 		}
-		return chain.ReachabilityRewardVector(reward, target)
+		return chain.ReachabilityRewardVectorContext(ctx, reward, target)
 	default:
 		return nil, fmt.Errorf("%w: unknown reward kind %d", ErrCheck, p.RKind)
 	}

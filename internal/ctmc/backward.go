@@ -1,10 +1,12 @@
 package ctmc
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/foxglynn"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 )
 
 // BackwardTransient computes u(t) = e^{Qt}·v for a value vector v: component
@@ -14,6 +16,14 @@ import (
 // vector–matrix products), which is what per-state property evaluation and
 // interval-until checking need.
 func (c *Chain) BackwardTransient(values linalg.Vector, t, accuracy float64) (linalg.Vector, error) {
+	return c.BackwardTransientContext(context.Background(), values, t, accuracy)
+}
+
+// BackwardTransientContext is BackwardTransient with span propagation
+// ("ctmc.backward_transient": q, Fox–Glynn window, matvec count).
+func (c *Chain) BackwardTransientContext(ctx context.Context, values linalg.Vector, t, accuracy float64) (linalg.Vector, error) {
+	_, sp := obs.Start(ctx, "ctmc.backward_transient")
+	defer sp.End()
 	if len(values) != c.N() {
 		return nil, fmt.Errorf("ctmc: value vector length %d, want %d", len(values), c.N())
 	}
@@ -34,9 +44,11 @@ func (c *Chain) BackwardTransient(values linalg.Vector, t, accuracy float64) (li
 	if err != nil {
 		return nil, err
 	}
+	uniSetup(sp, c.N(), t, q, fg)
 	out := linalg.NewVector(c.N())
 	cur := values.Clone()
 	next := linalg.NewVector(c.N())
+	matvecs := 0
 	for k := 0; k <= fg.Right; k++ {
 		if k >= fg.Left {
 			out.AddScaled(fg.Weights[k-fg.Left], cur)
@@ -47,8 +59,10 @@ func (c *Chain) BackwardTransient(values linalg.Vector, t, accuracy float64) (li
 		if _, err := uni.P.MulVec(cur, next); err != nil {
 			return nil, err
 		}
+		matvecs++
 		cur, next = next, cur
 	}
+	sp.Int("matvecs", int64(matvecs))
 	return out, nil
 }
 
@@ -56,6 +70,12 @@ func (c *Chain) BackwardTransient(values linalg.Vector, t, accuracy float64) (li
 // P_i[reach target within t] by making the target absorbing and running one
 // backward pass from the target indicator.
 func (c *Chain) TimeBoundedReachabilityVector(target []bool, t, accuracy float64) (linalg.Vector, error) {
+	return c.TimeBoundedReachabilityVectorContext(context.Background(), target, t, accuracy)
+}
+
+// TimeBoundedReachabilityVectorContext is TimeBoundedReachabilityVector with
+// span propagation.
+func (c *Chain) TimeBoundedReachabilityVectorContext(ctx context.Context, target []bool, t, accuracy float64) (linalg.Vector, error) {
 	if len(target) != c.N() {
 		return nil, fmt.Errorf("ctmc: target mask length %d, want %d", len(target), c.N())
 	}
@@ -69,7 +89,7 @@ func (c *Chain) TimeBoundedReachabilityVector(target []bool, t, accuracy float64
 			v[i] = 1
 		}
 	}
-	out, err := mod.BackwardTransient(v, t, accuracy)
+	out, err := mod.BackwardTransientContext(ctx, v, t, accuracy)
 	if err != nil {
 		return nil, err
 	}
@@ -85,6 +105,11 @@ func (c *Chain) TimeBoundedReachabilityVector(target []bool, t, accuracy float64
 
 // BoundedUntilVector computes P_i[φ1 U≤t φ2] for every state i.
 func (c *Chain) BoundedUntilVector(phi1, phi2 []bool, t, accuracy float64) (linalg.Vector, error) {
+	return c.BoundedUntilVectorContext(context.Background(), phi1, phi2, t, accuracy)
+}
+
+// BoundedUntilVectorContext is BoundedUntilVector with span propagation.
+func (c *Chain) BoundedUntilVectorContext(ctx context.Context, phi1, phi2 []bool, t, accuracy float64) (linalg.Vector, error) {
 	n := c.N()
 	if len(phi1) != n || len(phi2) != n {
 		return nil, fmt.Errorf("ctmc: formula mask length mismatch (want %d)", n)
@@ -103,7 +128,7 @@ func (c *Chain) BoundedUntilVector(phi1, phi2 []bool, t, accuracy float64) (lina
 			v[i] = 1
 		}
 	}
-	out, err := mod.BackwardTransient(v, t, accuracy)
+	out, err := mod.BackwardTransientContext(ctx, v, t, accuracy)
 	if err != nil {
 		return nil, err
 	}
@@ -127,6 +152,12 @@ func (c *Chain) BoundedUntilVector(phi1, phi2 []bool, t, accuracy float64) (lina
 //     backward pass over the chain with ¬φ1 states absorbing and y masked
 //     to φ1 states.
 func (c *Chain) IntervalUntil(init linalg.Vector, phi1, phi2 []bool, t1, t2, accuracy float64) (float64, error) {
+	return c.IntervalUntilContext(context.Background(), init, phi1, phi2, t1, t2, accuracy)
+}
+
+// IntervalUntilContext is IntervalUntil with span propagation (both backward
+// passes appear as child spans).
+func (c *Chain) IntervalUntilContext(ctx context.Context, init linalg.Vector, phi1, phi2 []bool, t1, t2, accuracy float64) (float64, error) {
 	n := c.N()
 	if err := c.checkInit(init); err != nil {
 		return 0, err
@@ -138,9 +169,9 @@ func (c *Chain) IntervalUntil(init linalg.Vector, phi1, phi2 []bool, t1, t2, acc
 		return 0, fmt.Errorf("%w: interval [%v, %v]", ErrBadTime, t1, t2)
 	}
 	if t1 == 0 {
-		return c.BoundedUntil(init, phi1, phi2, t2, accuracy)
+		return c.BoundedUntilContext(ctx, init, phi1, phi2, t2, accuracy)
 	}
-	y, err := c.BoundedUntilVector(phi1, phi2, t2-t1, accuracy)
+	y, err := c.BoundedUntilVectorContext(ctx, phi1, phi2, t2-t1, accuracy)
 	if err != nil {
 		return 0, err
 	}
@@ -156,7 +187,7 @@ func (c *Chain) IntervalUntil(init linalg.Vector, phi1, phi2 []bool, t1, t2, acc
 	if err != nil {
 		return 0, err
 	}
-	u, err := mod.BackwardTransient(masked, t1, accuracy)
+	u, err := mod.BackwardTransientContext(ctx, masked, t1, accuracy)
 	if err != nil {
 		return 0, err
 	}
@@ -168,6 +199,14 @@ func (c *Chain) IntervalUntil(init linalg.Vector, phi1, phi2 []bool, t1, t2, acc
 // counterpart of CumulativeReward:
 // u = Σ_k (1/q)(1 − Σ_{i≤k} γ_i) · Pᵏ·r.
 func (c *Chain) CumulativeRewardVector(reward linalg.Vector, t, accuracy float64) (linalg.Vector, error) {
+	return c.CumulativeRewardVectorContext(context.Background(), reward, t, accuracy)
+}
+
+// CumulativeRewardVectorContext is CumulativeRewardVector with span
+// propagation ("ctmc.cumulative_reward_vec").
+func (c *Chain) CumulativeRewardVectorContext(ctx context.Context, reward linalg.Vector, t, accuracy float64) (linalg.Vector, error) {
+	_, sp := obs.Start(ctx, "ctmc.cumulative_reward_vec")
+	defer sp.End()
 	n := c.N()
 	if len(reward) != n {
 		return nil, fmt.Errorf("ctmc: reward vector length %d, want %d", len(reward), n)
@@ -190,9 +229,11 @@ func (c *Chain) CumulativeRewardVector(reward linalg.Vector, t, accuracy float64
 	if err != nil {
 		return nil, err
 	}
+	uniSetup(sp, n, t, q, fg)
 	var cumWeight float64
 	cur := reward.Clone()
 	next := linalg.NewVector(n)
+	matvecs := 0
 	for k := 0; k <= fg.Right; k++ {
 		if k >= fg.Left {
 			cumWeight += fg.Weights[k-fg.Left]
@@ -206,8 +247,10 @@ func (c *Chain) CumulativeRewardVector(reward linalg.Vector, t, accuracy float64
 		if _, err := uni.P.MulVec(cur, next); err != nil {
 			return nil, err
 		}
+		matvecs++
 		cur, next = next, cur
 	}
+	sp.Int("matvecs", int64(matvecs))
 	return out, nil
 }
 

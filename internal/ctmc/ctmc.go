@@ -4,9 +4,17 @@
 // Fox–Glynn Poisson weights, expected cumulative / instantaneous rewards,
 // steady-state distributions (with bottom-SCC decomposition for reducible
 // chains), and expected reachability rewards on the embedded chain.
+//
+// Every analysis has two entry points: the legacy form (Transient,
+// CumulativeReward, …) and a Context form (TransientContext, …) that
+// participates in the internal/obs span tree. The legacy forms delegate with
+// context.Background(), so when observability is disabled both cost the
+// same — the no-op span path allocates nothing (pinned by a test in
+// obs_test.go).
 package ctmc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -15,6 +23,7 @@ import (
 	"repro/internal/foxglynn"
 	"repro/internal/graph"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 )
 
 // ErrBadRate reports a negative, NaN or infinite transition rate.
@@ -204,10 +213,31 @@ func checkTime(t float64) error {
 	return nil
 }
 
+// uniSetup records the uniformisation parameters common to all transient
+// spans: the rate q and the Fox–Glynn truncation window.
+func uniSetup(sp *obs.Span, n int, t, q float64, fg *foxglynn.Result) {
+	st := fg.Stats()
+	sp.Int("states", int64(n))
+	sp.Float("t", t)
+	sp.Float("q", q)
+	sp.Int("fg_left", int64(st.Left))
+	sp.Int("fg_right", int64(st.Right))
+	sp.Int("fg_terms", int64(st.Terms))
+}
+
 // Transient computes the state distribution at time t from init using
 // uniformisation: π(t) = Σ_k Poisson(qt, k) · init·Pᵏ. accuracy ≤ 0 selects
 // DefaultAccuracy.
 func (c *Chain) Transient(init linalg.Vector, t, accuracy float64) (linalg.Vector, error) {
+	return c.TransientContext(context.Background(), init, t, accuracy)
+}
+
+// TransientContext is Transient with span propagation: it records the
+// uniformisation rate, the Fox–Glynn window and the matrix–vector product
+// count on a "ctmc.transient" span.
+func (c *Chain) TransientContext(ctx context.Context, init linalg.Vector, t, accuracy float64) (linalg.Vector, error) {
+	_, sp := obs.Start(ctx, "ctmc.transient")
+	defer sp.End()
 	if err := c.checkInit(init); err != nil {
 		return nil, err
 	}
@@ -228,9 +258,11 @@ func (c *Chain) Transient(init linalg.Vector, t, accuracy float64) (linalg.Vecto
 	if err != nil {
 		return nil, err
 	}
+	uniSetup(sp, c.N(), t, q, fg)
 	out := linalg.NewVector(c.N())
 	cur := init.Clone()
 	next := linalg.NewVector(c.N())
+	matvecs := 0
 	for k := 0; k <= fg.Right; k++ {
 		if k >= fg.Left {
 			out.AddScaled(fg.Weights[k-fg.Left], cur)
@@ -241,8 +273,10 @@ func (c *Chain) Transient(init linalg.Vector, t, accuracy float64) (linalg.Vecto
 		if _, err := uni.Step(cur, next); err != nil {
 			return nil, err
 		}
+		matvecs++
 		cur, next = next, cur
 	}
+	sp.Int("matvecs", int64(matvecs))
 	// Guard against truncation drift.
 	out.Normalize1()
 	return out, nil
@@ -254,6 +288,14 @@ func (c *Chain) Transient(init linalg.Vector, t, accuracy float64) (linalg.Vecto
 // Poisson(qt) weights. With an indicator reward this is the expected time
 // spent in the indicated states — the paper's headline metric.
 func (c *Chain) CumulativeReward(init linalg.Vector, reward linalg.Vector, t, accuracy float64) (float64, error) {
+	return c.CumulativeRewardContext(context.Background(), init, reward, t, accuracy)
+}
+
+// CumulativeRewardContext is CumulativeReward with span propagation
+// ("ctmc.cumulative_reward": q, Fox–Glynn window, matvec count).
+func (c *Chain) CumulativeRewardContext(ctx context.Context, init linalg.Vector, reward linalg.Vector, t, accuracy float64) (float64, error) {
+	_, sp := obs.Start(ctx, "ctmc.cumulative_reward")
+	defer sp.End()
 	if err := c.checkInit(init); err != nil {
 		return 0, err
 	}
@@ -277,10 +319,12 @@ func (c *Chain) CumulativeReward(init linalg.Vector, reward linalg.Vector, t, ac
 	if err != nil {
 		return 0, err
 	}
+	uniSetup(sp, c.N(), t, q, fg)
 	var total float64
 	var cumWeight float64 // Σ_{i≤k} γ_i so far
 	cur := init.Clone()
 	next := linalg.NewVector(c.N())
+	matvecs := 0
 	for k := 0; k <= fg.Right; k++ {
 		if k >= fg.Left {
 			cumWeight += fg.Weights[k-fg.Left]
@@ -295,17 +339,24 @@ func (c *Chain) CumulativeReward(init linalg.Vector, reward linalg.Vector, t, ac
 		if _, err := uni.Step(cur, next); err != nil {
 			return 0, err
 		}
+		matvecs++
 		cur, next = next, cur
 	}
+	sp.Int("matvecs", int64(matvecs))
 	return total, nil
 }
 
 // InstantaneousReward computes E[r(X_t)] = π(t)·r.
 func (c *Chain) InstantaneousReward(init linalg.Vector, reward linalg.Vector, t, accuracy float64) (float64, error) {
+	return c.InstantaneousRewardContext(context.Background(), init, reward, t, accuracy)
+}
+
+// InstantaneousRewardContext is InstantaneousReward with span propagation.
+func (c *Chain) InstantaneousRewardContext(ctx context.Context, init linalg.Vector, reward linalg.Vector, t, accuracy float64) (float64, error) {
 	if len(reward) != c.N() {
 		return 0, fmt.Errorf("ctmc: reward vector length %d, want %d", len(reward), c.N())
 	}
-	pi, err := c.Transient(init, t, accuracy)
+	pi, err := c.TransientContext(ctx, init, t, accuracy)
 	if err != nil {
 		return 0, err
 	}
@@ -316,6 +367,12 @@ func (c *Chain) InstantaneousReward(init linalg.Vector, reward linalg.Vector, t,
 // init by making the target states absorbing and running transient
 // analysis.
 func (c *Chain) TimeBoundedReachability(init linalg.Vector, target []bool, t, accuracy float64) (float64, error) {
+	return c.TimeBoundedReachabilityContext(context.Background(), init, target, t, accuracy)
+}
+
+// TimeBoundedReachabilityContext is TimeBoundedReachability with span
+// propagation (the transient solve appears as a child span).
+func (c *Chain) TimeBoundedReachabilityContext(ctx context.Context, init linalg.Vector, target []bool, t, accuracy float64) (float64, error) {
 	if len(target) != c.N() {
 		return 0, fmt.Errorf("ctmc: target mask length %d, want %d", len(target), c.N())
 	}
@@ -323,7 +380,7 @@ func (c *Chain) TimeBoundedReachability(init linalg.Vector, target []bool, t, ac
 	if err != nil {
 		return 0, err
 	}
-	pi, err := mod.Transient(init, t, accuracy)
+	pi, err := mod.TransientContext(ctx, init, t, accuracy)
 	if err != nil {
 		return 0, err
 	}
@@ -345,6 +402,11 @@ func (c *Chain) TimeBoundedReachability(init linalg.Vector, target []bool, t, ac
 // the probability is the transient mass in φ2 at time t plus any mass that
 // was already absorbed in φ2 (absorbing, so it stays there).
 func (c *Chain) BoundedUntil(init linalg.Vector, phi1, phi2 []bool, t, accuracy float64) (float64, error) {
+	return c.BoundedUntilContext(context.Background(), init, phi1, phi2, t, accuracy)
+}
+
+// BoundedUntilContext is BoundedUntil with span propagation.
+func (c *Chain) BoundedUntilContext(ctx context.Context, init linalg.Vector, phi1, phi2 []bool, t, accuracy float64) (float64, error) {
 	n := c.N()
 	if len(phi1) != n || len(phi2) != n {
 		return 0, fmt.Errorf("ctmc: formula mask length mismatch (want %d)", n)
@@ -357,7 +419,7 @@ func (c *Chain) BoundedUntil(init linalg.Vector, phi1, phi2 []bool, t, accuracy 
 	if err != nil {
 		return 0, err
 	}
-	pi, err := mod.Transient(init, t, accuracy)
+	pi, err := mod.TransientContext(ctx, init, t, accuracy)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,60 @@
+package ctmc
+
+import (
+	"testing"
+)
+
+// midChain builds a 400-state birth–death chain with mildly stiff rates —
+// large enough that Transient does real uniformisation work (q·t ≈ 120,
+// a few hundred matvecs) but small enough for AllocsPerRun.
+func midChain(tb testing.TB) *Chain {
+	tb.Helper()
+	const n = 400
+	b := NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.Add(i, i+1, 3.0+float64(i%7))
+		b.Add(i+1, i, 12.0)
+	}
+	c, err := b.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return c
+}
+
+// seedTransientAllocs is the allocation count of Chain.Transient on midChain
+// measured at the pre-observability seed (commit fa2942e). The no-op obs
+// path must not add a single allocation on top of it.
+const seedTransientAllocs = 48
+
+// TestTransientNoopObsZeroAllocs pins Transient's allocation count to the
+// uninstrumented baseline: with no sink installed (the default), the
+// observability layer must contribute exactly zero allocations.
+func TestTransientNoopObsZeroAllocs(t *testing.T) {
+	c := midChain(t)
+	init := c.DiracInit(0)
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := c.Transient(init, 8, 1e-10); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > seedTransientAllocs {
+		t.Fatalf("Transient allocates %v times with obs disabled; seed baseline is %d — the no-op sink must be allocation-free",
+			allocs, seedTransientAllocs)
+	}
+}
+
+// BenchmarkTransientObsOff is the committed evidence that the disabled
+// instrumentation path is within noise of the seed (compare ns/op against
+// BenchmarkTransientObsOn to see the cost of a live sink).
+func BenchmarkTransientObsOff(b *testing.B) {
+	c := midChain(b)
+	init := c.DiracInit(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Transient(init, 8, 1e-10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

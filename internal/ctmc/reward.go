@@ -1,10 +1,12 @@
 package ctmc
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/linalg"
+	"repro/internal/obs"
 )
 
 // ReachabilityReward computes the expected reward accumulated until first
@@ -20,10 +22,15 @@ import (
 // as a sparse linear system over the states that reach the target almost
 // surely.
 func (c *Chain) ReachabilityReward(init linalg.Vector, reward linalg.Vector, target []bool) (float64, error) {
+	return c.ReachabilityRewardContext(context.Background(), init, reward, target)
+}
+
+// ReachabilityRewardContext is ReachabilityReward with span propagation.
+func (c *Chain) ReachabilityRewardContext(ctx context.Context, init linalg.Vector, reward linalg.Vector, target []bool) (float64, error) {
 	if err := c.checkInit(init); err != nil {
 		return 0, err
 	}
-	x, err := c.reachabilityRewardAll(reward, target)
+	x, err := c.reachabilityRewardAll(ctx, reward, target)
 	if err != nil {
 		return 0, err
 	}
@@ -42,7 +49,9 @@ func (c *Chain) ReachabilityReward(init linalg.Vector, reward linalg.Vector, tar
 
 // reachabilityRewardAll solves the expected-reward-to-target system for
 // every state at once.
-func (c *Chain) reachabilityRewardAll(reward linalg.Vector, target []bool) (linalg.Vector, error) {
+func (c *Chain) reachabilityRewardAll(ctx context.Context, reward linalg.Vector, target []bool) (linalg.Vector, error) {
+	_, sp := obs.Start(ctx, "ctmc.reachability_reward")
+	defer sp.End()
 	n := c.N()
 	if len(reward) != n {
 		return nil, fmt.Errorf("ctmc: reward vector length %d, want %d", len(reward), n)
@@ -50,6 +59,7 @@ func (c *Chain) reachabilityRewardAll(reward linalg.Vector, target []bool) (lina
 	if len(target) != n {
 		return nil, fmt.Errorf("ctmc: target mask length %d, want %d", len(target), n)
 	}
+	sp.Int("states", int64(n))
 	emb, err := c.Embedded()
 	if err != nil {
 		return nil, err
@@ -79,6 +89,7 @@ func (c *Chain) reachabilityRewardAll(reward linalg.Vector, target []bool) (lina
 			x[i] = math.Inf(1)
 		}
 	}
+	sp.Int("unknowns", int64(len(unknowns)))
 	if len(unknowns) > 0 {
 		coo := linalg.NewCOO(len(unknowns), len(unknowns))
 		b := linalg.NewVector(len(unknowns))
@@ -110,7 +121,10 @@ func (c *Chain) reachabilityRewardAll(reward linalg.Vector, target []bool) (lina
 		// secure region) need generous sweep budgets; the relative
 		// tolerance keeps the criterion meaningful for large expected
 		// rewards.
-		y, err := linalg.GaussSeidel(coo.ToCSR(), b, linalg.IterOpts{Tol: 1e-10, MaxIter: 2_000_000})
+		var stats linalg.IterStats
+		y, err := linalg.GaussSeidel(coo.ToCSR(), b, linalg.IterOpts{Tol: 1e-10, MaxIter: 2_000_000, Stats: &stats})
+		sp.Int("iterations", int64(stats.Iterations))
+		sp.Float("residual", stats.Residual)
 		if err != nil {
 			return nil, fmt.Errorf("ctmc: reachability-reward solve: %w", err)
 		}
@@ -125,6 +139,12 @@ func (c *Chain) reachabilityRewardAll(reward linalg.Vector, target []bool) (lina
 // spent in the masked states — the paper's "percentage of time the message
 // is exploitable within 1 year" metric.
 func (c *Chain) ExpectedTimeFraction(init linalg.Vector, mask []bool, t, accuracy float64) (float64, error) {
+	return c.ExpectedTimeFractionContext(context.Background(), init, mask, t, accuracy)
+}
+
+// ExpectedTimeFractionContext is ExpectedTimeFraction with span propagation
+// (the cumulative-reward solve appears as a child span).
+func (c *Chain) ExpectedTimeFractionContext(ctx context.Context, init linalg.Vector, mask []bool, t, accuracy float64) (float64, error) {
 	if len(mask) != c.N() {
 		return 0, fmt.Errorf("ctmc: mask length %d, want %d", len(mask), c.N())
 	}
@@ -137,7 +157,7 @@ func (c *Chain) ExpectedTimeFraction(init linalg.Vector, mask []bool, t, accurac
 			r[i] = 1
 		}
 	}
-	cum, err := c.CumulativeReward(init, r, t, accuracy)
+	cum, err := c.CumulativeRewardContext(ctx, init, r, t, accuracy)
 	if err != nil {
 		return 0, err
 	}

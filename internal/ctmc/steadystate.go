@@ -1,9 +1,11 @@
 package ctmc
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/linalg"
+	"repro/internal/obs"
 )
 
 // directSolveThreshold is the BSCC size below which the stationary
@@ -17,28 +19,30 @@ const directSolveThreshold = 256
 // decomposes over the bottom strongly connected components:
 // π∞(s) = Σ_B P[absorb into B | init] · π_B(s).
 func (c *Chain) SteadyState(init linalg.Vector) (linalg.Vector, error) {
+	return c.SteadyStateContext(context.Background(), init)
+}
+
+// SteadyStateContext is SteadyState with span propagation: a
+// "ctmc.steadystate" span recording state and BSCC counts, with one child
+// span per iterative balance-equation solve carrying the solver's iteration
+// count and final residual.
+func (c *Chain) SteadyStateContext(ctx context.Context, init linalg.Vector) (linalg.Vector, error) {
+	ctx, sp := obs.Start(ctx, "ctmc.steadystate")
+	defer sp.End()
 	if err := c.checkInit(init); err != nil {
 		return nil, err
 	}
 	n := c.N()
 	_, bsccs := c.Digraph().BSCCs()
+	sp.Int("states", int64(n))
+	sp.Int("bsccs", int64(len(bsccs)))
 	out := linalg.NewVector(n)
-	if len(bsccs) == 1 && len(bsccs[0]) == n {
-		// Irreducible: the initial distribution is irrelevant.
-		pi, err := c.stationaryOfClosedSet(bsccs[0])
-		if err != nil {
-			return nil, err
-		}
-		for k, s := range bsccs[0] {
-			out[s] = pi[k]
-		}
-		return out, nil
-	}
-	// A single BSCC absorbs all probability mass regardless of the initial
-	// distribution, so the (potentially ill-conditioned) reachability solve
-	// is only needed when the mass splits between several BSCCs.
 	if len(bsccs) == 1 {
-		pi, err := c.stationaryOfClosedSet(bsccs[0])
+		// Irreducible, or a single BSCC that absorbs all probability mass
+		// regardless of the initial distribution: the (potentially
+		// ill-conditioned) reachability solve is only needed when the mass
+		// splits between several BSCCs.
+		pi, err := c.stationaryOfClosedSet(ctx, bsccs[0])
 		if err != nil {
 			return nil, err
 		}
@@ -64,7 +68,7 @@ func (c *Chain) SteadyState(init linalg.Vector) (linalg.Vector, error) {
 		if pAbsorb == 0 {
 			continue
 		}
-		pi, err := c.stationaryOfClosedSet(b)
+		pi, err := c.stationaryOfClosedSet(ctx, b)
 		if err != nil {
 			return nil, err
 		}
@@ -80,7 +84,7 @@ func (c *Chain) SteadyState(init linalg.Vector) (linalg.Vector, error) {
 // stationaryOfClosedSet computes the stationary distribution of the chain
 // restricted to a closed (no outgoing rates) set of states. The result is
 // indexed like the set slice.
-func (c *Chain) stationaryOfClosedSet(set []int) (linalg.Vector, error) {
+func (c *Chain) stationaryOfClosedSet(ctx context.Context, set []int) (linalg.Vector, error) {
 	m := len(set)
 	if m == 1 {
 		return linalg.Vector{1}, nil
@@ -92,7 +96,7 @@ func (c *Chain) stationaryOfClosedSet(set []int) (linalg.Vector, error) {
 	if m <= directSolveThreshold {
 		return c.stationaryDirect(set, idx)
 	}
-	return c.stationaryIterative(set, idx)
+	return c.stationaryIterative(ctx, set, idx)
 }
 
 // stationaryDirect solves πQᵀ = 0 with the normalisation Σπ = 1 replacing
@@ -138,11 +142,15 @@ func (c *Chain) stationaryDirect(set []int, idx map[int]int) (linalg.Vector, err
 // power iteration on the uniformised chain, this stays fast on stiff chains
 // whose rates span many orders of magnitude (the Figure-6 sweeps go from
 // 0.1 to 8760 per year).
-func (c *Chain) stationaryIterative(set []int, idx map[int]int) (linalg.Vector, error) {
+func (c *Chain) stationaryIterative(ctx context.Context, set []int, idx map[int]int) (linalg.Vector, error) {
+	_, sp := obs.Start(ctx, "ctmc.steadystate.solve")
+	defer sp.End()
 	m := len(set)
 	if m == 0 {
 		return nil, fmt.Errorf("ctmc: empty state set")
 	}
+	sp.Str("method", "gauss-seidel")
+	sp.Int("unknowns", int64(m-1))
 	// Reference: any state in the (closed, strongly connected) set is
 	// correct. The state with the smallest exit rate has the longest mean
 	// sojourn and hence tends to carry large stationary mass, which keeps
@@ -190,9 +198,15 @@ func (c *Chain) stationaryIterative(set []int, idx map[int]int) (linalg.Vector, 
 			coo.Add(pos[k], pos[k], c.Exit[s])
 		}
 	}
-	y, err := linalg.GaussSeidel(coo.ToCSR(), b, linalg.IterOpts{Tol: 1e-11, MaxIter: 500000})
+	var stats linalg.IterStats
+	y, err := linalg.GaussSeidel(coo.ToCSR(), b, linalg.IterOpts{Tol: 1e-11, MaxIter: 500000, Stats: &stats})
+	sp.Int("iterations", int64(stats.Iterations))
+	sp.Float("residual", stats.Residual)
 	if err != nil {
-		return nil, fmt.Errorf("ctmc: iterative stationary solve: %w", err)
+		// On exhausted budgets err is a *linalg.ConvergenceError carrying the
+		// sweep count and final residual; preserve it through the wrap so
+		// callers can errors.As for the details.
+		return nil, fmt.Errorf("ctmc: iterative stationary solve (%d unknowns): %w", m-1, err)
 	}
 	pi := linalg.NewVector(m)
 	pi[ref] = 1
@@ -210,10 +224,16 @@ func (c *Chain) stationaryIterative(set []int, idx map[int]int) (linalg.Vector, 
 // SteadyStateProbability returns the long-run probability of being in the
 // masked states.
 func (c *Chain) SteadyStateProbability(init linalg.Vector, mask []bool) (float64, error) {
+	return c.SteadyStateProbabilityContext(context.Background(), init, mask)
+}
+
+// SteadyStateProbabilityContext is SteadyStateProbability with span
+// propagation.
+func (c *Chain) SteadyStateProbabilityContext(ctx context.Context, init linalg.Vector, mask []bool) (float64, error) {
 	if len(mask) != c.N() {
 		return 0, fmt.Errorf("ctmc: mask length %d, want %d", len(mask), c.N())
 	}
-	pi, err := c.SteadyState(init)
+	pi, err := c.SteadyStateContext(ctx, init)
 	if err != nil {
 		return 0, err
 	}

@@ -1,14 +1,21 @@
 package ctmc
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/linalg"
+	"repro/internal/obs"
 )
 
 // IntervalUntilVector computes P_i[φ1 U[t1,t2] φ2] for every state i (the
 // per-state form of IntervalUntil; see there for the construction).
 func (c *Chain) IntervalUntilVector(phi1, phi2 []bool, t1, t2, accuracy float64) (linalg.Vector, error) {
+	return c.IntervalUntilVectorContext(context.Background(), phi1, phi2, t1, t2, accuracy)
+}
+
+// IntervalUntilVectorContext is IntervalUntilVector with span propagation.
+func (c *Chain) IntervalUntilVectorContext(ctx context.Context, phi1, phi2 []bool, t1, t2, accuracy float64) (linalg.Vector, error) {
 	n := c.N()
 	if len(phi1) != n || len(phi2) != n {
 		return nil, fmt.Errorf("ctmc: formula mask length mismatch (want %d)", n)
@@ -17,9 +24,9 @@ func (c *Chain) IntervalUntilVector(phi1, phi2 []bool, t1, t2, accuracy float64)
 		return nil, fmt.Errorf("%w: interval [%v, %v]", ErrBadTime, t1, t2)
 	}
 	if t1 == 0 {
-		return c.BoundedUntilVector(phi1, phi2, t2, accuracy)
+		return c.BoundedUntilVectorContext(ctx, phi1, phi2, t2, accuracy)
 	}
-	y, err := c.BoundedUntilVector(phi1, phi2, t2-t1, accuracy)
+	y, err := c.BoundedUntilVectorContext(ctx, phi1, phi2, t2-t1, accuracy)
 	if err != nil {
 		return nil, err
 	}
@@ -35,7 +42,7 @@ func (c *Chain) IntervalUntilVector(phi1, phi2 []bool, t1, t2, accuracy float64)
 	if err != nil {
 		return nil, err
 	}
-	u, err := mod.BackwardTransient(masked, t1, accuracy)
+	u, err := mod.BackwardTransientContext(ctx, masked, t1, accuracy)
 	if err != nil {
 		return nil, err
 	}
@@ -72,25 +79,47 @@ func (c *Chain) NextVector(phi []bool) (linalg.Vector, error) {
 // UnboundedReachabilityVector computes P_i[F target] for every state via
 // the embedded chain.
 func (c *Chain) UnboundedReachabilityVector(target []bool) (linalg.Vector, error) {
+	return c.UnboundedReachabilityVectorContext(context.Background(), target)
+}
+
+// UnboundedReachabilityVectorContext is UnboundedReachabilityVector with
+// span propagation ("ctmc.unbounded_reach": solver iterations/residual).
+func (c *Chain) UnboundedReachabilityVectorContext(ctx context.Context, target []bool) (linalg.Vector, error) {
+	_, sp := obs.Start(ctx, "ctmc.unbounded_reach")
+	defer sp.End()
 	emb, err := c.Embedded()
 	if err != nil {
 		return nil, err
 	}
-	return emb.Reachability(target, linalg.IterOpts{})
+	var stats linalg.IterStats
+	out, err := emb.Reachability(target, linalg.IterOpts{Stats: &stats})
+	sp.Int("states", int64(c.N()))
+	sp.Int("iterations", int64(stats.Iterations))
+	sp.Float("residual", stats.Residual)
+	return out, err
 }
 
 // SteadyStateVector computes, for every state i, the long-run probability
 // of being in the masked set when starting from i: the BSCC decomposition
 // value_i = Σ_B P_i[absorb into B] · π_B(mask).
 func (c *Chain) SteadyStateVector(mask []bool) (linalg.Vector, error) {
+	return c.SteadyStateVectorContext(context.Background(), mask)
+}
+
+// SteadyStateVectorContext is SteadyStateVector with span propagation.
+func (c *Chain) SteadyStateVectorContext(ctx context.Context, mask []bool) (linalg.Vector, error) {
+	ctx, sp := obs.Start(ctx, "ctmc.steadystate_vec")
+	defer sp.End()
 	n := c.N()
 	if len(mask) != n {
 		return nil, fmt.Errorf("ctmc: mask length %d, want %d", len(mask), n)
 	}
 	_, bsccs := c.Digraph().BSCCs()
+	sp.Int("states", int64(n))
+	sp.Int("bsccs", int64(len(bsccs)))
 	out := linalg.NewVector(n)
 	if len(bsccs) == 1 {
-		pi, err := c.stationaryOfClosedSet(bsccs[0])
+		pi, err := c.stationaryOfClosedSet(ctx, bsccs[0])
 		if err != nil {
 			return nil, err
 		}
@@ -108,7 +137,7 @@ func (c *Chain) SteadyStateVector(mask []bool) (linalg.Vector, error) {
 		return nil, err
 	}
 	for _, b := range bsccs {
-		pi, err := c.stationaryOfClosedSet(b)
+		pi, err := c.stationaryOfClosedSet(ctx, b)
 		if err != nil {
 			return nil, err
 		}
@@ -141,5 +170,11 @@ func (c *Chain) SteadyStateVector(mask []bool) (linalg.Vector, error) {
 // accumulated until first reaching a target state (+Inf where the target is
 // reached with probability < 1). One linear solve covers all states.
 func (c *Chain) ReachabilityRewardVector(reward linalg.Vector, target []bool) (linalg.Vector, error) {
-	return c.reachabilityRewardAll(reward, target)
+	return c.ReachabilityRewardVectorContext(context.Background(), reward, target)
+}
+
+// ReachabilityRewardVectorContext is ReachabilityRewardVector with span
+// propagation.
+func (c *Chain) ReachabilityRewardVectorContext(ctx context.Context, reward linalg.Vector, target []bool) (linalg.Vector, error) {
+	return c.reachabilityRewardAll(ctx, reward, target)
 }

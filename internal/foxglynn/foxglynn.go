@@ -27,6 +27,23 @@ type Result struct {
 	Weights     []float64
 }
 
+// Stats summarises a computed truncation window for instrumentation and
+// tests: the window bounds, its width in terms, and the total weight mass
+// before normalisation is not retained (weights are returned normalised).
+type Stats struct {
+	// Left and Right are the inclusive truncation points.
+	Left, Right int
+	// Terms is the number of retained weights, Right − Left + 1.
+	Terms int
+}
+
+// Stats returns the truncation-window summary of the result, so callers
+// (spans, window-growth tests) never recompute or re-derive it from the
+// weight slice.
+func (r *Result) Stats() Stats {
+	return Stats{Left: r.Left, Right: r.Right, Terms: len(r.Weights)}
+}
+
 // ErrBadLambda reports a non-finite or negative rate.
 var ErrBadLambda = errors.New("foxglynn: lambda must be finite and non-negative")
 

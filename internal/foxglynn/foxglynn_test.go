@@ -153,3 +153,35 @@ func TestQuickMoments(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestStatsWindowGrowsWithLambda(t *testing.T) {
+	// The truncation window is O(sqrt(lambda)) wide and centred near the
+	// mode, so both the span and the term count must grow monotonically in
+	// q·t while staying o(lambda). Stats exposes this without recomputing
+	// the window from the weight slice.
+	prevTerms := 0
+	for _, lambda := range []float64{1, 10, 100, 1000, 10000} {
+		r, err := Compute(lambda, 1e-10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := r.Stats()
+		if st.Left != r.Left || st.Right != r.Right || st.Terms != len(r.Weights) {
+			t.Fatalf("lambda %g: stats %+v disagree with result [%d,%d] %d weights",
+				lambda, st, r.Left, r.Right, len(r.Weights))
+		}
+		if st.Terms != st.Right-st.Left+1 {
+			t.Fatalf("lambda %g: terms %d != width %d", lambda, st.Terms, st.Right-st.Left+1)
+		}
+		if st.Terms <= prevTerms {
+			t.Fatalf("lambda %g: window did not grow (%d -> %d terms)", lambda, prevTerms, st.Terms)
+		}
+		if lambda >= 100 && float64(st.Terms) > 4*math.Sqrt(lambda)*math.Sqrt(-math.Log(1e-10)) {
+			t.Fatalf("lambda %g: window %d terms implausibly wide", lambda, st.Terms)
+		}
+		if float64(st.Left) > lambda || float64(st.Right) < lambda-1 {
+			t.Fatalf("lambda %g: window [%d,%d] excludes the mode", lambda, st.Left, st.Right)
+		}
+		prevTerms = st.Terms
+	}
+}

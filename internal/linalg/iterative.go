@@ -7,8 +7,44 @@ import (
 )
 
 // ErrNoConvergence is returned when an iterative solver exhausts its
-// iteration budget before reaching the requested tolerance.
+// iteration budget before reaching the requested tolerance. Solvers wrap it
+// in a *ConvergenceError carrying the iteration count and final residual.
 var ErrNoConvergence = errors.New("linalg: iteration limit reached without convergence")
+
+// ConvergenceError reports a failed iterative solve with enough context to
+// act on it: which method ran, how many sweeps it used, and how far from
+// the tolerance it stopped. It unwraps to ErrNoConvergence, so existing
+// errors.Is checks keep working.
+type ConvergenceError struct {
+	// Method is the solver name ("jacobi", "gauss-seidel", "power").
+	Method string
+	// Iterations is the number of sweeps performed (the MaxIter budget).
+	Iterations int
+	// Residual is the final max-norm change between successive iterates.
+	Residual float64
+	// Tol is the tolerance that was not reached.
+	Tol float64
+}
+
+// Error implements error.
+func (e *ConvergenceError) Error() string {
+	return fmt.Sprintf("linalg: %s did not converge in %d iterations (residual %.3g, tol %.3g)",
+		e.Method, e.Iterations, e.Residual, e.Tol)
+}
+
+// Unwrap makes errors.Is(err, ErrNoConvergence) succeed.
+func (e *ConvergenceError) Unwrap() error { return ErrNoConvergence }
+
+// IterStats reports what an iterative solve actually did. Point IterOpts at
+// one to collect it; the solver fills it on both success and failure.
+type IterStats struct {
+	// Iterations is the number of sweeps performed.
+	Iterations int
+	// Residual is the final max-norm change between successive iterates.
+	Residual float64
+	// Converged records whether the tolerance was met.
+	Converged bool
+}
 
 // IterOpts configures the iterative solvers. The zero value selects the
 // defaults below.
@@ -19,6 +55,9 @@ type IterOpts struct {
 	Tol float64
 	// MaxIter bounds the number of sweeps. Default 100000.
 	MaxIter int
+	// Stats, when non-nil, receives iteration count and final residual —
+	// the instrumentation hook used by internal/ctmc spans.
+	Stats *IterStats
 }
 
 func (o IterOpts) withDefaults() IterOpts {
@@ -45,6 +84,7 @@ func Jacobi(a *CSR, b Vector, opts IterOpts) (Vector, error) {
 	}
 	x := NewVector(n)
 	next := NewVector(n)
+	var lastDelta float64
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		for i := 0; i < n; i++ {
 			s := b[i]
@@ -58,14 +98,24 @@ func Jacobi(a *CSR, b Vector, opts IterOpts) (Vector, error) {
 		}
 		d := x.MaxDiff(next)
 		x, next = next, x
+		lastDelta = d
 		if d <= opts.Tol*(1+x.NormInf()) {
 			if !x.AllFinite() {
 				return nil, ErrSingular
 			}
+			opts.report(iter+1, d, true)
 			return x, nil
 		}
 	}
-	return nil, ErrNoConvergence
+	opts.report(opts.MaxIter, lastDelta, false)
+	return nil, &ConvergenceError{Method: "jacobi", Iterations: opts.MaxIter, Residual: lastDelta, Tol: opts.Tol}
+}
+
+// report fills the caller-provided stats block, if any.
+func (o IterOpts) report(iterations int, residual float64, converged bool) {
+	if o.Stats != nil {
+		*o.Stats = IterStats{Iterations: iterations, Residual: residual, Converged: converged}
+	}
 }
 
 // GaussSeidel solves A·x = b for square CSR A with nonzero diagonal using
@@ -82,6 +132,7 @@ func GaussSeidel(a *CSR, b Vector, opts IterOpts) (Vector, error) {
 		return nil, err
 	}
 	x := NewVector(n)
+	var lastDelta float64
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		var maxDelta, maxAbs float64
 		for i := 0; i < n; i++ {
@@ -101,14 +152,17 @@ func GaussSeidel(a *CSR, b Vector, opts IterOpts) (Vector, error) {
 			}
 			x[i] = nv
 		}
+		lastDelta = maxDelta
 		if maxDelta <= opts.Tol*(1+maxAbs) {
 			if !x.AllFinite() {
 				return nil, ErrSingular
 			}
+			opts.report(iter+1, maxDelta, true)
 			return x, nil
 		}
 	}
-	return nil, ErrNoConvergence
+	opts.report(opts.MaxIter, lastDelta, false)
+	return nil, &ConvergenceError{Method: "gauss-seidel", Iterations: opts.MaxIter, Residual: lastDelta, Tol: opts.Tol}
 }
 
 func extractDiag(a *CSR) (Vector, error) {
@@ -137,6 +191,7 @@ func PowerStationary(p *CSR, opts IterOpts) (Vector, error) {
 	x := NewVector(n)
 	x.Fill(1 / float64(n))
 	next := NewVector(n)
+	var lastDelta float64
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		if _, err := p.VecMul(x, next); err != nil {
 			return nil, err
@@ -144,12 +199,15 @@ func PowerStationary(p *CSR, opts IterOpts) (Vector, error) {
 		next.Normalize1()
 		d := x.MaxDiff(next)
 		x, next = next, x
+		lastDelta = d
 		if d < opts.Tol {
 			if !x.AllFinite() {
 				return nil, ErrSingular
 			}
+			opts.report(iter+1, d, true)
 			return x, nil
 		}
 	}
-	return nil, ErrNoConvergence
+	opts.report(opts.MaxIter, lastDelta, false)
+	return nil, &ConvergenceError{Method: "power", Iterations: opts.MaxIter, Residual: lastDelta, Tol: opts.Tol}
 }

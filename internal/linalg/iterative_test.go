@@ -96,6 +96,59 @@ func TestIterativeNoConvergence(t *testing.T) {
 	}
 }
 
+func TestConvergenceErrorContext(t *testing.T) {
+	// Divergent iteration: the error must carry method, budget and the
+	// final (growing) residual, and still unwrap to ErrNoConvergence.
+	coo := NewCOO(2, 2)
+	coo.Add(0, 0, 1)
+	coo.Add(0, 1, -10)
+	coo.Add(1, 0, -10)
+	coo.Add(1, 1, 1)
+	a := coo.ToCSR()
+	var stats IterStats
+	_, err := GaussSeidel(a, Vector{1, 1}, IterOpts{MaxIter: 7, Stats: &stats})
+	var ce *ConvergenceError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %T %v, want *ConvergenceError", err, err)
+	}
+	if ce.Method != "gauss-seidel" || ce.Iterations != 7 || ce.Residual <= 0 {
+		t.Fatalf("incomplete context: %+v", ce)
+	}
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("ConvergenceError does not unwrap to ErrNoConvergence")
+	}
+	if stats.Converged || stats.Iterations != 7 || stats.Residual != ce.Residual {
+		t.Fatalf("stats disagree with error: %+v vs %+v", stats, ce)
+	}
+}
+
+func TestIterStatsOnSuccess(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	a := diagonallyDominantCSR(r, 10)
+	b := NewVector(10)
+	for i := range b {
+		b[i] = r.Float64()
+	}
+	for name, solve := range map[string]func() error{
+		"jacobi":       func() error { _, err := Jacobi(a, b, IterOpts{Stats: nil}); return err },
+		"gauss-seidel": func() error { _, err := GaussSeidel(a, b, IterOpts{Stats: nil}); return err },
+	} {
+		if err := solve(); err != nil {
+			t.Fatalf("%s without stats: %v", name, err)
+		}
+	}
+	var st IterStats
+	if _, err := GaussSeidel(a, b, IterOpts{Stats: &st}); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged || st.Iterations <= 0 || st.Iterations >= 100000 {
+		t.Fatalf("implausible stats: %+v", st)
+	}
+	if st.Residual < 0 {
+		t.Fatalf("negative residual: %+v", st)
+	}
+}
+
 func TestPowerStationaryTwoState(t *testing.T) {
 	// P = [[0.9, 0.1], [0.2, 0.8]] has stationary (2/3, 1/3).
 	coo := NewCOO(2, 2)

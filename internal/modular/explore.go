@@ -1,12 +1,14 @@
 package modular
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 
 	"repro/internal/ctmc"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 )
 
 // ErrStateSpaceLimit is returned when exploration exceeds the configured
@@ -44,6 +46,16 @@ type pendingTransition struct {
 // Explore performs breadth-first exploration of the composed model from its
 // initial state and compiles the result into a CTMC.
 func (m *Model) Explore(opts ExploreOpts) (*Explored, error) {
+	return m.ExploreContext(context.Background(), opts)
+}
+
+// ExploreContext is Explore with span propagation: a "modular.explore" span
+// recording the reachable state count, the transition count and the number
+// of dedup hits (successors that were already known), plus periodic
+// progress events while the frontier drains.
+func (m *Model) ExploreContext(ctx context.Context, opts ExploreOpts) (*Explored, error) {
+	_, sp := obs.Start(ctx, "modular.explore")
+	defer sp.End()
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -59,6 +71,7 @@ func (m *Model) Explore(opts ExploreOpts) (*Explored, error) {
 	syncActions := m.syncActions()
 	compiled := m.compileCommands()
 	var transitions []pendingTransition
+	dedupHits := 0
 	for head := 0; head < len(ex.States); head++ {
 		st := ex.States[head]
 		succs, err := m.successors(st, syncActions, compiled)
@@ -75,10 +88,20 @@ func (m *Model) Explore(opts ExploreOpts) (*Explored, error) {
 				to = len(ex.States)
 				ex.States = append(ex.States, s.state)
 				ex.index[key] = to
+			} else {
+				dedupHits++
 			}
 			transitions = append(transitions, pendingTransition{from: head, to: to, rate: s.rate})
 		}
+		// Total is unknown until the frontier drains; report the explored
+		// head against the current frontier size.
+		if sp != nil && head%1024 == 0 {
+			sp.Progress(int64(head), int64(len(ex.States)))
+		}
 	}
+	sp.Int("states", int64(len(ex.States)))
+	sp.Int("transitions", int64(len(transitions)))
+	sp.Int("dedup_hits", int64(dedupHits))
 	b := ctmc.NewBuilder(len(ex.States))
 	for _, tr := range transitions {
 		b.Add(tr.from, tr.to, tr.rate)

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Collector aggregates the event stream into per-phase statistics, from
+// which a run Manifest is derived: span name → {count, total wall time,
+// allocations, per-attribute sum/max}. Safe for concurrent Emit.
+type Collector struct {
+	mu       sync.Mutex
+	start    time.Time
+	spans    map[string]*phaseAgg
+	counters map[string]float64
+	gauges   map[string]float64
+}
+
+type phaseAgg struct {
+	count  int64
+	dur    time.Duration
+	allocs uint64
+	attrs  map[string]*attrAgg
+}
+
+type attrAgg struct {
+	sum, max float64
+	n        int64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		start:    time.Now(),
+		spans:    make(map[string]*phaseAgg),
+		counters: make(map[string]float64),
+		gauges:   make(map[string]float64),
+	}
+}
+
+// Emit implements Sink.
+func (c *Collector) Emit(e *Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch e.Kind {
+	case EventSpan:
+		agg := c.spans[e.Name]
+		if agg == nil {
+			agg = &phaseAgg{attrs: make(map[string]*attrAgg)}
+			c.spans[e.Name] = agg
+		}
+		agg.count++
+		agg.dur += e.Duration
+		agg.allocs += e.Allocs
+		for _, a := range e.Attrs {
+			v, ok := a.Float()
+			if !ok {
+				continue
+			}
+			aa := agg.attrs[a.Key]
+			if aa == nil {
+				aa = &attrAgg{max: v}
+				agg.attrs[a.Key] = aa
+			}
+			aa.sum += v
+			if v > aa.max {
+				aa.max = v
+			}
+			aa.n++
+		}
+	case EventCounter:
+		c.counters[e.Name] += e.Value
+	case EventGauge:
+		c.gauges[e.Name] = e.Value
+	}
+}
+
+// AttrStat is the aggregate of one numeric span attribute.
+type AttrStat struct {
+	Sum float64 `json:"sum"`
+	Max float64 `json:"max"`
+}
+
+// PhaseStat is the aggregate of all spans sharing a name.
+type PhaseStat struct {
+	Name    string              `json:"name"`
+	Count   int64               `json:"count"`
+	Seconds float64             `json:"seconds"`
+	Allocs  uint64              `json:"allocs,omitempty"`
+	Attrs   map[string]AttrStat `json:"attrs,omitempty"`
+}
+
+// ModelStats summarises the largest explored model of the run.
+type ModelStats struct {
+	States      int64 `json:"states"`
+	Transitions int64 `json:"transitions"`
+}
+
+// Manifest is the single JSON record each CLI run can emit: inputs, model
+// size, per-phase wall time and solver statistics — the unit of comparison
+// for sweeps across commits.
+type Manifest struct {
+	Tool        string             `json:"tool"`
+	Args        []string           `json:"args,omitempty"`
+	GoVersion   string             `json:"go_version"`
+	Start       time.Time          `json:"start"`
+	WallSeconds float64            `json:"wall_seconds"`
+	Model       ModelStats         `json:"model"`
+	Phases      []PhaseStat        `json:"phases"`
+	Counters    map[string]float64 `json:"counters,omitempty"`
+	Gauges      map[string]float64 `json:"gauges,omitempty"`
+}
+
+// exploreSpan is the span name whose attributes carry model size; the
+// manifest lifts them into ModelStats.
+const exploreSpan = "modular.explore"
+
+// Manifest snapshots the collector into a run manifest. tool and args
+// describe the invocation.
+func (c *Collector) Manifest(tool string, args []string) *Manifest {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := &Manifest{
+		Tool:        tool,
+		Args:        args,
+		GoVersion:   runtime.Version(),
+		Start:       c.start,
+		WallSeconds: time.Since(c.start).Seconds(),
+	}
+	for name, agg := range c.spans {
+		ps := PhaseStat{
+			Name:    name,
+			Count:   agg.count,
+			Seconds: agg.dur.Seconds(),
+			Allocs:  agg.allocs,
+		}
+		if len(agg.attrs) > 0 {
+			ps.Attrs = make(map[string]AttrStat, len(agg.attrs))
+			for k, aa := range agg.attrs {
+				ps.Attrs[k] = AttrStat{Sum: aa.sum, Max: aa.max}
+			}
+		}
+		m.Phases = append(m.Phases, ps)
+	}
+	sort.Slice(m.Phases, func(i, j int) bool { return m.Phases[i].Seconds > m.Phases[j].Seconds })
+	if agg := c.spans[exploreSpan]; agg != nil {
+		if aa := agg.attrs["states"]; aa != nil {
+			m.Model.States = int64(aa.max)
+		}
+		if aa := agg.attrs["transitions"]; aa != nil {
+			m.Model.Transitions = int64(aa.max)
+		}
+	}
+	if len(c.counters) > 0 {
+		m.Counters = make(map[string]float64, len(c.counters))
+		for k, v := range c.counters {
+			m.Counters[k] = v
+		}
+	}
+	if len(c.gauges) > 0 {
+		m.Gauges = make(map[string]float64, len(c.gauges))
+		for k, v := range c.gauges {
+			m.Gauges[k] = v
+		}
+	}
+	return m
+}
+
+// WriteJSON serialises the manifest with stable indentation.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

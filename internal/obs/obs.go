@@ -1,0 +1,326 @@
+// Package obs is the engine's lightweight, dependency-free observability
+// layer: context-propagated spans (wall time + heap allocations), typed
+// counters and gauges, progress events, and pluggable sinks (no-op, text,
+// JSON-lines, aggregating collector).
+//
+// Design constraints, in order:
+//
+//  1. Disabled is free. With no sink installed — the default — Start
+//     returns a nil *Span whose methods are nil-receiver no-ops; the whole
+//     path performs no allocation and costs one atomic load plus a context
+//     lookup. internal/ctmc pins this with testing.AllocsPerRun.
+//  2. No dependencies. Everything is stdlib; sinks serialise with
+//     encoding/json only when events actually flow.
+//  3. Trees without plumbing everywhere. Spans propagate through
+//     context.Context (Start returns a derived context); code paths that
+//     have no context fall back to the process-wide default tracer set by
+//     SetDefault, so legacy entry points still emit (root) spans.
+//
+// A span is owned by the goroutine that started it: attribute setters and
+// End must not be called concurrently. Sinks, in contrast, must tolerate
+// concurrent Emit calls (parallel sweeps emit from worker goroutines).
+package obs
+
+import (
+	"context"
+	"runtime/metrics"
+	"sync/atomic"
+	"time"
+)
+
+// AttrKind discriminates the typed attribute payload.
+type AttrKind uint8
+
+// Attribute kinds.
+const (
+	KindInt AttrKind = iota
+	KindFloat
+	KindString
+)
+
+// Attr is one typed key/value attached to a span or metric event.
+type Attr struct {
+	Key  string
+	Kind AttrKind
+	Int  int64
+	Flt  float64
+	Str  string
+}
+
+// Value returns the payload as an any (for serialisation).
+func (a Attr) Value() any {
+	switch a.Kind {
+	case KindInt:
+		return a.Int
+	case KindFloat:
+		return a.Flt
+	default:
+		return a.Str
+	}
+}
+
+// Float returns the numeric payload as a float64 (NaN-free; strings map
+// to 0). Used by the aggregating collector.
+func (a Attr) Float() (float64, bool) {
+	switch a.Kind {
+	case KindInt:
+		return float64(a.Int), true
+	case KindFloat:
+		return a.Flt, true
+	default:
+		return 0, false
+	}
+}
+
+// EventKind classifies sink events.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// EventSpan is emitted once per span, at End.
+	EventSpan EventKind = iota
+	// EventCounter is a monotonic increment.
+	EventCounter
+	// EventGauge is a point-in-time level.
+	EventGauge
+	// EventProgress reports done/total for a long-running stage.
+	EventProgress
+	// EventLog is a free-form annotation.
+	EventLog
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventSpan:
+		return "span"
+	case EventCounter:
+		return "counter"
+	case EventGauge:
+		return "gauge"
+	case EventProgress:
+		return "progress"
+	default:
+		return "log"
+	}
+}
+
+// Event is the unit handed to sinks. Span events carry ID/Parent/Start/
+// Duration/Allocs; counter and gauge events carry Value; progress events
+// carry Done/Total.
+type Event struct {
+	Kind     EventKind
+	Time     time.Time
+	Name     string
+	ID       uint64 // span events only
+	Parent   uint64 // span events only; 0 = root
+	Depth    int    // span nesting depth (0 = root); spans end child-first, so sinks cannot derive it
+	Start    time.Time
+	Duration time.Duration
+	Allocs   uint64 // heap objects allocated during the span
+	Value    float64
+	Done     int64
+	Total    int64
+	Attrs    []Attr
+}
+
+// Sink consumes events. Emit must be safe for concurrent use.
+type Sink interface {
+	Emit(e *Event)
+}
+
+// Tracer binds a sink to span-ID allocation. A nil *Tracer is a valid,
+// disabled tracer.
+type Tracer struct {
+	sink   Sink
+	nextID atomic.Uint64
+	// captureAllocs enables per-span heap-allocation deltas via
+	// runtime/metrics (cheap, no stop-the-world).
+	captureAllocs bool
+}
+
+// NewTracer returns a tracer that emits to sink. captureAllocs enables
+// per-span allocation accounting.
+func NewTracer(sink Sink, captureAllocs bool) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	return &Tracer{sink: sink, captureAllocs: captureAllocs}
+}
+
+// defaultTracer is the process-wide fallback used when a context carries no
+// span. It serves code paths (legacy entry points, background goroutines)
+// that cannot thread a context.
+var defaultTracer atomic.Pointer[Tracer]
+
+// SetDefault installs (or, with nil, removes) the process-wide default
+// tracer. CLIs call this once at startup when -trace/-progress is given.
+func SetDefault(t *Tracer) { defaultTracer.Store(t) }
+
+// Default returns the process-wide default tracer (nil when observability
+// is off).
+func Default() *Tracer { return defaultTracer.Load() }
+
+// Enabled reports whether any default sink is installed. Hot loops may use
+// it to skip preparing expensive attributes.
+func Enabled() bool { return defaultTracer.Load() != nil }
+
+type spanKey struct{}
+
+// Span is one timed operation. The zero of the API is the nil span: every
+// method is a nil-receiver no-op, so call sites never branch.
+type Span struct {
+	tracer      *Tracer
+	id          uint64
+	parent      uint64
+	depth       int
+	name        string
+	start       time.Time
+	startAllocs uint64
+	attrs       []Attr
+}
+
+// readAllocs returns the cumulative heap allocation count (objects) via
+// runtime/metrics, which does not stop the world. A fresh sample slice per
+// call keeps concurrent spans race-free; it only runs when a sink is live.
+func readAllocs() uint64 {
+	s := []metrics.Sample{{Name: "/gc/heap/allocs:objects"}}
+	metrics.Read(s)
+	if s[0].Value.Kind() == metrics.KindUint64 {
+		return s[0].Value.Uint64()
+	}
+	return 0
+}
+
+// Start begins a span named name. The parent is taken from ctx; if ctx
+// carries none, the process default tracer is consulted and the span is a
+// root. When observability is disabled the original ctx and a nil span are
+// returned with zero allocation.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	var tr *Tracer
+	var parent uint64
+	depth := 0
+	if p, ok := ctx.Value(spanKey{}).(*Span); ok && p != nil {
+		tr = p.tracer
+		parent = p.id
+		depth = p.depth + 1
+	} else {
+		tr = defaultTracer.Load()
+	}
+	if tr == nil {
+		return ctx, nil
+	}
+	sp := &Span{
+		tracer: tr,
+		id:     tr.nextID.Add(1),
+		parent: parent,
+		depth:  depth,
+		name:   name,
+		start:  time.Now(),
+	}
+	if tr.captureAllocs {
+		sp.startAllocs = readAllocs()
+	}
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// End emits the span event. Safe on a nil span; End may be called at most
+// once.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	e := Event{
+		Kind:     EventSpan,
+		Time:     time.Now(),
+		Name:     s.name,
+		ID:       s.id,
+		Parent:   s.parent,
+		Depth:    s.depth,
+		Start:    s.start,
+		Duration: time.Since(s.start),
+		Attrs:    s.attrs,
+	}
+	if s.tracer.captureAllocs {
+		if end := readAllocs(); end > s.startAllocs {
+			e.Allocs = end - s.startAllocs
+		}
+	}
+	s.tracer.sink.Emit(&e)
+}
+
+// Int attaches an integer attribute.
+func (s *Span) Int(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Kind: KindInt, Int: v})
+}
+
+// Float attaches a float attribute.
+func (s *Span) Float(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Kind: KindFloat, Flt: v})
+}
+
+// Str attaches a string attribute.
+func (s *Span) Str(key, v string) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Kind: KindString, Str: v})
+}
+
+// Progress emits a progress event tied to the span's name: done units out
+// of total (total ≤ 0 means unknown).
+func (s *Span) Progress(done, total int64) {
+	if s == nil {
+		return
+	}
+	s.tracer.sink.Emit(&Event{
+		Kind:  EventProgress,
+		Time:  time.Now(),
+		Name:  s.name,
+		ID:    s.id,
+		Done:  done,
+		Total: total,
+	})
+}
+
+// Count emits a monotonic counter increment against the tracer resolved
+// from ctx (or the default).
+func Count(ctx context.Context, name string, delta int64) {
+	if tr := resolve(ctx); tr != nil {
+		tr.sink.Emit(&Event{Kind: EventCounter, Time: time.Now(), Name: name, Value: float64(delta)})
+	}
+}
+
+// Gauge emits a point-in-time level.
+func Gauge(ctx context.Context, name string, v float64) {
+	if tr := resolve(ctx); tr != nil {
+		tr.sink.Emit(&Event{Kind: EventGauge, Time: time.Now(), Name: name, Value: v})
+	}
+}
+
+// Log emits a free-form annotation. Callers that need formatting should
+// guard the fmt.Sprintf behind Enabled() to keep disabled paths
+// allocation-free.
+func Log(ctx context.Context, msg string) {
+	if tr := resolve(ctx); tr != nil {
+		tr.sink.Emit(&Event{Kind: EventLog, Time: time.Now(), Name: msg})
+	}
+}
+
+func resolve(ctx context.Context) *Tracer {
+	if p, ok := ctx.Value(spanKey{}).(*Span); ok && p != nil {
+		return p.tracer
+	}
+	return defaultTracer.Load()
+}

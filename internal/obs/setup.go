@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only when PprofAddr is set
+	"os"
+	"time"
+)
+
+// RunOptions configures StartRun, mapping 1:1 onto the CLI flags -trace,
+// -progress and -pprof.
+type RunOptions struct {
+	// TraceFile, when non-empty, receives the JSON-lines event stream.
+	TraceFile string
+	// Progress enables throttled status lines on ProgressWriter.
+	Progress bool
+	// ProgressWriter defaults to os.Stderr.
+	ProgressWriter io.Writer
+	// ProgressInterval throttles status lines (0 = 500ms).
+	ProgressInterval time.Duration
+	// PprofAddr, when non-empty, serves net/http/pprof on that address.
+	PprofAddr string
+	// CaptureAllocs adds per-span heap-allocation deltas (slightly more
+	// expensive per span; only meaningful with a live sink).
+	CaptureAllocs bool
+	// Collect installs the aggregating collector even when no trace or
+	// progress sink is requested, so manifest-only runs still record phase
+	// timings and model size.
+	Collect bool
+}
+
+// Run is a live observability session: it owns the trace file, the
+// aggregating collector behind the run manifest, and the default-tracer
+// registration.
+type Run struct {
+	Collector *Collector
+	trace     *os.File
+	traceSink *JSONLSink
+	active    bool
+}
+
+// StartRun wires the requested sinks, installs them as the process default
+// tracer and returns the session. With all options off it returns an inert
+// Run (Close and Manifest still work) and leaves observability disabled.
+func StartRun(opts RunOptions) (*Run, error) {
+	r := &Run{Collector: NewCollector()}
+	var sinks MultiSink
+	sinks = append(sinks, r.Collector)
+	enabled := false
+	if opts.TraceFile != "" {
+		f, err := os.Create(opts.TraceFile)
+		if err != nil {
+			return nil, fmt.Errorf("obs: trace file: %w", err)
+		}
+		r.trace = f
+		r.traceSink = NewJSONLSink(f)
+		sinks = append(sinks, r.traceSink)
+		enabled = true
+	}
+	if opts.Progress {
+		w := opts.ProgressWriter
+		if w == nil {
+			w = os.Stderr
+		}
+		sinks = append(sinks, NewProgressPrinter(w, opts.ProgressInterval))
+		enabled = true
+	}
+	if opts.Collect {
+		enabled = true
+	}
+	if opts.PprofAddr != "" {
+		go func() {
+			// Errors (port in use) surface on stderr; profiling is auxiliary
+			// and must never fail the analysis.
+			if err := http.ListenAndServe(opts.PprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "obs: pprof server:", err)
+			}
+		}()
+	}
+	if !enabled {
+		// Nothing observes the stream: leave the global tracer nil so the
+		// hot path stays on the allocation-free fast path.
+		return r, nil
+	}
+	r.active = true
+	SetDefault(NewTracer(sinks, opts.CaptureAllocs))
+	return r, nil
+}
+
+// Active reports whether any sink is live.
+func (r *Run) Active() bool { return r.active }
+
+// Manifest snapshots the collector (see Collector.Manifest).
+func (r *Run) Manifest(tool string, args []string) *Manifest {
+	return r.Collector.Manifest(tool, args)
+}
+
+// EmitManifest appends the manifest as a final {"kind":"manifest",...}
+// JSON line to the trace stream (if tracing) so a single .jsonl file is
+// self-contained.
+func (r *Run) EmitManifest(m *Manifest) error {
+	if r.trace == nil {
+		return nil
+	}
+	body, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(r.trace, "{\"kind\":\"manifest\",\"manifest\":%s}\n", body)
+	return err
+}
+
+// Close uninstalls the default tracer and closes the trace file.
+func (r *Run) Close() error {
+	if r.active {
+		SetDefault(nil)
+		r.active = false
+	}
+	if r.trace != nil {
+		err := r.trace.Close()
+		r.trace = nil
+		return err
+	}
+	return nil
+}
+
+// CLI bundles the observability options every cmd/ binary exposes: -trace,
+// -progress, -pprof, -trace-allocs and -manifest.
+type CLI struct {
+	RunOptions
+	// ManifestFile, when non-empty, receives the run manifest as indented
+	// JSON at Finish.
+	ManifestFile string
+}
+
+// Bind registers the observability flags on fs, populating c at parse time.
+func (c *CLI) Bind(fs *flag.FlagSet) {
+	fs.StringVar(&c.TraceFile, "trace", "", "write a JSON-lines trace (spans, solver metrics, progress) to this file")
+	fs.BoolVar(&c.Progress, "progress", false, "print throttled progress lines to stderr")
+	fs.StringVar(&c.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	fs.BoolVar(&c.CaptureAllocs, "trace-allocs", false, "record per-span heap-allocation deltas in the trace")
+	fs.StringVar(&c.ManifestFile, "manifest", "", "write the run manifest (inputs, model size, per-phase timings) as JSON to this file")
+}
+
+// Start opens the observability session described by the parsed flags.
+func (c *CLI) Start() (*Run, error) {
+	opts := c.RunOptions
+	opts.Collect = opts.Collect || c.ManifestFile != ""
+	return StartRun(opts)
+}
+
+// Finish writes the run manifest — appended to the trace stream and, when
+// -manifest was given, as a standalone JSON file — and closes the session.
+// It is safe to call on an inert session and on error paths (a partial
+// manifest still documents what ran).
+func (c *CLI) Finish(r *Run, tool string, args []string) error {
+	m := r.Manifest(tool, args)
+	if err := r.EmitManifest(m); err != nil {
+		return fmt.Errorf("obs: manifest trace line: %w", err)
+	}
+	if c.ManifestFile != "" {
+		f, err := os.Create(c.ManifestFile)
+		if err != nil {
+			return fmt.Errorf("obs: manifest file: %w", err)
+		}
+		werr := m.WriteJSON(f)
+		cerr := f.Close()
+		if werr != nil {
+			return fmt.Errorf("obs: manifest file: %w", werr)
+		}
+		if cerr != nil {
+			return fmt.Errorf("obs: manifest file: %w", cerr)
+		}
+	}
+	return r.Close()
+}

@@ -8,12 +8,14 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"repro/internal/ctmc"
+	"repro/internal/obs"
 )
 
 // ErrBadArgs reports invalid simulation parameters.
@@ -62,11 +64,16 @@ func (s *Simulator) TimeFraction(init int, mask []bool, horizon float64, n int) 
 	if horizon <= 0 || n <= 0 {
 		return 0, 0, fmt.Errorf("%w: horizon %v, n %d", ErrBadArgs, horizon, n)
 	}
+	_, sp := obs.Start(context.Background(), "sim.time_fraction")
+	defer sp.End()
 	var sum, sumSq float64
 	for trial := 0; trial < n; trial++ {
 		frac := s.sampleFraction(init, mask, horizon)
 		sum += frac
 		sumSq += frac * frac
+		if sp != nil && (trial+1)%4096 == 0 {
+			sp.Progress(int64(trial+1), int64(n))
+		}
 	}
 	mean = sum / float64(n)
 	variance := sumSq/float64(n) - mean*mean
@@ -74,6 +81,11 @@ func (s *Simulator) TimeFraction(init int, mask []bool, horizon float64, n int) 
 		variance = 0
 	}
 	stderr = math.Sqrt(variance / float64(n))
+	sp.Int("paths", int64(n))
+	sp.Float("mean", mean)
+	// Half-width of the 95% confidence interval: the cross-validation
+	// tolerance the trace reader cares about.
+	sp.Float("ci_95", 1.96*stderr)
 	return mean, stderr, nil
 }
 
@@ -105,14 +117,23 @@ func (s *Simulator) ReachabilityWithin(init int, mask []bool, horizon float64, n
 	if horizon <= 0 || n <= 0 {
 		return 0, 0, fmt.Errorf("%w: horizon %v, n %d", ErrBadArgs, horizon, n)
 	}
+	_, sp := obs.Start(context.Background(), "sim.reachability")
+	defer sp.End()
 	hits := 0
 	for trial := 0; trial < n; trial++ {
 		if s.sampleReach(init, mask, horizon) {
 			hits++
 		}
+		if sp != nil && (trial+1)%4096 == 0 {
+			sp.Progress(int64(trial+1), int64(n))
+		}
 	}
 	p := float64(hits) / float64(n)
-	return p, math.Sqrt(p * (1 - p) / float64(n)), nil
+	se := math.Sqrt(p * (1 - p) / float64(n))
+	sp.Int("paths", int64(n))
+	sp.Float("mean", p)
+	sp.Float("ci_95", 1.96*se)
+	return p, se, nil
 }
 
 func (s *Simulator) sampleReach(init int, mask []bool, horizon float64) bool {
