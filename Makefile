@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check cover bench examples experiments fuzz clean
+.PHONY: all build vet test race check cover bench examples experiments serve fuzz clean
 
 all: check
 
@@ -44,6 +44,11 @@ examples:
 
 experiments:
 	$(GO) run ./cmd/experiments
+
+# Runs the resident analysis service (see README "Running as a service").
+PORT ?= 8600
+serve:
+	$(GO) run ./cmd/secserved -addr localhost:$(PORT)
 
 # Short parser fuzz pass (the seed corpus always runs under plain `test`).
 fuzz:

@@ -10,11 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/arch"
@@ -29,13 +32,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) (err error) {
+func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	only := fs.String("only", "", "run a single experiment: eq15|table2|fig5|fig6|scalability|ablations")
 	var ocli obs.CLI
@@ -52,7 +57,7 @@ func run(args []string, out io.Writer) (err error) {
 			err = ferr
 		}
 	}()
-	all := map[string]func(io.Writer) error{
+	all := map[string]func(context.Context, io.Writer) error{
 		"eq15":        eq15,
 		"table2":      table2,
 		"fig5":        fig5,
@@ -66,10 +71,10 @@ func run(args []string, out io.Writer) (err error) {
 		if !ok {
 			return fmt.Errorf("unknown experiment %q", *only)
 		}
-		return f(out)
+		return f(ctx, out)
 	}
 	for _, name := range order {
-		if err := all[name](out); err != nil {
+		if err := all[name](ctx, out); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Fprintln(out)
@@ -78,7 +83,7 @@ func run(args []string, out io.Writer) (err error) {
 }
 
 // eq15 regenerates the worked steady-state example via the PRISM front end.
-func eq15(out io.Writer) error {
+func eq15(ctx context.Context, out io.Writer) error {
 	fmt.Fprintln(out, "## Worked example (Eqs. 13-15)")
 	src, err := os.ReadFile("models/paper_fig3.pm")
 	if err != nil {
@@ -88,7 +93,7 @@ func eq15(out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	ex, err := model.Explore(modular.ExploreOpts{})
+	ex, err := model.ExploreContext(ctx, modular.ExploreOpts{})
 	if err != nil {
 		return err
 	}
@@ -110,7 +115,8 @@ func eq15(out io.Writer) error {
 }
 
 // table2 regenerates the component assessment.
-func table2(out io.Writer) error {
+func table2(ctx context.Context, out io.Writer) error {
+	_ = ctx // purely arithmetic, kept uniform with the other experiments
 	fmt.Fprintln(out, "## Table 2 — component assessment")
 	tbl := report.NewTable("vector", "sigma", "eta (1/a)", "paper")
 	for _, c := range []struct {
@@ -147,10 +153,10 @@ func table2(out io.Writer) error {
 }
 
 // fig5 regenerates the architecture comparison.
-func fig5(out io.Writer) error {
+func fig5(ctx context.Context, out io.Writer) error {
 	fmt.Fprintln(out, "## Figure 5 — exploitable time of m within 1 year")
 	an := core.Analyzer{NMax: 2, Horizon: 1, SkipSteadyState: true, Parallel: true}
-	results, err := an.Compare(arch.CaseStudy(), arch.MessageM)
+	results, err := an.CompareContext(ctx, arch.CaseStudy(), arch.MessageM)
 	if err != nil {
 		return err
 	}
@@ -164,7 +170,7 @@ func fig5(out io.Writer) error {
 }
 
 // fig6 regenerates both parameter explorations.
-func fig6(out io.Writer) error {
+func fig6(ctx context.Context, out io.Writer) error {
 	fmt.Fprintln(out, "## Figure 6 — parameter exploration (Architecture 1)")
 	an := core.Analyzer{NMax: 2, Horizon: 1}
 	rates := core.LogSpace(0.1, 8760, 13)
@@ -177,7 +183,7 @@ func fig6(out io.Writer) error {
 		{"(b) 3G exploitation rate", core.SweepExploitRate, arch.BusInternet},
 	}
 	for _, s := range sweeps {
-		pts, err := an.Sweep(arch.Architecture1(), arch.MessageM,
+		pts, err := an.SweepContext(ctx, arch.Architecture1(), arch.MessageM,
 			transform.Confidentiality, transform.Unencrypted,
 			s.param, arch.Telematics, s.bus, rates)
 		if err != nil {
@@ -200,11 +206,11 @@ func fig6(out io.Writer) error {
 }
 
 // scalability regenerates the Section-4.3 growth trends.
-func scalability(out io.Writer) error {
+func scalability(ctx context.Context, out io.Writer) error {
 	fmt.Fprintln(out, "## Scalability (Section 4.3)")
 	tbl := report.NewTable("workload", "states", "transitions", "wall time")
 	for _, nmax := range []int{1, 2, 3} {
-		states, nnz, dur, err := exploreSize(arch.Architecture1(), nmax)
+		states, nnz, dur, err := exploreSize(ctx, arch.Architecture1(), nmax)
 		if err != nil {
 			return err
 		}
@@ -216,7 +222,7 @@ func scalability(out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		states, nnz, dur, err := exploreSize(a, 2)
+		states, nnz, dur, err := exploreSize(ctx, a, 2)
 		if err != nil {
 			return err
 		}
@@ -227,7 +233,7 @@ func scalability(out io.Writer) error {
 	return err
 }
 
-func exploreSize(a *arch.Architecture, nmax int) (states, transitions int, dur time.Duration, err error) {
+func exploreSize(ctx context.Context, a *arch.Architecture, nmax int) (states, transitions int, dur time.Duration, err error) {
 	start := time.Now()
 	res, err := transform.Build(a, arch.MessageM, transform.Options{
 		NMax: nmax, Category: transform.Availability,
@@ -235,7 +241,7 @@ func exploreSize(a *arch.Architecture, nmax int) (states, transitions int, dur t
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	ex, err := res.Model.Explore(modular.ExploreOpts{})
+	ex, err := res.Model.ExploreContext(ctx, modular.ExploreOpts{})
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -250,11 +256,11 @@ func exploreSize(a *arch.Architecture, nmax int) (states, transitions int, dur t
 }
 
 // ablations regenerates the design-decision measurements.
-func ablations(out io.Writer) error {
+func ablations(ctx context.Context, out io.Writer) error {
 	fmt.Fprintln(out, "## Ablations (DESIGN.md §4)")
 	tbl := report.NewTable("ablation", "setting", "exploitable time", "states")
 	runOne := func(name, setting string, an core.Analyzer, a *arch.Architecture, cat transform.Category, prot transform.Protection) error {
-		r, err := an.Analyze(a, arch.MessageM, cat, prot)
+		r, err := an.AnalyzeContext(ctx, a, arch.MessageM, cat, prot)
 		if err != nil {
 			return err
 		}

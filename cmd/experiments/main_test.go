@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -22,7 +23,7 @@ func runCapture(t *testing.T, args ...string) (string, error) {
 		}
 	}()
 	var b strings.Builder
-	err = run(args, &b)
+	err = run(context.Background(), args, &b)
 	return b.String(), err
 }
 

@@ -12,32 +12,41 @@
 //	secanalyze -csv                    # machine-readable output
 //	secanalyze -prop 'P=?[F<=1 "violated"]' -category availability
 //	secanalyze -export-prism           # dump the generated PRISM model
+//	secanalyze -server http://localhost:8600   # run on a secserved instance
+//
+// Ctrl-C cancels a running analysis cleanly through the context plumbing
+// (partial output is flushed, the solver aborts at its next iteration).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
-	"strings"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/service"
 	"repro/internal/transform"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "secanalyze:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) (err error) {
+func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("secanalyze", flag.ContinueOnError)
 	archFlag := fs.String("arch", "", "architecture: builtin:1|2|3 or a JSON file (default: all built-ins)")
 	msg := fs.String("message", arch.MessageM, "message stream to analyse")
@@ -56,6 +65,7 @@ func run(args []string, out io.Writer) (err error) {
 	critical := fs.Bool("critical", false, "hardening analysis: residual exposure after making each component unexploitable")
 	uncertainty := fs.Bool("uncertainty", false, "rate-uncertainty study: exploitable-time quantiles under ±50% rate perturbation")
 	literalGuard := fs.Bool("literal-patch-guard", false, "use the paper's literal Eq. (2) patch guard")
+	server := fs.String("server", "", "run the analysis on a secserved instance at this base URL instead of locally")
 	var ocli obs.CLI
 	ocli.Bind(fs)
 	if err := fs.Parse(args); err != nil {
@@ -71,6 +81,17 @@ func run(args []string, out io.Writer) (err error) {
 			err = ferr
 		}
 	}()
+
+	if *server != "" {
+		if *exportPRISM || *exportDOT || *components || *attack || *metrics || *critical || *uncertainty {
+			return fmt.Errorf("-server supports the analysis grid and -prop only")
+		}
+		return runRemote(ctx, *server, remoteOptions{
+			archSpec: *archFlag, msg: *msg, nmax: *nmax, horizon: *horizon,
+			category: *category, protection: *protection, prop: *prop,
+			csv: *csv, jsonOut: *jsonOut,
+		}, out)
+	}
 
 	archs, err := selectArchitectures(*archFlag)
 	if err != nil {
@@ -89,11 +110,11 @@ func run(args []string, out io.Writer) (err error) {
 		return nil
 	}
 	if *exportPRISM || *prop != "" || *components || *attack || *metrics || *critical || *uncertainty {
-		cat, err := parseCategory(*category)
+		cat, err := transform.ParseCategory(*category)
 		if err != nil {
 			return err
 		}
-		pr, err := parseProtection(*protection)
+		pr, err := transform.ParseProtection(*protection)
 		if err != nil {
 			return err
 		}
@@ -201,7 +222,7 @@ func run(args []string, out io.Writer) (err error) {
 			return err
 		}
 		for _, a := range archs {
-			res, err := an.CheckProperty(a, *msg, cat, pr, *prop)
+			res, err := an.CheckPropertyContext(ctx, a, *msg, cat, pr, *prop)
 			if err != nil {
 				return err
 			}
@@ -214,7 +235,7 @@ func run(args []string, out io.Writer) (err error) {
 	tbl := report.NewTable("architecture", "category", "protection",
 		"exploitable time", "steady state", "states", "transitions", "build", "check")
 	for _, a := range archs {
-		rs, err := an.AnalyzeAll(a, *msg)
+		rs, err := an.AnalyzeAllContext(ctx, a, *msg)
 		if err != nil {
 			return err
 		}
@@ -286,28 +307,124 @@ func selectArchitectures(spec string) ([]*arch.Architecture, error) {
 	}
 }
 
-func parseCategory(s string) (transform.Category, error) {
-	switch strings.ToLower(s) {
-	case "confidentiality", "c":
-		return transform.Confidentiality, nil
-	case "integrity", "i", "g":
-		return transform.Integrity, nil
-	case "availability", "a":
-		return transform.Availability, nil
-	default:
-		return 0, fmt.Errorf("unknown category %q", s)
-	}
+// remoteOptions carries the flag subset the -server client mode supports.
+type remoteOptions struct {
+	archSpec, msg        string
+	nmax                 int
+	horizon              float64
+	category, protection string
+	prop                 string
+	csv, jsonOut         bool
 }
 
-func parseProtection(s string) (transform.Protection, error) {
-	switch strings.ToLower(s) {
-	case "unencrypted", "none":
-		return transform.Unencrypted, nil
-	case "cmac128", "cmac":
-		return transform.CMAC128, nil
-	case "aes128", "aes":
-		return transform.AES128, nil
-	default:
-		return 0, fmt.Errorf("unknown protection %q", s)
+// remoteRequests maps the -arch spec onto analysis requests: builtins go by
+// reference (the server holds them too), files are loaded locally and sent
+// inline, and the default spec fans out to the full case study.
+func remoteRequests(o remoteOptions) ([]*service.AnalysisRequest, error) {
+	base := service.AnalysisRequest{
+		Message:  o.msg,
+		NMax:     o.nmax,
+		Horizon:  o.horizon,
+		Property: o.prop,
 	}
+	if o.prop != "" {
+		base.Category = o.category
+		base.Protection = o.protection
+	}
+	var reqs []*service.AnalysisRequest
+	add := func(ref string, inline json.RawMessage) {
+		r := base
+		r.Architecture = ref
+		r.Inline = inline
+		reqs = append(reqs, &r)
+	}
+	switch o.archSpec {
+	case "":
+		add("builtin:1", nil)
+		add("builtin:2", nil)
+		add("builtin:3", nil)
+	case "builtin:1", "builtin:2", "builtin:3":
+		add(o.archSpec, nil)
+	default:
+		a, err := arch.LoadFile(o.archSpec)
+		if err != nil {
+			return nil, err
+		}
+		data, err := a.CanonicalJSON()
+		if err != nil {
+			return nil, err
+		}
+		add("", data)
+	}
+	return reqs, nil
+}
+
+// runRemote sends the analysis to a secserved instance and renders the
+// results with the same table the local path uses.
+func runRemote(ctx context.Context, baseURL string, o remoteOptions, out io.Writer) error {
+	cl := service.NewClient(baseURL)
+	reqs, err := remoteRequests(o)
+	if err != nil {
+		return err
+	}
+	var jsonResults []map[string]any
+	tbl := report.NewTable("architecture", "category", "protection",
+		"exploitable time", "steady state", "states", "transitions", "cache")
+	for _, req := range reqs {
+		v, err := cl.Analyze(ctx, req)
+		if err != nil {
+			return err
+		}
+		if o.prop != "" {
+			fmt.Fprintf(out, "%s: %s = %.10g\n", archLabel(req), o.prop, v.Property.Value)
+			continue
+		}
+		for _, r := range v.Results {
+			if o.jsonOut {
+				m := map[string]any{
+					"architecture":     r.Architecture,
+					"message":          r.Message,
+					"category":         r.Category,
+					"protection":       r.Protection,
+					"exploitable_time": r.ExploitableTime,
+					"states":           r.States,
+					"transitions":      r.Transitions,
+					"cache":            string(v.Cache),
+				}
+				if r.SteadyState != nil {
+					m["steady_state"] = *r.SteadyState
+				}
+				jsonResults = append(jsonResults, m)
+				continue
+			}
+			steady := math.NaN()
+			if r.SteadyState != nil {
+				steady = *r.SteadyState
+			}
+			tbl.AddRow(r.Architecture, r.Category, r.Protection,
+				report.Percent(r.ExploitableTime), report.Percent(steady),
+				fmt.Sprintf("%d", r.States), fmt.Sprintf("%d", r.Transitions),
+				string(v.Cache))
+		}
+	}
+	if o.prop != "" {
+		return nil
+	}
+	if o.jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(jsonResults)
+	}
+	if o.csv {
+		return tbl.WriteCSV(out)
+	}
+	_, err = tbl.WriteTo(out)
+	return err
+}
+
+func archLabel(req *service.AnalysisRequest) string {
+	if req.Architecture != "" {
+		return req.Architecture
+	}
+	return "inline"
 }

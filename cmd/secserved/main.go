@@ -1,0 +1,113 @@
+// Command secserved runs the security analysis as a resident HTTP/JSON
+// service: analysis jobs (architecture + message + category/protection or
+// CSL property) are accepted on a bounded queue, executed on a worker pool
+// with per-job deadlines, and cached by content address so repeated and
+// sweep-style requests are served from memory.
+//
+// Usage:
+//
+//	secserved                               # listen on :8600
+//	secserved -addr localhost:9000 -workers 8
+//	secserved -models ./models              # serve stored architectures
+//	secserved -trace run.jsonl              # request/job spans as JSON lines
+//
+// API:
+//
+//	POST /v1/analyses                # submit a job (sync with wait_seconds)
+//	GET  /v1/analyses/{id}           # poll a job
+//	GET  /v1/analyses/{id}/manifest  # per-job run manifest
+//	GET  /v1/healthz                 # liveness (503 while draining)
+//	GET  /v1/metrics                 # job + cache counters
+//	GET  /v1/metrics/pipeline        # aggregated pipeline phase timings
+//
+// SIGINT/SIGTERM drain gracefully: submissions are refused, in-flight jobs
+// finish (up to -drain), then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "secserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) (err error) {
+	fs := flag.NewFlagSet("secserved", flag.ContinueOnError)
+	addr := fs.String("addr", ":8600", "listen address")
+	workers := fs.Int("workers", 0, "concurrent analysis workers (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 64, "job queue depth (full queue rejects with 429)")
+	modelCache := fs.Int("model-cache", 64, "explored-state-space cache entries")
+	resultCache := fs.Int("result-cache", 1024, "solved-result cache entries")
+	models := fs.String("models", "", "directory of stored architecture JSON files (empty = disabled)")
+	jobTimeout := fs.Duration("job-timeout", 10*time.Minute, "per-job execution deadline")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	var ocli obs.CLI
+	ocli.Bind(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	orun, err := ocli.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := ocli.Finish(orun, "secserved", args); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
+
+	srv := service.New(service.Config{
+		Addr:            *addr,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		ModelCacheSize:  *modelCache,
+		ResultCacheSize: *resultCache,
+		ModelsDir:       *models,
+		JobTimeout:      *jobTimeout,
+		ExtraSink:       orun.Sink(),
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "secserved: listening on http://%s\n", l.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(out, "secserved: draining (budget %s)\n", *drain)
+	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "secserved: drained, bye")
+	return nil
+}

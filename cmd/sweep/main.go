@@ -11,12 +11,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
-	"strings"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/arch"
 	"repro/internal/core"
@@ -26,13 +28,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) (err error) {
+func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	archFlag := fs.String("arch", "builtin:1", "architecture: builtin:1|2|3 or JSON file")
 	msg := fs.String("message", arch.MessageM, "message stream")
@@ -68,11 +72,11 @@ func run(args []string, out io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
-	cat, err := parseCategory(*category)
+	cat, err := transform.ParseCategory(*category)
 	if err != nil {
 		return err
 	}
-	pr, err := parseProtection(*protection)
+	pr, err := transform.ParseProtection(*protection)
 	if err != nil {
 		return err
 	}
@@ -90,7 +94,7 @@ func run(args []string, out io.Writer) (err error) {
 		return fmt.Errorf("invalid grid: from=%v to=%v points=%d", *from, *to, *points)
 	}
 	an := core.Analyzer{NMax: *nmax, Horizon: *horizon}
-	pts, err := an.Sweep(a, *msg, cat, pr, sp, *ecu, *bus, rates)
+	pts, err := an.SweepContext(ctx, a, *msg, cat, pr, sp, *ecu, *bus, rates)
 	if err != nil {
 		return err
 	}
@@ -124,31 +128,5 @@ func selectArchitecture(spec string) (*arch.Architecture, error) {
 		return arch.Architecture3(), nil
 	default:
 		return arch.LoadFile(spec)
-	}
-}
-
-func parseCategory(s string) (transform.Category, error) {
-	switch strings.ToLower(s) {
-	case "confidentiality", "c":
-		return transform.Confidentiality, nil
-	case "integrity", "i", "g":
-		return transform.Integrity, nil
-	case "availability", "a":
-		return transform.Availability, nil
-	default:
-		return 0, fmt.Errorf("unknown category %q", s)
-	}
-}
-
-func parseProtection(s string) (transform.Protection, error) {
-	switch strings.ToLower(s) {
-	case "unencrypted", "none":
-		return transform.Unencrypted, nil
-	case "cmac128", "cmac":
-		return transform.CMAC128, nil
-	case "aes128", "aes":
-		return transform.AES128, nil
-	default:
-		return 0, fmt.Errorf("unknown protection %q", s)
 	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,7 +13,7 @@ import (
 func runCapture(t *testing.T, args ...string) (string, error) {
 	t.Helper()
 	var b strings.Builder
-	err := run(args, &b)
+	err := run(context.Background(), args, &b)
 	return b.String(), err
 }
 

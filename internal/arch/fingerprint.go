@@ -1,0 +1,32 @@
+package arch
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// CanonicalJSON returns the compact canonical serialisation used for
+// content addressing: the validated architecture marshalled in the
+// struct-defined field order with no indentation. An architecture that
+// round-trips through the JSON codec produces identical canonical bytes,
+// which is what lets a resident service cache transformed and solved
+// models by hash (the round-trip test pins this property for the shipped
+// model files).
+func (a *Architecture) CanonicalJSON() ([]byte, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(a)
+}
+
+// Fingerprint returns the architecture's content address: the hex SHA-256
+// of its canonical serialisation.
+func (a *Architecture) Fingerprint() (string, error) {
+	data, err := a.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}

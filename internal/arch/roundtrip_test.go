@@ -1,0 +1,85 @@
+package arch
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestModelFilesRoundTrip pins the JSON codec on the shipped model files:
+// load → marshal → reload must reproduce the architecture exactly, and the
+// canonical serialisation (the service's cache key input) must be stable
+// across the round trip.
+func TestModelFilesRoundTrip(t *testing.T) {
+	for _, name := range []string{"architecture1", "architecture2", "architecture3"} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join("..", "..", "models", name+".json")
+			a, err := LoadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := a.ToJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := FromJSON(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("%s does not survive a JSON round trip:\nloaded:   %+v\nreloaded: %+v", name, a, b)
+			}
+
+			ca, err := a.CanonicalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cb, err := b.CanonicalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(ca) != string(cb) {
+				t.Fatalf("%s canonical JSON changes across a round trip", name)
+			}
+			fa, err := a.Fingerprint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fb, err := b.Fingerprint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fa != fb || len(fa) != 64 {
+				t.Fatalf("%s fingerprint unstable: %q vs %q", name, fa, fb)
+			}
+		})
+	}
+}
+
+// TestBuiltinsMatchModelFiles checks the shipped JSON files are the
+// builtins (the service resolves "builtin:N" and stored models to the same
+// content address).
+func TestBuiltinsMatchModelFiles(t *testing.T) {
+	builtins := map[string]*Architecture{
+		"architecture1": Architecture1(),
+		"architecture2": Architecture2(),
+		"architecture3": Architecture3(),
+	}
+	for name, builtin := range builtins {
+		a, err := LoadFile(filepath.Join("..", "..", "models", name+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fa, err := a.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := builtin.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fa != fb {
+			t.Errorf("%s.json fingerprint %s differs from builtin %s", name, fa[:12], fb[:12])
+		}
+	}
+}

@@ -86,6 +86,26 @@ func (a Analyzer) options(cat transform.Category, prot transform.Protection) tra
 	}
 }
 
+// TransformOptions returns the transform configuration the analyzer uses
+// for one category × protection cell, with defaults applied — the
+// model-side half of a content-addressed cache key (its Canonical string
+// determines the generated model together with the architecture and
+// message).
+func (a Analyzer) TransformOptions(cat transform.Category, prot transform.Protection) transform.Options {
+	return a.withDefaults().options(cat, prot)
+}
+
+// Canonical returns a stable encoding of the solver-side configuration —
+// horizon, accuracy, state bound, steady-state and lumping switches — with
+// defaults applied. Together with arch.(*Architecture).CanonicalJSON and
+// transform.Options.Canonical it content-addresses a full analysis;
+// Parallel is excluded because it cannot change results.
+func (a Analyzer) Canonical() string {
+	a = a.withDefaults()
+	return fmt.Sprintf("horizon=%g&acc=%g&maxstates=%d&steady=%t&lump=%t",
+		a.Horizon, a.Accuracy, a.MaxStates, !a.SkipSteadyState, a.UseLumping)
+}
+
 // Result is one analysed (architecture, message, category, protection)
 // combination.
 type Result struct {
@@ -132,74 +152,11 @@ func (a Analyzer) AnalyzeContext(ctx context.Context, ar *arch.Architecture, msg
 		sp.Str("category", cat.String())
 		sp.Str("protection", prot.String())
 	}
-	a = a.withDefaults()
-	start := time.Now()
-	_, tsp := obs.Start(ctx, "transform.build")
-	res, err := transform.Build(ar, msgName, a.options(cat, prot))
-	tsp.End()
+	p, err := a.PrepareContext(ctx, ar, msgName, cat, prot)
 	if err != nil {
 		return nil, err
 	}
-	ex, err := res.Model.ExploreContext(ctx, modular.ExploreOpts{MaxStates: a.MaxStates})
-	if err != nil {
-		return nil, err
-	}
-	buildTime := time.Since(start)
-
-	start = time.Now()
-	mask, err := ex.LabelMask(transform.LabelViolated)
-	if err != nil {
-		return nil, err
-	}
-	chain := ex.Chain
-	init := ex.InitDistribution()
-	lumpedStates := 0
-	if a.UseLumping {
-		sig := make([]int, len(mask))
-		for i, m := range mask {
-			if m {
-				sig[i] = 1
-			}
-		}
-		l, err := chain.Lump(sig)
-		if err != nil {
-			return nil, fmt.Errorf("core: lumping: %w", err)
-		}
-		lmask, err := l.LumpMask(mask)
-		if err != nil {
-			return nil, fmt.Errorf("core: lumping: %w", err)
-		}
-		linit, err := l.LumpDistribution(init)
-		if err != nil {
-			return nil, fmt.Errorf("core: lumping: %w", err)
-		}
-		chain, mask, init = l.Quotient, lmask, linit
-		lumpedStates = l.Quotient.N()
-	}
-	frac, err := chain.ExpectedTimeFractionContext(ctx, init, mask, a.Horizon, a.Accuracy)
-	if err != nil {
-		return nil, fmt.Errorf("core: %s/%s/%s: %w", ar.Name, cat, prot, err)
-	}
-	steady := math.NaN()
-	if !a.SkipSteadyState {
-		steady, err = chain.SteadyStateProbabilityContext(ctx, init, mask)
-		if err != nil {
-			return nil, fmt.Errorf("core: steady state: %w", err)
-		}
-	}
-	return &Result{
-		Architecture: ar.Name,
-		Message:      msgName,
-		Category:     cat,
-		Protection:   prot,
-		TimeFraction: frac,
-		SteadyState:  steady,
-		States:       ex.N(),
-		Transitions:  ex.Chain.Rates.NNZ(),
-		LumpedStates: lumpedStates,
-		BuildTime:    buildTime,
-		CheckTime:    time.Since(start),
-	}, nil
+	return a.AnalyzePreparedContext(ctx, p)
 }
 
 // Categories lists the paper's three security principles in Figure 5 order.
@@ -337,9 +294,16 @@ func (a Analyzer) AnalyzeMessages(ar *arch.Architecture, cat transform.Category,
 
 // Compare analyses several architectures (the full Figure 5 grid).
 func (a Analyzer) Compare(archs []*arch.Architecture, msgName string) ([]*Result, error) {
+	return a.CompareContext(context.Background(), archs, msgName)
+}
+
+// CompareContext is Compare with context propagation: cancellation aborts
+// between (and, through the solver plumbing, within) the per-architecture
+// grids.
+func (a Analyzer) CompareContext(ctx context.Context, archs []*arch.Architecture, msgName string) ([]*Result, error) {
 	var out []*Result
 	for _, ar := range archs {
-		rs, err := a.AnalyzeAll(ar, msgName)
+		rs, err := a.AnalyzeAllContext(ctx, ar, msgName)
 		if err != nil {
 			return nil, err
 		}

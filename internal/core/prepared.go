@@ -1,0 +1,141 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/linalg"
+	"repro/internal/modular"
+	"repro/internal/obs"
+	"repro/internal/transform"
+)
+
+// Prepared is the reusable prefix of one analysis: the transformed model,
+// its explored state space, and the violated-label artefacts the solvers
+// consume. Preparation (transform + exploration) dominates the cost of
+// small-horizon queries, and the result depends only on the architecture,
+// the message and the model-side Options — not on horizon or accuracy — so
+// a resident service can cache Prepared values by content address and
+// re-solve the same chain under many solver settings.
+//
+// A Prepared value is immutable after PrepareContext returns and safe for
+// concurrent AnalyzePreparedContext calls.
+type Prepared struct {
+	// Transform carries the generated model and its variable references
+	// (property checks parse against Transform.Model).
+	Transform *transform.Result
+	// Explored is the compiled state space.
+	Explored *modular.Explored
+
+	archName  string
+	message   string
+	mask      []bool
+	init      linalg.Vector
+	buildTime time.Duration
+}
+
+// States returns the explored state count.
+func (p *Prepared) States() int { return p.Explored.N() }
+
+// Transitions returns the explored transition count.
+func (p *Prepared) Transitions() int { return p.Explored.Chain.Rates.NNZ() }
+
+// BuildTime returns the wall time of the transform + exploration phase.
+func (p *Prepared) BuildTime() time.Duration { return p.buildTime }
+
+// PrepareContext runs the model-construction half of AnalyzeContext —
+// transform, exploration, label mask and initial distribution — and returns
+// it in a form that AnalyzePreparedContext can solve repeatedly. Only the
+// model-side Analyzer options (NMax, patch-guard flags, reliability) affect
+// the result; they are captured in Transform.Options.
+func (a Analyzer) PrepareContext(ctx context.Context, ar *arch.Architecture, msgName string, cat transform.Category, prot transform.Protection) (*Prepared, error) {
+	a = a.withDefaults()
+	start := time.Now()
+	_, tsp := obs.Start(ctx, "transform.build")
+	res, err := transform.Build(ar, msgName, a.options(cat, prot))
+	tsp.End()
+	if err != nil {
+		return nil, err
+	}
+	ex, err := res.Model.ExploreContext(ctx, modular.ExploreOpts{MaxStates: a.MaxStates})
+	if err != nil {
+		return nil, err
+	}
+	mask, err := ex.LabelMask(transform.LabelViolated)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{
+		Transform: res,
+		Explored:  ex,
+		archName:  ar.Name,
+		message:   msgName,
+		mask:      mask,
+		init:      ex.InitDistribution(),
+		buildTime: time.Since(start),
+	}, nil
+}
+
+// AnalyzePreparedContext runs the numerical half of AnalyzeContext on a
+// prepared model: the exploitable-time reward, optionally the steady-state
+// probability, under the solver-side options of a (Horizon, Accuracy,
+// SkipSteadyState, UseLumping). The model-side options must match those
+// used at Prepare time; callers that key a cache by Options.Canonical get
+// this by construction. Result.BuildTime reports the original preparation
+// cost, so cached re-solves surface it unchanged.
+func (a Analyzer) AnalyzePreparedContext(ctx context.Context, p *Prepared) (*Result, error) {
+	a = a.withDefaults()
+	opts := p.Transform.Options
+	start := time.Now()
+	chain, mask, init := p.Explored.Chain, p.mask, p.init
+	lumpedStates := 0
+	if a.UseLumping {
+		sig := make([]int, len(mask))
+		for i, m := range mask {
+			if m {
+				sig[i] = 1
+			}
+		}
+		l, err := chain.Lump(sig)
+		if err != nil {
+			return nil, fmt.Errorf("core: lumping: %w", err)
+		}
+		lmask, err := l.LumpMask(mask)
+		if err != nil {
+			return nil, fmt.Errorf("core: lumping: %w", err)
+		}
+		linit, err := l.LumpDistribution(init)
+		if err != nil {
+			return nil, fmt.Errorf("core: lumping: %w", err)
+		}
+		chain, mask, init = l.Quotient, lmask, linit
+		lumpedStates = l.Quotient.N()
+	}
+	frac, err := chain.ExpectedTimeFractionContext(ctx, init, mask, a.Horizon, a.Accuracy)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s/%s/%s: %w", p.archName, opts.Category, opts.Protection, err)
+	}
+	steady := math.NaN()
+	if !a.SkipSteadyState {
+		steady, err = chain.SteadyStateProbabilityContext(ctx, init, mask)
+		if err != nil {
+			return nil, fmt.Errorf("core: steady state: %w", err)
+		}
+	}
+	return &Result{
+		Architecture: p.archName,
+		Message:      p.message,
+		Category:     opts.Category,
+		Protection:   opts.Protection,
+		TimeFraction: frac,
+		SteadyState:  steady,
+		States:       p.States(),
+		Transitions:  p.Transitions(),
+		LumpedStates: lumpedStates,
+		BuildTime:    p.buildTime,
+		CheckTime:    time.Since(start),
+	}, nil
+}

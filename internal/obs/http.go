@@ -1,0 +1,25 @@
+package obs
+
+import "net/http"
+
+// MetricsHandler exposes a collector's aggregate state over HTTP: a GET
+// returns the run manifest (per-phase wall time and allocations, solver
+// counters, gauges, model size) as indented JSON. It is the exposition
+// endpoint behind a service's /v1/metrics — the same document a CLI run
+// writes with -manifest, so tooling can diff offline and online runs.
+func MetricsHandler(c *Collector, tool string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if r.Method == http.MethodHead {
+			return
+		}
+		if err := c.Manifest(tool, nil).WriteJSON(w); err != nil {
+			// Headers are gone; nothing to do but note it for the client.
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

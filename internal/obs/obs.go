@@ -197,27 +197,38 @@ func readAllocs() uint64 {
 // returned with zero allocation.
 func Start(ctx context.Context, name string) (context.Context, *Span) {
 	var tr *Tracer
-	var parent uint64
-	depth := 0
 	if p, ok := ctx.Value(spanKey{}).(*Span); ok && p != nil {
 		tr = p.tracer
-		parent = p.id
-		depth = p.depth + 1
 	} else {
 		tr = defaultTracer.Load()
 	}
-	if tr == nil {
+	return tr.StartSpan(ctx, name)
+}
+
+// StartSpan begins a span on this specific tracer, nesting under any span
+// already carried by ctx (regardless of that span's tracer). It serves
+// components that own their tracer instead of the process default — an HTTP
+// server with a per-process collector, a per-job run manifest. A nil tracer
+// returns ctx unchanged and a nil span.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
 		return ctx, nil
 	}
+	var parent uint64
+	depth := 0
+	if p, ok := ctx.Value(spanKey{}).(*Span); ok && p != nil {
+		parent = p.id
+		depth = p.depth + 1
+	}
 	sp := &Span{
-		tracer: tr,
-		id:     tr.nextID.Add(1),
+		tracer: t,
+		id:     t.nextID.Add(1),
 		parent: parent,
 		depth:  depth,
 		name:   name,
 		start:  time.Now(),
 	}
-	if tr.captureAllocs {
+	if t.captureAllocs {
 		sp.startAllocs = readAllocs()
 	}
 	return context.WithValue(ctx, spanKey{}, sp), sp

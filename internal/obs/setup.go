@@ -40,6 +40,7 @@ type Run struct {
 	Collector *Collector
 	trace     *os.File
 	traceSink *JSONLSink
+	sinks     MultiSink
 	active    bool
 }
 
@@ -87,12 +88,24 @@ func StartRun(opts RunOptions) (*Run, error) {
 		return r, nil
 	}
 	r.active = true
+	r.sinks = sinks
 	SetDefault(NewTracer(sinks, opts.CaptureAllocs))
 	return r, nil
 }
 
 // Active reports whether any sink is live.
 func (r *Run) Active() bool { return r.active }
+
+// Sink returns the sink stack the run installed as the default tracer, or
+// nil when the run is inert. Servers that own their tracer (per-request and
+// per-job spans) use it to tee their events into the run's trace and
+// progress sinks.
+func (r *Run) Sink() Sink {
+	if !r.active {
+		return nil
+	}
+	return r.sinks
+}
 
 // Manifest snapshots the collector (see Collector.Manifest).
 func (r *Run) Manifest(tool string, args []string) *Manifest {

@@ -1,0 +1,61 @@
+package service
+
+import "testing"
+
+func TestLRUCacheEvictionOrder(t *testing.T) {
+	c := newLRUCache(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing before capacity reached")
+	}
+	c.Put("c", 3) // evicts b: a was touched more recently
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted (least recently used)")
+	}
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("a = %v, %v; want 1, true", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v.(int) != 3 {
+		t.Fatalf("c = %v, %v; want 3, true", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRUCacheUpdateExisting(t *testing.T) {
+	c := newLRUCache(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("a", 10) // update, not insert: nothing evicted
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("update of existing key must not evict")
+	}
+	if v, _ := c.Get("a"); v.(int) != 10 {
+		t.Fatalf("a = %v, want updated value 10", v)
+	}
+}
+
+func TestLRUCacheStats(t *testing.T) {
+	c := newLRUCache(1)
+	c.Get("missing")
+	c.Put("a", 1)
+	c.Get("a")
+	c.Put("b", 2) // evicts a
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v; want 1 hit, 1 miss, 1 eviction", st)
+	}
+	if st.Size != 1 || st.Capacity != 1 {
+		t.Fatalf("stats = %+v; want size 1, capacity 1", st)
+	}
+}
+
+func TestLRUCacheMinimumCapacity(t *testing.T) {
+	c := newLRUCache(0)
+	c.Put("a", 1)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("zero-capacity cache should clamp to one entry")
+	}
+}

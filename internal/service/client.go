@@ -1,0 +1,179 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to a secserved instance: submit, poll, metrics. The zero
+// HTTP client is replaced with http.DefaultClient.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:8600".
+	BaseURL string
+	// HTTP is the transport (default http.DefaultClient).
+	HTTP *http.Client
+	// PollInterval paces Wait's job polling (default 200ms).
+	PollInterval time.Duration
+}
+
+// NewClient returns a client for the server at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// apiError is a non-2xx response, carrying the server's error body.
+type apiError struct {
+	Status int
+	Msg    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("service: server returned %d: %s", e.Status, e.Msg)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 400 {
+		var eb errorBody
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			return &apiError{Status: resp.StatusCode, Msg: eb.Error}
+		}
+		return &apiError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(data))}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Submit posts a request and returns the accepted job (possibly already
+// finished when the request carried a wait).
+func (c *Client) Submit(ctx context.Context, req *AnalysisRequest) (*JobView, error) {
+	var v JobView
+	if err := c.do(ctx, http.MethodPost, "/v1/analyses", req, &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// Job fetches one job by ID.
+func (c *Client) Job(ctx context.Context, id string) (*JobView, error) {
+	var v JobView
+	if err := c.do(ctx, http.MethodGet, "/v1/analyses/"+id, nil, &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// Manifest fetches a finished job's run manifest as raw JSON.
+func (c *Client) Manifest(ctx context.Context, id string) (json.RawMessage, error) {
+	var v json.RawMessage
+	if err := c.do(ctx, http.MethodGet, "/v1/analyses/"+id+"/manifest", nil, &v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// terminal reports whether the job has reached a final status.
+func terminal(s JobStatus) bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// Wait polls the job until it reaches a terminal status or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string) (*JobView, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	for {
+		v, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if terminal(v.Status) {
+			return v, nil
+		}
+		select {
+		case <-ctx.Done():
+			return v, ctx.Err()
+		case <-time.After(interval):
+		}
+	}
+}
+
+// Analyze is the synchronous convenience: submit with a short server-side
+// wait, then poll until the job finishes. A failed job returns its error.
+func (c *Client) Analyze(ctx context.Context, req *AnalysisRequest) (*JobView, error) {
+	if req.WaitSeconds == 0 {
+		r := *req
+		r.WaitSeconds = 2
+		req = &r
+	}
+	v, err := c.Submit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if !terminal(v.Status) {
+		if v, err = c.Wait(ctx, v.ID); err != nil {
+			return nil, err
+		}
+	}
+	if v.Status != StatusDone {
+		return v, fmt.Errorf("service: job %s %s: %s", v.ID, v.Status, v.Error)
+	}
+	return v, nil
+}
+
+// Health checks /v1/healthz.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	var h Health
+	if err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Metrics fetches /v1/metrics.
+func (c *Client) Metrics(ctx context.Context) (*Metrics, error) {
+	var m Metrics
+	if err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

@@ -1,0 +1,393 @@
+// Package service turns the one-shot analysis pipeline into a resident,
+// concurrent system: an Engine that executes analysis requests behind a
+// two-level content-addressed cache (explored state spaces and solved
+// results, both LRU-bounded and single-flight-deduplicated), and a Server
+// that fronts the engine with an HTTP/JSON job API, a bounded worker pool,
+// per-job run manifests and graceful shutdown. The cache keys are hashes of
+// the canonical encodings the pipeline layers expose (arch.CanonicalJSON,
+// transform.Options.Canonical, core.Analyzer.Canonical), so sweep-style
+// traffic — many requests differing only in solver settings — re-solves a
+// shared in-memory state space instead of re-exploring it.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/csl"
+	"repro/internal/obs"
+	"repro/internal/transform"
+)
+
+// requestMode is the shape of an analysis request.
+type requestMode string
+
+const (
+	modeGrid     requestMode = "grid"     // full CIA × protection grid
+	modeSingle   requestMode = "single"   // one category × protection cell
+	modeProperty requestMode = "property" // CSL property check
+)
+
+// ErrBadRequest wraps all request validation failures (HTTP 400).
+var ErrBadRequest = errors.New("service: bad request")
+
+func badRequestf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadRequest, fmt.Sprintf(format, args...))
+}
+
+// resolvedRequest is a validated, canonicalised AnalysisRequest.
+type resolvedRequest struct {
+	arch      *arch.Architecture
+	archCanon []byte
+	msg       string
+	an        core.Analyzer
+	mode      requestMode
+	cat       transform.Category
+	prot      transform.Protection
+	property  string
+}
+
+// EngineOptions configures an Engine.
+type EngineOptions struct {
+	// ModelCacheSize bounds the explored-state-space cache (default 64
+	// entries; these dominate memory).
+	ModelCacheSize int
+	// ResultCacheSize bounds the solved-outcome cache (default 1024
+	// entries; outcomes are small).
+	ResultCacheSize int
+	// ModelsDir resolves stored-model architecture references; empty
+	// disables them.
+	ModelsDir string
+}
+
+// Engine executes analysis requests against the core pipeline with
+// content-addressed caching and single-flight deduplication. It is safe for
+// concurrent use; the Server runs one Engine under its worker pool, and
+// benchmarks drive it directly.
+type Engine struct {
+	models    *lruCache // modelKey → *core.Prepared
+	results   *lruCache // resultKey → *Outcome
+	modelSF   flightGroup
+	resultSF  flightGroup
+	modelsDir string
+
+	// solves counts pipeline executions; hits and shared count requests
+	// served without one. solves+misses in the result cache differ only
+	// when single-flight collapses concurrent identical requests.
+	solves int64
+	hits   int64
+	shared int64
+
+	// run executes one resolved request; tests substitute it to model slow
+	// or blocking jobs without heavy computation.
+	run func(ctx context.Context, rr *resolvedRequest) (*Outcome, error)
+}
+
+// NewEngine returns a ready engine.
+func NewEngine(opts EngineOptions) *Engine {
+	if opts.ModelCacheSize <= 0 {
+		opts.ModelCacheSize = 64
+	}
+	if opts.ResultCacheSize <= 0 {
+		opts.ResultCacheSize = 1024
+	}
+	e := &Engine{
+		models:    newLRUCache(opts.ModelCacheSize),
+		results:   newLRUCache(opts.ResultCacheSize),
+		modelsDir: opts.ModelsDir,
+	}
+	e.run = e.analyze
+	return e
+}
+
+// EngineStats is the engine's /v1/metrics contribution.
+type EngineStats struct {
+	// Solves is the number of full pipeline executions; Hits were served
+	// from the result cache and Shared joined an in-flight identical solve.
+	Solves      int64      `json:"solves"`
+	Hits        int64      `json:"hits"`
+	Shared      int64      `json:"shared"`
+	ModelCache  CacheStats `json:"model_cache"`
+	ResultCache CacheStats `json:"result_cache"`
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Solves:      atomic.LoadInt64(&e.solves),
+		Hits:        atomic.LoadInt64(&e.hits),
+		Shared:      atomic.LoadInt64(&e.shared),
+		ModelCache:  e.models.Stats(),
+		ResultCache: e.results.Stats(),
+	}
+}
+
+// Validate resolves the request without executing it, returning
+// ErrBadRequest-wrapped errors suitable for HTTP 400 responses.
+func (e *Engine) Validate(req *AnalysisRequest) error {
+	_, err := e.resolve(req)
+	return err
+}
+
+// Run resolves and executes one request: result-cache lookup first, then a
+// single-flight solve. The returned CacheState reports which path served
+// the outcome.
+func (e *Engine) Run(ctx context.Context, req *AnalysisRequest) (*Outcome, CacheState, error) {
+	rr, err := e.resolve(req)
+	if err != nil {
+		return nil, "", err
+	}
+	rkey := resultKey(rr.archCanon, rr.msg, rr.an, rr.mode, rr.cat, rr.prot, rr.property)
+	if v, ok := e.results.Get(rkey); ok {
+		atomic.AddInt64(&e.hits, 1)
+		obs.Count(ctx, "service.cache.result.hit", 1)
+		return v.(*Outcome), CacheHit, nil
+	}
+	v, err, leader := e.resultSF.Do(rkey, func() (any, error) {
+		obs.Count(ctx, "service.cache.result.miss", 1)
+		atomic.AddInt64(&e.solves, 1)
+		out, err := e.run(ctx, rr)
+		if err != nil {
+			return nil, err
+		}
+		e.results.Put(rkey, out)
+		return out, nil
+	})
+	state := CacheMiss
+	if !leader {
+		state = CacheShared
+		atomic.AddInt64(&e.shared, 1)
+		obs.Count(ctx, "service.singleflight.shared", 1)
+	}
+	if err != nil {
+		return nil, state, err
+	}
+	return v.(*Outcome), state, nil
+}
+
+// analyze is the real pipeline execution behind Run.
+func (e *Engine) analyze(ctx context.Context, rr *resolvedRequest) (*Outcome, error) {
+	switch rr.mode {
+	case modeProperty:
+		pr, err := e.checkProperty(ctx, rr)
+		if err != nil {
+			return nil, err
+		}
+		return &Outcome{Property: pr}, nil
+	case modeSingle:
+		r, err := e.analyzeCell(ctx, rr, rr.cat, rr.prot)
+		if err != nil {
+			return nil, err
+		}
+		return &Outcome{Results: []AnalysisResult{toAnalysisResult(r)}}, nil
+	default: // modeGrid
+		out := &Outcome{}
+		for _, cat := range core.Categories {
+			for _, prot := range core.Protections {
+				r, err := e.analyzeCell(ctx, rr, cat, prot)
+				if err != nil {
+					return nil, err
+				}
+				out.Results = append(out.Results, toAnalysisResult(r))
+			}
+		}
+		return out, nil
+	}
+}
+
+// prepared returns the cached transform+explore prefix for one cell,
+// building it under single-flight on miss.
+func (e *Engine) prepared(ctx context.Context, rr *resolvedRequest, cat transform.Category, prot transform.Protection) (*core.Prepared, error) {
+	mkey := modelKey(rr.archCanon, rr.msg, rr.an.TransformOptions(cat, prot))
+	if v, ok := e.models.Get(mkey); ok {
+		obs.Count(ctx, "service.cache.model.hit", 1)
+		return v.(*core.Prepared), nil
+	}
+	obs.Count(ctx, "service.cache.model.miss", 1)
+	v, err, _ := e.modelSF.Do(mkey, func() (any, error) {
+		p, err := rr.an.PrepareContext(ctx, rr.arch, rr.msg, cat, prot)
+		if err != nil {
+			return nil, err
+		}
+		e.models.Put(mkey, p)
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.Prepared), nil
+}
+
+func (e *Engine) analyzeCell(ctx context.Context, rr *resolvedRequest, cat transform.Category, prot transform.Protection) (*core.Result, error) {
+	p, err := e.prepared(ctx, rr, cat, prot)
+	if err != nil {
+		return nil, err
+	}
+	return rr.an.AnalyzePreparedContext(ctx, p)
+}
+
+func (e *Engine) checkProperty(ctx context.Context, rr *resolvedRequest) (*PropertyResult, error) {
+	p, err := e.prepared(ctx, rr, rr.cat, rr.prot)
+	if err != nil {
+		return nil, err
+	}
+	prop, err := csl.Parse(rr.property, csl.Environment{Model: p.Transform.Model})
+	if err != nil {
+		return nil, badRequestf("property: %v", err)
+	}
+	checker := csl.NewChecker(p.Explored)
+	checker.Accuracy = rr.an.Accuracy
+	res, err := checker.CheckContext(ctx, prop)
+	if err != nil {
+		return nil, err
+	}
+	return &PropertyResult{
+		Property:  rr.property,
+		Value:     res.Value,
+		Bounded:   res.Bounded,
+		Satisfied: res.Satisfied,
+	}, nil
+}
+
+func toAnalysisResult(r *core.Result) AnalysisResult {
+	out := AnalysisResult{
+		Architecture:    r.Architecture,
+		Message:         r.Message,
+		Category:        r.Category.String(),
+		Protection:      r.Protection.String(),
+		ExploitableTime: r.TimeFraction,
+		States:          r.States,
+		Transitions:     r.Transitions,
+		LumpedStates:    r.LumpedStates,
+		BuildSeconds:    r.BuildTime.Seconds(),
+		CheckSeconds:    r.CheckTime.Seconds(),
+	}
+	if !math.IsNaN(r.SteadyState) {
+		s := r.SteadyState
+		out.SteadyState = &s
+	}
+	return out
+}
+
+// resolve validates the request and canonicalises it into the content-
+// addressable form the caches key on.
+func (e *Engine) resolve(req *AnalysisRequest) (*resolvedRequest, error) {
+	if req == nil {
+		return nil, badRequestf("empty request")
+	}
+	a, err := e.resolveArchitecture(req)
+	if err != nil {
+		return nil, err
+	}
+	canon, err := a.CanonicalJSON()
+	if err != nil {
+		return nil, badRequestf("architecture: %v", err)
+	}
+	msg := req.Message
+	if msg == "" {
+		msg = arch.MessageM
+	}
+	if a.Message(msg) == nil {
+		return nil, badRequestf("architecture %s has no message %q", a.Name, msg)
+	}
+	if req.NMax < 0 || req.NMax > maxNMax {
+		return nil, badRequestf("nmax %d outside [0, %d]", req.NMax, maxNMax)
+	}
+	if req.Horizon < 0 || req.Horizon > maxHorizon {
+		return nil, badRequestf("horizon %g outside [0, %g]", req.Horizon, float64(maxHorizon))
+	}
+	if req.TimeoutSeconds < 0 || req.WaitSeconds < 0 {
+		return nil, badRequestf("negative timeout or wait")
+	}
+	rr := &resolvedRequest{
+		arch:      a,
+		archCanon: canon,
+		msg:       msg,
+		an: core.Analyzer{
+			NMax:            req.NMax,
+			Horizon:         req.Horizon,
+			SkipSteadyState: req.SkipSteadyState,
+			UseLumping:      req.UseLumping,
+		},
+		property: req.Property,
+	}
+	haveCat := req.Category != ""
+	haveProt := req.Protection != ""
+	if haveCat {
+		if rr.cat, err = transform.ParseCategory(req.Category); err != nil {
+			return nil, badRequestf("%v", err)
+		}
+	}
+	if haveProt {
+		if rr.prot, err = transform.ParseProtection(req.Protection); err != nil {
+			return nil, badRequestf("%v", err)
+		}
+	}
+	switch {
+	case req.Property != "":
+		// Property checks default to confidentiality/unencrypted when the
+		// cell is unspecified; the property itself addresses the labels.
+		rr.mode = modeProperty
+	case haveCat && haveProt:
+		rr.mode = modeSingle
+	case !haveCat && !haveProt:
+		rr.mode = modeGrid
+	default:
+		return nil, badRequestf("category and protection must be given together (or both omitted for the full grid)")
+	}
+	return rr, nil
+}
+
+// Request sanity bounds: nmax beyond 8 or horizons beyond 1000 years are
+// state-space explosions or numeric nonsense, not analyses.
+const (
+	maxNMax    = 8
+	maxHorizon = 1000
+)
+
+func (e *Engine) resolveArchitecture(req *AnalysisRequest) (*arch.Architecture, error) {
+	if len(req.Inline) > 0 {
+		if req.Architecture != "" {
+			return nil, badRequestf("architecture and inline are mutually exclusive")
+		}
+		a, err := arch.FromJSON(req.Inline)
+		if err != nil {
+			return nil, badRequestf("inline architecture: %v", err)
+		}
+		return a, nil
+	}
+	switch req.Architecture {
+	case "":
+		return nil, badRequestf("no architecture given")
+	case "builtin:1":
+		return arch.Architecture1(), nil
+	case "builtin:2":
+		return arch.Architecture2(), nil
+	case "builtin:3":
+		return arch.Architecture3(), nil
+	}
+	name := req.Architecture
+	if e.modelsDir == "" {
+		return nil, badRequestf("unknown architecture %q (no models directory configured)", name)
+	}
+	if strings.ContainsAny(name, "/\\") || strings.Contains(name, "..") {
+		return nil, badRequestf("invalid stored-model name %q", name)
+	}
+	path := filepath.Join(e.modelsDir, name+".json")
+	a, err := arch.LoadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, badRequestf("unknown architecture %q", name)
+		}
+		return nil, badRequestf("stored model %q: %v", name, err)
+	}
+	return a, nil
+}

@@ -1,0 +1,213 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// JobStatus is the lifecycle state of a queued analysis.
+type JobStatus string
+
+// Job lifecycle states.
+const (
+	StatusQueued   JobStatus = "queued"
+	StatusRunning  JobStatus = "running"
+	StatusDone     JobStatus = "done"
+	StatusFailed   JobStatus = "failed"
+	StatusCanceled JobStatus = "canceled"
+)
+
+// CacheState records how a finished job obtained its outcome.
+type CacheState string
+
+// Cache states.
+const (
+	// CacheMiss: this job executed the full pipeline.
+	CacheMiss CacheState = "miss"
+	// CacheHit: the outcome was served from the result cache.
+	CacheHit CacheState = "hit"
+	// CacheShared: the job joined a concurrent identical in-flight solve.
+	CacheShared CacheState = "shared"
+)
+
+// AnalysisRequest is the body of POST /v1/analyses.
+//
+// The architecture is selected one of three ways: a built-in reference
+// ("builtin:1" … "builtin:3"), the name of a model stored in the server's
+// models directory ("architecture1" resolves models/architecture1.json), or
+// a full inline document in Inline. Category and protection select one grid
+// cell; leaving both empty requests the full CIA × protection grid
+// (Figure 5 for the given architecture). Property switches to CSL property
+// checking against the transformed model.
+type AnalysisRequest struct {
+	Architecture string          `json:"architecture,omitempty"`
+	Inline       json.RawMessage `json:"inline,omitempty"`
+	Message      string          `json:"message,omitempty"` // default "m"
+	NMax         int             `json:"nmax,omitempty"`    // default 2
+	Horizon      float64         `json:"horizon,omitempty"` // years, default 1
+	Category     string          `json:"category,omitempty"`
+	Protection   string          `json:"protection,omitempty"`
+	Property     string          `json:"property,omitempty"`
+	// SkipSteadyState omits the long-run probability (faster; sweep-style
+	// clients usually set it).
+	SkipSteadyState bool `json:"skip_steady_state,omitempty"`
+	// UseLumping solves the ordinary-lumping quotient instead of the full
+	// chain.
+	UseLumping bool `json:"use_lumping,omitempty"`
+	// TimeoutSeconds bounds the job's execution; 0 inherits the server's
+	// job timeout, larger values are clamped to it.
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+	// WaitSeconds asks the server to hold the POST open up to this long
+	// waiting for the result; 0 returns 202 immediately for queued jobs.
+	WaitSeconds float64 `json:"wait_seconds,omitempty"`
+}
+
+// AnalysisResult is one analysed combination, the JSON-safe projection of
+// core.Result (a NaN steady state maps to null).
+type AnalysisResult struct {
+	Architecture    string   `json:"architecture"`
+	Message         string   `json:"message"`
+	Category        string   `json:"category"`
+	Protection      string   `json:"protection"`
+	ExploitableTime float64  `json:"exploitable_time"`
+	SteadyState     *float64 `json:"steady_state,omitempty"`
+	States          int      `json:"states"`
+	Transitions     int      `json:"transitions"`
+	LumpedStates    int      `json:"lumped_states,omitempty"`
+	BuildSeconds    float64  `json:"build_seconds"`
+	CheckSeconds    float64  `json:"check_seconds"`
+}
+
+// PropertyResult is the outcome of a CSL property check.
+type PropertyResult struct {
+	Property  string  `json:"property"`
+	Value     float64 `json:"value"`
+	Bounded   bool    `json:"bounded,omitempty"`
+	Satisfied bool    `json:"satisfied,omitempty"`
+}
+
+// Outcome is the payload of a finished analysis — also the unit the result
+// cache stores, so it is immutable once published.
+type Outcome struct {
+	Results  []AnalysisResult `json:"results,omitempty"`
+	Property *PropertyResult  `json:"property,omitempty"`
+}
+
+// Job is one accepted analysis moving through the queue → worker → done
+// lifecycle. All mutable state is guarded by mu; done closes when the job
+// reaches a terminal status.
+type Job struct {
+	id      string
+	req     *AnalysisRequest
+	created time.Time
+
+	mu       sync.Mutex
+	status   JobStatus
+	started  time.Time
+	finished time.Time
+	outcome  *Outcome
+	err      error
+	cache    CacheState
+	manifest *obs.Manifest
+
+	done chan struct{}
+}
+
+func newJob(id string, req *AnalysisRequest) *Job {
+	return &Job{
+		id:      id,
+		req:     req,
+		created: time.Now(),
+		status:  StatusQueued,
+		done:    make(chan struct{}),
+	}
+}
+
+// Done returns a channel closed when the job reaches a terminal status.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.status = StatusRunning
+	j.started = time.Now()
+}
+
+func (j *Job) finish(out *Outcome, cache CacheState, err error, m *obs.Manifest) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	j.outcome = out
+	j.err = err
+	j.cache = cache
+	j.manifest = m
+	switch {
+	case err == nil:
+		j.status = StatusDone
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.status = StatusCanceled
+	default:
+		j.status = StatusFailed
+	}
+	close(j.done)
+}
+
+// Manifest returns the per-job run manifest (nil until the job finishes).
+func (j *Job) Manifest() *obs.Manifest {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.manifest
+}
+
+// JobView is the wire representation of a job, returned by POST
+// /v1/analyses and GET /v1/analyses/{id}.
+type JobView struct {
+	ID       string     `json:"id"`
+	Status   JobStatus  `json:"status"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	// Cache reports how the outcome was obtained: "hit", "miss" or
+	// "shared" (joined a concurrent identical solve).
+	Cache          CacheState       `json:"cache,omitempty"`
+	ElapsedSeconds float64          `json:"elapsed_seconds,omitempty"`
+	Error          string           `json:"error,omitempty"`
+	Results        []AnalysisResult `json:"results,omitempty"`
+	Property       *PropertyResult  `json:"property,omitempty"`
+}
+
+// View snapshots the job for serialisation.
+func (j *Job) View() *JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := &JobView{
+		ID:      j.id,
+		Status:  j.status,
+		Created: j.created,
+		Cache:   j.cache,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+		if !j.started.IsZero() {
+			v.ElapsedSeconds = j.finished.Sub(j.started).Seconds()
+		}
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	if j.outcome != nil {
+		v.Results = j.outcome.Results
+		v.Property = j.outcome.Property
+	}
+	return v
+}

@@ -1,0 +1,45 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/transform"
+)
+
+// Cache keys are content addresses over the canonical encodings the
+// pipeline layers expose: arch.(*Architecture).CanonicalJSON for the system
+// under analysis, transform.Options.Canonical for everything that shapes
+// the generated model, and core.Analyzer.Canonical for the solver-side
+// settings. Hashing the canonical forms (rather than the request JSON)
+// makes the cache insensitive to field order, whitespace and defaulted
+// fields in client requests.
+
+// hashKey hashes length-prefixed parts so no concatenation of distinct part
+// lists collides.
+func hashKey(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%d:", len(p))
+		io.WriteString(h, p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// modelKey addresses the transform + exploration prefix of an analysis
+// (a core.Prepared): architecture, message and model-side options.
+func modelKey(archCanon []byte, msg string, opts transform.Options) string {
+	return hashKey("model", string(archCanon), msg, opts.Canonical())
+}
+
+// resultKey addresses a fully solved outcome. mode separates the grid,
+// single-cell and property request shapes; cat/prot/property are zero for
+// the shapes that do not use them.
+func resultKey(archCanon []byte, msg string, an core.Analyzer, mode requestMode,
+	cat transform.Category, prot transform.Protection, property string) string {
+	return hashKey("result", string(archCanon), msg, an.Canonical(), string(mode),
+		cat.String(), prot.String(), property)
+}

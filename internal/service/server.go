@@ -1,0 +1,478 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config configures a Server. The zero value is usable: GOMAXPROCS
+// workers, a 64-deep queue, default cache sizes, a 10-minute job timeout.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (default ":8600").
+	Addr string
+	// Workers bounds concurrent analyses (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds accepted-but-not-started jobs; a full queue
+	// rejects submissions with 429 (default 64).
+	QueueDepth int
+	// ModelCacheSize / ResultCacheSize bound the engine caches (see
+	// EngineOptions).
+	ModelCacheSize  int
+	ResultCacheSize int
+	// ModelsDir resolves stored-model architecture references.
+	ModelsDir string
+	// JobTimeout caps one job's execution; per-request timeouts are
+	// clamped to it (default 10 minutes).
+	JobTimeout time.Duration
+	// MaxWait caps how long a POST may hold the connection waiting for a
+	// synchronous result (default 30s).
+	MaxWait time.Duration
+	// RetainJobs bounds how many finished jobs stay queryable; the oldest
+	// are dropped first (default 1024).
+	RetainJobs int
+	// ExtraSink, when set, additionally receives every span/counter the
+	// server emits (per-request and per-job) — secserved passes the sinks
+	// of its -trace/-progress session here.
+	ExtraSink obs.Sink
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8600"
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 10 * time.Minute
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 30 * time.Second
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 1024
+	}
+	return c
+}
+
+// Server is the resident analysis service: an Engine behind an HTTP/JSON
+// job API with a bounded worker pool. Construction starts the workers;
+// Shutdown (or Close) drains them.
+type Server struct {
+	cfg       Config
+	engine    *Engine
+	collector *obs.Collector
+	tracer    *obs.Tracer
+	mux       *http.ServeMux
+	httpSrv   *http.Server
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	finished []string // retention order
+	queue    chan *Job
+	draining bool
+	seq      uint64
+
+	wg      sync.WaitGroup
+	started time.Time
+
+	accepted  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	rejected  atomic.Int64
+	running   atomic.Int64
+}
+
+// New builds the server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		engine: NewEngine(EngineOptions{
+			ModelCacheSize:  cfg.ModelCacheSize,
+			ResultCacheSize: cfg.ResultCacheSize,
+			ModelsDir:       cfg.ModelsDir,
+		}),
+		collector: obs.NewCollector(),
+		jobs:      make(map[string]*Job),
+		queue:     make(chan *Job, cfg.QueueDepth),
+		started:   time.Now(),
+	}
+	sinks := obs.MultiSink{s.collector}
+	if cfg.ExtraSink != nil {
+		sinks = append(sinks, cfg.ExtraSink)
+	}
+	s.tracer = obs.NewTracer(sinks, false)
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/analyses", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/analyses/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/analyses/{id}/manifest", s.handleManifest)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.Handle("GET /v1/metrics/pipeline", obs.MetricsHandler(s.collector, "secserved"))
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Engine exposes the server's engine (benchmarks and tests).
+func (s *Server) Engine() *Engine { return s.engine }
+
+// Handler returns the instrumented HTTP handler: every request runs under
+// an "http.request" span (method, path, status, duration) emitted to the
+// server's collector and any extra sink — the service's structured request
+// log.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, sp := s.tracer.StartSpan(r.Context(), "http.request")
+		sp.Str("method", r.Method)
+		sp.Str("path", r.URL.Path)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		s.mux.ServeHTTP(sw, r.WithContext(ctx))
+		sp.Int("status", int64(sw.status))
+		sp.End()
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// ListenAndServe serves the API on cfg.Addr until Shutdown.
+func (s *Server) ListenAndServe() error {
+	l, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Serve serves the API on l until Shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	s.mu.Lock()
+	s.httpSrv = srv
+	s.mu.Unlock()
+	err := srv.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown gracefully stops the server: submissions are refused with 503,
+// queued and running jobs drain to completion, then the HTTP listener (if
+// any) closes. When ctx expires before the drain completes, in-flight jobs
+// are canceled through their contexts and Shutdown returns ctx.Err() after
+// they unwind.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		// No sends can follow: handleSubmit checks draining under mu
+		// before enqueueing.
+		close(s.queue)
+	}
+	httpSrv := s.httpSrv
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.baseCancel() // abort in-flight solves; solvers poll their ctx
+		<-drained
+	}
+	s.baseCancel()
+	if httpSrv != nil {
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if herr := httpSrv.Shutdown(shCtx); herr != nil && err == nil {
+			err = herr
+		}
+	}
+	return err
+}
+
+// Close is Shutdown with the configured job timeout as drain budget.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.JobTimeout)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+func (s *Server) runJob(job *Job) {
+	timeout := s.cfg.JobTimeout
+	if t := time.Duration(job.req.TimeoutSeconds * float64(time.Second)); t > 0 && t < timeout {
+		timeout = t
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	defer cancel()
+
+	// Per-job tracer: events flow to the job's own collector (the per-job
+	// manifest) and to the server-wide sinks.
+	jobCollector := obs.NewCollector()
+	sinks := obs.MultiSink{s.collector, jobCollector}
+	if s.cfg.ExtraSink != nil {
+		sinks = append(sinks, s.cfg.ExtraSink)
+	}
+	tr := obs.NewTracer(sinks, false)
+	ctx, sp := tr.StartSpan(ctx, "service.job")
+	sp.Str("job", job.id)
+
+	job.setRunning()
+	s.running.Add(1)
+	out, cache, err := s.engine.Run(ctx, job.req)
+	s.running.Add(-1)
+	sp.Str("cache", string(cache))
+	if err != nil {
+		sp.Str("error", err.Error())
+	}
+	sp.End()
+	job.finish(out, cache, err, jobCollector.Manifest("secserved", []string{"job:" + job.id}))
+	if err != nil {
+		s.failed.Add(1)
+	} else {
+		s.completed.Add(1)
+	}
+	s.retire(job)
+}
+
+// retire records the finished job for retention accounting and drops the
+// oldest finished jobs beyond the bound.
+func (s *Server) retire(job *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.finished = append(s.finished, job.id)
+	for len(s.finished) > s.cfg.RetainJobs {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+}
+
+// Submit validates and enqueues a request, returning the job. It is the
+// programmatic equivalent of POST /v1/analyses (the HTTP handler wraps
+// it); tests and embedded uses drive it directly.
+func (s *Server) Submit(req *AnalysisRequest) (*Job, error) {
+	if err := s.engine.Validate(req); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	s.seq++
+	id := fmt.Sprintf("a%06d-%08x", s.seq, time.Now().UnixNano()&0xffffffff)
+	job := newJob(id, req)
+	select {
+	case s.queue <- job:
+	default:
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	s.jobs[id] = job
+	s.mu.Unlock()
+	s.accepted.Add(1)
+	return job, nil
+}
+
+// Job returns a queryable job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Submission failure modes (HTTP 503 / 429).
+var (
+	ErrDraining  = errors.New("service: server is draining")
+	ErrQueueFull = errors.New("service: job queue is full")
+)
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req AnalysisRequest
+	body := http.MaxBytesReader(w, r.Body, 4<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	job, err := s.Submit(&req)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, ErrQueueFull):
+			writeError(w, http.StatusTooManyRequests, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	obs.Gauge(r.Context(), "service.queue.depth", float64(len(s.queue)))
+
+	wait := time.Duration(req.WaitSeconds * float64(time.Second))
+	if wait > s.cfg.MaxWait {
+		wait = s.cfg.MaxWait
+	}
+	if wait > 0 {
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		select {
+		case <-job.Done():
+		case <-t.C:
+		case <-r.Context().Done():
+		}
+	}
+	view := job.View()
+	w.Header().Set("Location", "/v1/analyses/"+job.id)
+	status := http.StatusOK
+	if view.Finished == nil {
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, view)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.View())
+}
+
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	m := job.Manifest()
+	if m == nil {
+		writeError(w, http.StatusConflict, errors.New("job has not finished"))
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+// Health is the /v1/healthz body.
+type Health struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	JobsRunning   int64   `json:"jobs_running"`
+	QueueDepth    int     `json:"queue_depth"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	h := Health{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		JobsRunning:   s.running.Load(),
+		QueueDepth:    len(s.queue),
+	}
+	status := http.StatusOK
+	if draining {
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+// Metrics is the /v1/metrics body: worker-pool and job counters plus the
+// engine's cache statistics. The full per-phase pipeline aggregate is
+// served separately at /v1/metrics/pipeline (obs.MetricsHandler).
+type Metrics struct {
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	Workers       int         `json:"workers"`
+	QueueDepth    int         `json:"queue_depth"`
+	QueueCapacity int         `json:"queue_capacity"`
+	JobsAccepted  int64       `json:"jobs_accepted"`
+	JobsCompleted int64       `json:"jobs_completed"`
+	JobsFailed    int64       `json:"jobs_failed"`
+	JobsRejected  int64       `json:"jobs_rejected"`
+	JobsRunning   int64       `json:"jobs_running"`
+	Engine        EngineStats `json:"engine"`
+}
+
+// Metrics snapshots the server counters.
+func (s *Server) Metrics() Metrics {
+	return Metrics{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Workers:       s.cfg.Workers,
+		QueueDepth:    len(s.queue),
+		QueueCapacity: s.cfg.QueueDepth,
+		JobsAccepted:  s.accepted.Load(),
+		JobsCompleted: s.completed.Load(),
+		JobsFailed:    s.failed.Load(),
+		JobsRejected:  s.rejected.Load(),
+		JobsRunning:   s.running.Load(),
+		Engine:        s.engine.Stats(),
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}

@@ -1,0 +1,71 @@
+package service
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestFlightGroupCollapsesConcurrentCalls(t *testing.T) {
+	var g flightGroup
+	var calls atomic.Int64
+	release := make(chan struct{})
+	const n = 16
+
+	var wg sync.WaitGroup
+	leaders := make([]bool, n)
+	values := make([]any, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, leader := g.Do("key", func() (any, error) {
+				calls.Add(1)
+				<-release
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			values[i], leaders[i] = v, leader
+		}(i)
+	}
+	// Let the goroutines pile onto the key before releasing the executor.
+	for g.waiting("key") < n-1 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn executed %d times, want 1", got)
+	}
+	nLeaders := 0
+	for i := 0; i < n; i++ {
+		if values[i].(int) != 42 {
+			t.Fatalf("caller %d got %v, want 42", i, values[i])
+		}
+		if leaders[i] {
+			nLeaders++
+		}
+	}
+	if nLeaders != 1 {
+		t.Fatalf("%d leaders, want exactly 1", nLeaders)
+	}
+}
+
+func TestFlightGroupErrorSharedAndKeyReleased(t *testing.T) {
+	var g flightGroup
+	boom := errors.New("boom")
+	_, err, leader := g.Do("k", func() (any, error) { return nil, boom })
+	if !errors.Is(err, boom) || !leader {
+		t.Fatalf("got err=%v leader=%v, want boom from the leader", err, leader)
+	}
+	// The key is released after completion: a new call executes again.
+	v, err, _ := g.Do("k", func() (any, error) { return 7, nil })
+	if err != nil || v.(int) != 7 {
+		t.Fatalf("second call got %v, %v; want 7, nil", v, err)
+	}
+}

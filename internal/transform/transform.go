@@ -15,6 +15,7 @@ package transform
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/arch"
 	"repro/internal/modular"
@@ -43,6 +44,22 @@ func (c Category) String() string {
 	}
 }
 
+// ParseCategory parses a user-facing category name, accepting the full
+// names and the paper's initials (C, I/G, A). All the CLIs and the analysis
+// service share this vocabulary.
+func ParseCategory(s string) (Category, error) {
+	switch strings.ToLower(s) {
+	case "confidentiality", "c":
+		return Confidentiality, nil
+	case "integrity", "i", "g":
+		return Integrity, nil
+	case "availability", "a":
+		return Availability, nil
+	default:
+		return 0, fmt.Errorf("transform: unknown category %q", s)
+	}
+}
+
 // Protection is the message protection mechanism under evaluation.
 type Protection int
 
@@ -63,6 +80,21 @@ func (p Protection) String() string {
 		return "AES128"
 	default:
 		return fmt.Sprintf("Protection(%d)", int(p))
+	}
+}
+
+// ParseProtection parses a user-facing protection name ("unencrypted" or
+// "none", "cmac128"/"cmac", "aes128"/"aes", case-insensitive).
+func ParseProtection(s string) (Protection, error) {
+	switch strings.ToLower(s) {
+	case "unencrypted", "none":
+		return Unencrypted, nil
+	case "cmac128", "cmac":
+		return CMAC128, nil
+	case "aes128", "aes":
+		return AES128, nil
+	default:
+		return 0, fmt.Errorf("transform: unknown protection %q", s)
 	}
 }
 
@@ -133,6 +165,19 @@ func (o Options) withDefaults() Options {
 		o.NMax = 2
 	}
 	return o
+}
+
+// Canonical returns a stable, self-delimiting encoding of every
+// model-affecting option, with defaults applied — the transform's
+// contribution to a content-addressed cache key. Two Options values with
+// equal Canonical strings generate identical models for the same
+// architecture and message, so a service may reuse a cached state space
+// across requests that only differ in solver-side settings.
+func (o Options) Canonical() string {
+	o = o.withDefaults()
+	return fmt.Sprintf("nmax=%d&cat=%s&prot=%s&mexp=%g&mpatch=%g&litguard=%t&linpatch=%t&rel=%t",
+		o.NMax, o.Category, o.Protection, o.MessageExploitRate, o.MessagePatchRate,
+		o.LiteralPatchGuard, o.LinearPatchRates, o.IncludeReliability)
 }
 
 // ErrUnknownMessage is returned when the message name does not exist in the
