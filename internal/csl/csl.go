@@ -162,13 +162,39 @@ func (r envResolver) ResolveLabel(name string, line int) (modular.Expr, error) {
 
 // Parse parses a property string against the environment.
 func Parse(src string, env Environment) (*Property, error) {
+	return parse(src, envResolver{env})
+}
+
+// CheckSyntax parses src for grammatical validity only: every identifier
+// and label resolves to a placeholder constant, so the property need not
+// reference an existing model. Services use it to reject malformed
+// properties at submission time, before any model has been built; name
+// resolution still happens at check time through Parse.
+func CheckSyntax(src string) error {
+	_, err := parse(src, lenientResolver{})
+	return err
+}
+
+// lenientResolver accepts any identifier or label — the syntax-only
+// resolution behind CheckSyntax.
+type lenientResolver struct{}
+
+func (lenientResolver) Resolve(string, int) (modular.Expr, error) {
+	return modular.Lit{V: modular.DoubleV(1)}, nil
+}
+
+func (lenientResolver) ResolveLabel(string, int) (modular.Expr, error) {
+	return modular.Lit{V: modular.BoolV(true)}, nil
+}
+
+func parse(src string, ident prismlang.Resolver) (*Property, error) {
 	toks, err := prismlang.Lex(src)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrSyntax, err)
 	}
 	s := prismlang.NewTokenStream(toks)
 	p := &propParser{s: s}
-	p.res = propResolver{envResolver{env}, p}
+	p.res = propResolver{ident, p}
 	prop, err := p.parseProperty()
 	if err != nil {
 		return nil, err

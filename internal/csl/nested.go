@@ -57,10 +57,11 @@ func (n *nestedExpr) String() string {
 	return kind + op + "[...]"
 }
 
-// propResolver combines identifier resolution with the nested-operator
-// primary-parser hook.
+// propResolver combines identifier resolution (envResolver for real model
+// environments, lenientResolver for syntax-only parses) with the
+// nested-operator primary-parser hook.
 type propResolver struct {
-	envResolver
+	prismlang.Resolver
 	p *propParser
 }
 

@@ -137,40 +137,57 @@ func (e *Engine) Validate(req *AnalysisRequest) error {
 	return err
 }
 
+// isContextErr reports a context cancellation or deadline error.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // Run resolves and executes one request: result-cache lookup first, then a
 // single-flight solve. The returned CacheState reports which path served
 // the outcome.
+//
+// A single-flight leader executes under its own job's context, so its
+// deadline or cancellation is not a waiter's failure: a waiter whose own
+// context is still live retries — re-checking the cache and possibly
+// leading its own solve — instead of inheriting the leader's error.
 func (e *Engine) Run(ctx context.Context, req *AnalysisRequest) (*Outcome, CacheState, error) {
 	rr, err := e.resolve(req)
 	if err != nil {
 		return nil, "", err
 	}
 	rkey := resultKey(rr.archCanon, rr.msg, rr.an, rr.mode, rr.cat, rr.prot, rr.property)
-	if v, ok := e.results.Get(rkey); ok {
-		atomic.AddInt64(&e.hits, 1)
-		obs.Count(ctx, "service.cache.result.hit", 1)
-		return v.(*Outcome), CacheHit, nil
-	}
-	v, err, leader := e.resultSF.Do(rkey, func() (any, error) {
-		obs.Count(ctx, "service.cache.result.miss", 1)
-		atomic.AddInt64(&e.solves, 1)
-		out, err := e.run(ctx, rr)
-		if err != nil {
-			return nil, err
+	for {
+		if v, ok := e.results.Get(rkey); ok {
+			atomic.AddInt64(&e.hits, 1)
+			obs.Count(ctx, "service.cache.result.hit", 1)
+			return v.(*Outcome), CacheHit, nil
 		}
-		e.results.Put(rkey, out)
-		return out, nil
-	})
-	state := CacheMiss
-	if !leader {
-		state = CacheShared
-		atomic.AddInt64(&e.shared, 1)
-		obs.Count(ctx, "service.singleflight.shared", 1)
+		v, err, leader := e.resultSF.Do(rkey, func() (any, error) {
+			obs.Count(ctx, "service.cache.result.miss", 1)
+			atomic.AddInt64(&e.solves, 1)
+			out, err := e.run(ctx, rr)
+			if err != nil {
+				return nil, err
+			}
+			e.results.Put(rkey, out)
+			return out, nil
+		})
+		if !leader {
+			if err != nil && isContextErr(err) && ctx.Err() == nil {
+				continue // leader canceled, we were not: retry
+			}
+			atomic.AddInt64(&e.shared, 1)
+			obs.Count(ctx, "service.singleflight.shared", 1)
+			if err != nil {
+				return nil, CacheShared, err
+			}
+			return v.(*Outcome), CacheShared, nil
+		}
+		if err != nil {
+			return nil, CacheMiss, err
+		}
+		return v.(*Outcome), CacheMiss, nil
 	}
-	if err != nil {
-		return nil, state, err
-	}
-	return v.(*Outcome), state, nil
 }
 
 // analyze is the real pipeline execution behind Run.
@@ -204,26 +221,32 @@ func (e *Engine) analyze(ctx context.Context, rr *resolvedRequest) (*Outcome, er
 }
 
 // prepared returns the cached transform+explore prefix for one cell,
-// building it under single-flight on miss.
+// building it under single-flight on miss. Like Run, a waiter that receives
+// the leader's context cancellation retries while its own context is live.
 func (e *Engine) prepared(ctx context.Context, rr *resolvedRequest, cat transform.Category, prot transform.Protection) (*core.Prepared, error) {
 	mkey := modelKey(rr.archCanon, rr.msg, rr.an.TransformOptions(cat, prot))
-	if v, ok := e.models.Get(mkey); ok {
-		obs.Count(ctx, "service.cache.model.hit", 1)
-		return v.(*core.Prepared), nil
-	}
-	obs.Count(ctx, "service.cache.model.miss", 1)
-	v, err, _ := e.modelSF.Do(mkey, func() (any, error) {
-		p, err := rr.an.PrepareContext(ctx, rr.arch, rr.msg, cat, prot)
+	for {
+		if v, ok := e.models.Get(mkey); ok {
+			obs.Count(ctx, "service.cache.model.hit", 1)
+			return v.(*core.Prepared), nil
+		}
+		v, err, leader := e.modelSF.Do(mkey, func() (any, error) {
+			obs.Count(ctx, "service.cache.model.miss", 1)
+			p, err := rr.an.PrepareContext(ctx, rr.arch, rr.msg, cat, prot)
+			if err != nil {
+				return nil, err
+			}
+			e.models.Put(mkey, p)
+			return p, nil
+		})
 		if err != nil {
+			if !leader && isContextErr(err) && ctx.Err() == nil {
+				continue
+			}
 			return nil, err
 		}
-		e.models.Put(mkey, p)
-		return p, nil
-	})
-	if err != nil {
-		return nil, err
+		return v.(*core.Prepared), nil
 	}
-	return v.(*core.Prepared), nil
 }
 
 func (e *Engine) analyzeCell(ctx context.Context, rr *resolvedRequest, cat transform.Category, prot transform.Protection) (*core.Result, error) {
@@ -331,17 +354,23 @@ func (e *Engine) resolve(req *AnalysisRequest) (*resolvedRequest, error) {
 			return nil, badRequestf("%v", err)
 		}
 	}
+	if haveCat != haveProt {
+		return nil, badRequestf("category and protection must be given together (or both omitted)")
+	}
 	switch {
 	case req.Property != "":
 		// Property checks default to confidentiality/unencrypted when the
 		// cell is unspecified; the property itself addresses the labels.
 		rr.mode = modeProperty
+		// Reject malformed properties at submission; resolution of names
+		// against the model still happens at check time.
+		if err := csl.CheckSyntax(req.Property); err != nil {
+			return nil, badRequestf("property: %v", err)
+		}
 	case haveCat && haveProt:
 		rr.mode = modeSingle
-	case !haveCat && !haveProt:
-		rr.mode = modeGrid
 	default:
-		return nil, badRequestf("category and protection must be given together (or both omitted for the full grid)")
+		rr.mode = modeGrid
 	}
 	return rr, nil
 }

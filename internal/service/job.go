@@ -40,10 +40,12 @@ const (
 // The architecture is selected one of three ways: a built-in reference
 // ("builtin:1" … "builtin:3"), the name of a model stored in the server's
 // models directory ("architecture1" resolves models/architecture1.json), or
-// a full inline document in Inline. Category and protection select one grid
-// cell; leaving both empty requests the full CIA × protection grid
-// (Figure 5 for the given architecture). Property switches to CSL property
-// checking against the transformed model.
+// a full inline document in Inline. Category and protection must be given
+// together: they select one grid cell, and leaving both empty requests the
+// full CIA × protection grid (Figure 5 for the given architecture).
+// Property switches to CSL property checking against the transformed model;
+// there, an omitted cell defaults to confidentiality/unencrypted (the model
+// the property's labels address is built for that cell).
 type AnalysisRequest struct {
 	Architecture string          `json:"architecture,omitempty"`
 	Inline       json.RawMessage `json:"inline,omitempty"`

@@ -37,9 +37,13 @@ func modelKey(archCanon []byte, msg string, opts transform.Options) string {
 
 // resultKey addresses a fully solved outcome. mode separates the grid,
 // single-cell and property request shapes; cat/prot/property are zero for
-// the shapes that do not use them.
+// the shapes that do not use them. The transform canonical carries every
+// model-side option — nmax, the category × protection cell, the patch and
+// reliability switches — and an.Canonical the solver-side ones; together
+// with the architecture and message they pin the full analysis (two
+// requests differing only in nmax hash to different keys).
 func resultKey(archCanon []byte, msg string, an core.Analyzer, mode requestMode,
 	cat transform.Category, prot transform.Protection, property string) string {
-	return hashKey("result", string(archCanon), msg, an.Canonical(), string(mode),
-		cat.String(), prot.String(), property)
+	return hashKey("result", string(archCanon), msg, an.Canonical(),
+		an.TransformOptions(cat, prot).Canonical(), string(mode), property)
 }

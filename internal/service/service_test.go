@@ -3,10 +3,12 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -148,8 +150,12 @@ func TestEndToEndBadRequests(t *testing.T) {
 		"unknown builtin":   {Architecture: "builtin:9"},
 		"unknown message":   {Architecture: "builtin:1", Message: "nope"},
 		"lonely category":   {Architecture: "builtin:1", Category: "c"},
+		"lonely protection": {Architecture: "builtin:1", Protection: "aes128"},
 		"nmax out of range": {Architecture: "builtin:1", NMax: 99},
 		"traversal name":    {Architecture: "../etc/passwd"},
+		"property with lonely category": {Architecture: "builtin:1",
+			Property: `P=? [ F<=1 "violated" ]`, Category: "c"},
+		"malformed property": {Architecture: "builtin:1", Property: "P=? [ F<=1"},
 	} {
 		_, err := client.Submit(ctx, req)
 		var ae *apiError
@@ -250,6 +256,130 @@ func TestConcurrentIdenticalRequestsSingleFlight(t *testing.T) {
 	}
 	if state != CacheHit {
 		t.Fatalf("post-flight request = %q, want hit", state)
+	}
+}
+
+// TestPropertyValidation pins the submission-time property checks: syntax
+// errors are rejected immediately, while resolution of names against the
+// model stays deferred to run time.
+func TestPropertyValidation(t *testing.T) {
+	e := NewEngine(EngineOptions{})
+	for _, bad := range []string{
+		"P=? [",
+		"Q=? [ F<=1 \"violated\" ]",
+		"P=? [ F<=1 \"violated\" ] trailing",
+		"R=? [ C<= ]",
+	} {
+		err := e.Validate(&AnalysisRequest{Architecture: "builtin:1", Property: bad})
+		if !errors.Is(err, ErrBadRequest) {
+			t.Errorf("property %q: Validate = %v, want ErrBadRequest", bad, err)
+		}
+	}
+	// Well-formed but referencing an unknown label: accepted at submission
+	// (no model exists yet), fails at check time.
+	ok := `P=? [ F<=1 "no_such_label" ]`
+	if err := e.Validate(&AnalysisRequest{Architecture: "builtin:1", Property: ok}); err != nil {
+		t.Errorf("property %q: Validate = %v, want nil", ok, err)
+	}
+}
+
+// TestResultKeySeparatesModelOptions guards the result-cache key against
+// model-side option aliasing: two requests differing only in nmax (which
+// changes the generated model, not the solver settings) must not share a
+// cached outcome.
+func TestResultKeySeparatesModelOptions(t *testing.T) {
+	a2 := core.Analyzer{NMax: 2}
+	a4 := core.Analyzer{NMax: 4}
+	k2 := resultKey(nil, "m", a2, modeGrid, 0, 0, "")
+	k4 := resultKey(nil, "m", a4, modeGrid, 0, 0, "")
+	if k2 == k4 {
+		t.Fatalf("result keys for nmax 2 and 4 collide: %s", k2)
+	}
+
+	e := NewEngine(EngineOptions{})
+	calls := stubEngine(e, func(ctx context.Context) (*Outcome, error) {
+		return &Outcome{}, nil
+	})
+	ctx := context.Background()
+	run := func(req *AnalysisRequest, want CacheState) {
+		t.Helper()
+		_, state, err := e.Run(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if state != want {
+			t.Fatalf("cache state = %q, want %q", state, want)
+		}
+	}
+	run(&AnalysisRequest{Architecture: "builtin:1", NMax: 2}, CacheMiss)
+	run(&AnalysisRequest{Architecture: "builtin:1", NMax: 2}, CacheHit)
+	run(&AnalysisRequest{Architecture: "builtin:1", NMax: 4}, CacheMiss)
+	if *calls != 2 {
+		t.Fatalf("pipeline executed %d times, want 2", *calls)
+	}
+}
+
+// TestWaiterRetriesAfterLeaderCanceled checks a single-flight waiter does
+// not inherit the leader's context cancellation: when the leader's job is
+// canceled under its own deadline, a waiter whose context is still live
+// retries and completes the solve itself.
+func TestWaiterRetriesAfterLeaderCanceled(t *testing.T) {
+	e := NewEngine(EngineOptions{})
+	inFlight := make(chan struct{}, 1)
+	var calls int64
+	e.run = func(ctx context.Context, rr *resolvedRequest) (*Outcome, error) {
+		if atomic.AddInt64(&calls, 1) == 1 {
+			inFlight <- struct{}{}
+			<-ctx.Done() // the leader: block until its job is canceled
+			return nil, ctx.Err()
+		}
+		return &Outcome{Property: &PropertyResult{Value: 1}}, nil
+	}
+
+	req := &AnalysisRequest{Architecture: "builtin:1", SkipSteadyState: true}
+	rr, err := e.resolve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rkey := resultKey(rr.archCanon, rr.msg, rr.an, rr.mode, rr.cat, rr.prot, rr.property)
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	defer cancelLeader()
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, err := e.Run(leaderCtx, req)
+		leaderErr <- err
+	}()
+	<-inFlight
+
+	waiterDone := make(chan error, 1)
+	go func() {
+		out, state, err := e.Run(context.Background(), req)
+		if err == nil && (out == nil || out.Property == nil) {
+			err = errors.New("waiter got empty outcome")
+		}
+		if err == nil && state != CacheMiss {
+			err = fmt.Errorf("waiter cache state = %q, want miss after retry", state)
+		}
+		waiterDone <- err
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for e.resultSF.waiting(rkey) < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never joined the flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancelLeader()
+
+	if err := <-leaderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader error = %v, want context.Canceled", err)
+	}
+	if err := <-waiterDone; err != nil {
+		t.Fatal(err)
+	}
+	if n := atomic.LoadInt64(&calls); n != 2 {
+		t.Fatalf("pipeline executed %d times, want 2 (canceled leader + retrying waiter)", n)
 	}
 }
 
