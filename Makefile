@@ -4,13 +4,14 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check cover bench examples experiments serve fuzz clean
+.PHONY: all build vet test race chaos check cover bench examples experiments serve fuzz clean
 
 all: check
 
-# check is the full local gate: compile, static analysis, unit tests, and
-# the race detector over the concurrent paths (parallel grids, sinks).
-check: build vet test race
+# check is the full local gate: compile, static analysis, unit tests, the
+# race detector over the concurrent paths (parallel grids, sinks), and the
+# chaos suite (fault injection, retries, solver fallback) under -race.
+check: build vet test race chaos
 
 build:
 	$(GO) build ./...
@@ -23,6 +24,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# chaos drives the fault-injection stack end to end under the race detector:
+# injected worker panics, solver divergence, slow solves, exploration-budget
+# violations, and retry/backoff (see README "Resilience").
+chaos:
+	$(GO) test -race ./internal/fault/
+	$(GO) test -race -run 'TestChaos|Budget|TestQueueFullRetryAfter|TestClientRetries|TestHealthDegrades|TestRetryDelay|TestRobustSolve' ./internal/linalg/ ./internal/modular/ ./internal/service/
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

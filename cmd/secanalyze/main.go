@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/service"
@@ -66,10 +67,23 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	uncertainty := fs.Bool("uncertainty", false, "rate-uncertainty study: exploitable-time quantiles under ±50% rate perturbation")
 	literalGuard := fs.Bool("literal-patch-guard", false, "use the paper's literal Eq. (2) patch guard")
 	server := fs.String("server", "", "run the analysis on a secserved instance at this base URL instead of locally")
+	maxStates := fs.Int("max-states", 0, "state-space exploration budget (0 = library default)")
+	maxTransitions := fs.Int("max-transitions", 0, "transition exploration budget (0 = library default)")
+	faults := fs.String("faults", "", "fault-injection spec for local chaos runs, e.g. \"solver.diverge:p=0.5\"")
+	faultSeed := fs.Int64("fault-seed", 1, "fault-injection RNG seed")
 	var ocli obs.CLI
 	ocli.Bind(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *faults != "" {
+		inj, ferr := fault.Parse(*faults, *faultSeed)
+		if ferr != nil {
+			return ferr
+		}
+		fault.Enable(inj)
+		defer fault.Disable()
 	}
 
 	orun, err := ocli.Start()
@@ -89,6 +103,7 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		return runRemote(ctx, *server, remoteOptions{
 			archSpec: *archFlag, msg: *msg, nmax: *nmax, horizon: *horizon,
 			category: *category, protection: *protection, prop: *prop,
+			maxStates: *maxStates, maxTransitions: *maxTransitions,
 			csv: *csv, jsonOut: *jsonOut,
 		}, out)
 	}
@@ -100,6 +115,8 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	an := core.Analyzer{
 		NMax:              *nmax,
 		Horizon:           *horizon,
+		MaxStates:         *maxStates,
+		MaxTransitions:    *maxTransitions,
 		LiteralPatchGuard: *literalGuard,
 	}
 
@@ -309,12 +326,13 @@ func selectArchitectures(spec string) ([]*arch.Architecture, error) {
 
 // remoteOptions carries the flag subset the -server client mode supports.
 type remoteOptions struct {
-	archSpec, msg        string
-	nmax                 int
-	horizon              float64
-	category, protection string
-	prop                 string
-	csv, jsonOut         bool
+	archSpec, msg             string
+	nmax                      int
+	horizon                   float64
+	category, protection      string
+	prop                      string
+	maxStates, maxTransitions int
+	csv, jsonOut              bool
 }
 
 // remoteRequests maps the -arch spec onto analysis requests: builtins go by
@@ -322,10 +340,12 @@ type remoteOptions struct {
 // inline, and the default spec fans out to the full case study.
 func remoteRequests(o remoteOptions) ([]*service.AnalysisRequest, error) {
 	base := service.AnalysisRequest{
-		Message:  o.msg,
-		NMax:     o.nmax,
-		Horizon:  o.horizon,
-		Property: o.prop,
+		Message:        o.msg,
+		NMax:           o.nmax,
+		Horizon:        o.horizon,
+		Property:       o.prop,
+		MaxStates:      o.maxStates,
+		MaxTransitions: o.maxTransitions,
 	}
 	if o.prop != "" {
 		base.Category = o.category
@@ -360,7 +380,9 @@ func remoteRequests(o remoteOptions) ([]*service.AnalysisRequest, error) {
 }
 
 // runRemote sends the analysis to a secserved instance and renders the
-// results with the same table the local path uses.
+// results with the same table the local path uses. A failed analysis does
+// not abort the batch: its error is rendered in place of results, the
+// remaining requests still run, and the exit status reflects the failures.
 func runRemote(ctx context.Context, baseURL string, o remoteOptions, out io.Writer) error {
 	cl := service.NewClient(baseURL)
 	reqs, err := remoteRequests(o)
@@ -369,11 +391,28 @@ func runRemote(ctx context.Context, baseURL string, o remoteOptions, out io.Writ
 	}
 	var jsonResults []map[string]any
 	tbl := report.NewTable("architecture", "category", "protection",
-		"exploitable time", "steady state", "states", "transitions", "cache")
+		"exploitable time", "steady state", "states", "transitions", "cache", "error")
+	failed := 0
 	for _, req := range reqs {
 		v, err := cl.Analyze(ctx, req)
 		if err != nil {
-			return err
+			failed++
+			if ctx.Err() != nil {
+				// Canceled: the remaining requests would fail the same way.
+				return err
+			}
+			switch {
+			case o.prop != "":
+				fmt.Fprintf(out, "%s: %s = ERROR: %v\n", archLabel(req), o.prop, err)
+			case o.jsonOut:
+				jsonResults = append(jsonResults, map[string]any{
+					"architecture": archLabel(req),
+					"error":        err.Error(),
+				})
+			default:
+				tbl.AddRow(archLabel(req), "", "", "", "", "", "", "", err.Error())
+			}
+			continue
 		}
 		if o.prop != "" {
 			fmt.Fprintf(out, "%s: %s = %.10g\n", archLabel(req), o.prop, v.Property.Value)
@@ -404,22 +443,30 @@ func runRemote(ctx context.Context, baseURL string, o remoteOptions, out io.Writ
 			tbl.AddRow(r.Architecture, r.Category, r.Protection,
 				report.Percent(r.ExploitableTime), report.Percent(steady),
 				fmt.Sprintf("%d", r.States), fmt.Sprintf("%d", r.Transitions),
-				string(v.Cache))
+				string(v.Cache), "")
 		}
 	}
-	if o.prop != "" {
-		return nil
-	}
-	if o.jsonOut {
+	switch {
+	case o.prop != "":
+	case o.jsonOut:
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		return enc.Encode(jsonResults)
+		if err := enc.Encode(jsonResults); err != nil {
+			return err
+		}
+	case o.csv:
+		if err := tbl.WriteCSV(out); err != nil {
+			return err
+		}
+	default:
+		if _, err := tbl.WriteTo(out); err != nil {
+			return err
+		}
 	}
-	if o.csv {
-		return tbl.WriteCSV(out)
+	if failed > 0 {
+		return fmt.Errorf("%d of %d analyses failed", failed, len(reqs))
 	}
-	_, err = tbl.WriteTo(out)
-	return err
+	return nil
 }
 
 func archLabel(req *service.AnalysisRequest) string {

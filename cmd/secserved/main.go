@@ -32,9 +32,11 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/service"
 )
@@ -52,16 +54,43 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("secserved", flag.ContinueOnError)
 	addr := fs.String("addr", ":8600", "listen address")
 	workers := fs.Int("workers", 0, "concurrent analysis workers (0 = GOMAXPROCS)")
-	queue := fs.Int("queue", 64, "job queue depth (full queue rejects with 429)")
+	queue := fs.Int("queue", 64, "job queue depth (full queue rejects with 503 + Retry-After)")
 	modelCache := fs.Int("model-cache", 64, "explored-state-space cache entries")
 	resultCache := fs.Int("result-cache", 1024, "solved-result cache entries")
 	models := fs.String("models", "", "directory of stored architecture JSON files (empty = disabled)")
 	jobTimeout := fs.Duration("job-timeout", 10*time.Minute, "per-job execution deadline")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	maxStates := fs.Int("max-states", 0, "state-space budget cap per job (0 = library default)")
+	maxTransitions := fs.Int("max-transitions", 0, "transition budget cap per job (0 = library default)")
+	maxAttempts := fs.Int("max-attempts", 0, "execution budget per job incl. retries (0 = default 3)")
+	retryBase := fs.Duration("retry-base", 0, "base retry backoff delay (0 = default 100ms)")
+	faults := fs.String("faults", os.Getenv("SECFAULTS"), "fault-injection spec, e.g. \"worker.panic:p=0.1,solve.slow:d=2s\" (default $SECFAULTS)")
+	faultSeed := fs.Int64("fault-seed", 0, "fault-injection RNG seed (default $SECFAULT_SEED or 1)")
 	var ocli obs.CLI
 	ocli.Bind(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *faults != "" {
+		seed := *faultSeed
+		if seed == 0 {
+			if env := os.Getenv("SECFAULT_SEED"); env != "" {
+				if v, perr := strconv.ParseInt(env, 10, 64); perr == nil {
+					seed = v
+				}
+			}
+		}
+		if seed == 0 {
+			seed = 1
+		}
+		inj, ferr := fault.Parse(*faults, seed)
+		if ferr != nil {
+			return ferr
+		}
+		fault.Enable(inj)
+		defer fault.Disable()
+		fmt.Fprintf(out, "secserved: fault injection active: %s (seed %d)\n", inj, seed)
 	}
 
 	orun, err := ocli.Start()
@@ -82,6 +111,10 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		ResultCacheSize: *resultCache,
 		ModelsDir:       *models,
 		JobTimeout:      *jobTimeout,
+		MaxStates:       *maxStates,
+		MaxTransitions:  *maxTransitions,
+		MaxAttempts:     *maxAttempts,
+		RetryBaseDelay:  *retryBase,
 		ExtraSink:       orun.Sink(),
 	})
 

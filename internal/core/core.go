@@ -44,6 +44,11 @@ type Analyzer struct {
 	LinearPatchRates  bool
 	// MaxStates bounds exploration (0 = engine default).
 	MaxStates int
+	// MaxTransitions bounds the explored transition count (0 = engine
+	// default). Together with MaxStates it guards long-lived processes
+	// against runaway state spaces; violations unwrap to
+	// modular.ErrBudgetExceeded.
+	MaxTransitions int
 	// SkipSteadyState omits the long-run probability (Result.SteadyState
 	// reports NaN). Parameter sweeps enable this: they only consume the
 	// time-fraction metric and extreme rates make the stationary solve the
@@ -96,14 +101,15 @@ func (a Analyzer) TransformOptions(cat transform.Category, prot transform.Protec
 }
 
 // Canonical returns a stable encoding of the solver-side configuration —
-// horizon, accuracy, state bound, steady-state and lumping switches — with
+// horizon, accuracy, state and transition bounds, steady-state and lumping
+// switches — with
 // defaults applied. Together with arch.(*Architecture).CanonicalJSON and
 // transform.Options.Canonical it content-addresses a full analysis;
 // Parallel is excluded because it cannot change results.
 func (a Analyzer) Canonical() string {
 	a = a.withDefaults()
-	return fmt.Sprintf("horizon=%g&acc=%g&maxstates=%d&steady=%t&lump=%t",
-		a.Horizon, a.Accuracy, a.MaxStates, !a.SkipSteadyState, a.UseLumping)
+	return fmt.Sprintf("horizon=%g&acc=%g&maxstates=%d&maxtrans=%d&steady=%t&lump=%t",
+		a.Horizon, a.Accuracy, a.MaxStates, a.MaxTransitions, !a.SkipSteadyState, a.UseLumping)
 }
 
 // Result is one analysed (architecture, message, category, protection)
@@ -338,7 +344,7 @@ func (a Analyzer) CheckPropertyContext(ctx context.Context, ar *arch.Architectur
 	if err != nil {
 		return csl.Result{}, err
 	}
-	ex, err := res.Model.ExploreContext(ctx, modular.ExploreOpts{MaxStates: a.MaxStates})
+	ex, err := res.Model.ExploreContext(ctx, modular.ExploreOpts{MaxStates: a.MaxStates, MaxTransitions: a.MaxTransitions})
 	if err != nil {
 		return csl.Result{}, err
 	}

@@ -60,7 +60,7 @@ func (a Analyzer) PrepareContext(ctx context.Context, ar *arch.Architecture, msg
 	if err != nil {
 		return nil, err
 	}
-	ex, err := res.Model.ExploreContext(ctx, modular.ExploreOpts{MaxStates: a.MaxStates})
+	ex, err := res.Model.ExploreContext(ctx, modular.ExploreOpts{MaxStates: a.MaxStates, MaxTransitions: a.MaxTransitions})
 	if err != nil {
 		return nil, err
 	}

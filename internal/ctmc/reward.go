@@ -121,10 +121,17 @@ func (c *Chain) reachabilityRewardAll(ctx context.Context, reward linalg.Vector,
 		// secure region) need generous sweep budgets; the relative
 		// tolerance keeps the criterion meaningful for large expected
 		// rewards.
-		var stats linalg.IterStats
-		y, err := linalg.GaussSeidel(coo.ToCSR(), b, linalg.IterOpts{Tol: 1e-10, MaxIter: 2_000_000, Stats: &stats})
-		sp.Int("iterations", int64(stats.Iterations))
-		sp.Float("residual", stats.Residual)
+		var rstats linalg.RobustStats
+		y, err := linalg.RobustSolve(ctx, coo.ToCSR(), b, linalg.RobustOpts{
+			Opts:  linalg.IterOpts{Tol: 1e-10, MaxIter: 2_000_000},
+			Stats: &rstats,
+		})
+		sp.Str("method", rstats.Method)
+		if n := len(rstats.Attempts); n > 0 {
+			last := rstats.Attempts[n-1]
+			sp.Int("iterations", int64(last.Iterations))
+			sp.Float("residual", last.Residual)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("ctmc: reachability-reward solve: %w", err)
 		}

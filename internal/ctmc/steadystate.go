@@ -143,13 +143,12 @@ func (c *Chain) stationaryDirect(set []int, idx map[int]int) (linalg.Vector, err
 // whose rates span many orders of magnitude (the Figure-6 sweeps go from
 // 0.1 to 8760 per year).
 func (c *Chain) stationaryIterative(ctx context.Context, set []int, idx map[int]int) (linalg.Vector, error) {
-	_, sp := obs.Start(ctx, "ctmc.steadystate.solve")
+	ctx, sp := obs.Start(ctx, "ctmc.steadystate.solve")
 	defer sp.End()
 	m := len(set)
 	if m == 0 {
 		return nil, fmt.Errorf("ctmc: empty state set")
 	}
-	sp.Str("method", "gauss-seidel")
 	sp.Int("unknowns", int64(m-1))
 	// Reference: any state in the (closed, strongly connected) set is
 	// correct. The state with the smallest exit rate has the longest mean
@@ -198,14 +197,23 @@ func (c *Chain) stationaryIterative(ctx context.Context, set []int, idx map[int]
 			coo.Add(pos[k], pos[k], c.Exit[s])
 		}
 	}
-	var stats linalg.IterStats
-	y, err := linalg.GaussSeidel(coo.ToCSR(), b, linalg.IterOpts{Tol: 1e-11, MaxIter: 500000, Stats: &stats})
-	sp.Int("iterations", int64(stats.Iterations))
-	sp.Float("residual", stats.Residual)
+	// The fallback chain escalates gauss-seidel → jacobi → dense on
+	// *ConvergenceError; each attempt lands in the run manifest.
+	var rstats linalg.RobustStats
+	y, err := linalg.RobustSolve(ctx, coo.ToCSR(), b, linalg.RobustOpts{
+		Opts:  linalg.IterOpts{Tol: 1e-11, MaxIter: 500000},
+		Stats: &rstats,
+	})
+	sp.Str("method", rstats.Method)
+	if n := len(rstats.Attempts); n > 0 {
+		last := rstats.Attempts[n-1]
+		sp.Int("iterations", int64(last.Iterations))
+		sp.Float("residual", last.Residual)
+	}
 	if err != nil {
-		// On exhausted budgets err is a *linalg.ConvergenceError carrying the
-		// sweep count and final residual; preserve it through the wrap so
-		// callers can errors.As for the details.
+		// On exhausted fallback chains err still unwraps to the final
+		// *linalg.ConvergenceError carrying the sweep count and residual;
+		// preserve it through the wrap so callers can errors.As for details.
 		return nil, fmt.Errorf("ctmc: iterative stationary solve (%d unknowns): %w", m-1, err)
 	}
 	pi := linalg.NewVector(m)

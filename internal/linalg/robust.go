@@ -1,0 +1,191 @@
+package linalg
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// Solver method names, used in fallback chains and attempt records.
+const (
+	MethodGaussSeidel = "gauss-seidel"
+	MethodJacobi      = "jacobi"
+	MethodDense       = "dense"
+)
+
+// FallbackStep is one stage of a RobustSolve chain: a method plus budget
+// relaxations applied relative to the base IterOpts.
+type FallbackStep struct {
+	// Method selects the solver (MethodGaussSeidel, MethodJacobi,
+	// MethodDense).
+	Method string
+	// IterFactor multiplies the base MaxIter (values ≤ 1 keep it).
+	IterFactor int
+	// TolFactor multiplies the base Tol (values ≤ 1 keep it).
+	TolFactor float64
+}
+
+// DefaultFallbackChain is the escalation RobustSolve uses when none is
+// configured: the fast sweep first, then Jacobi with a doubled iteration
+// budget and a relaxed tolerance (Jacobi converges on some systems where
+// the Gauss–Seidel sweep order cycles), and finally dense Gaussian
+// elimination, which does not iterate at all but only fits small systems.
+func DefaultFallbackChain() []FallbackStep {
+	return []FallbackStep{
+		{Method: MethodGaussSeidel},
+		{Method: MethodJacobi, IterFactor: 2, TolFactor: 10},
+		{Method: MethodDense},
+	}
+}
+
+// DefaultDenseLimit bounds the system size eligible for the dense fallback
+// (an n×n expansion; 1024² floats ≈ 8 MB).
+const DefaultDenseLimit = 1024
+
+// RobustOpts configures RobustSolve.
+type RobustOpts struct {
+	// Opts is the base iterative budget; chain steps relax it.
+	Opts IterOpts
+	// Chain overrides DefaultFallbackChain.
+	Chain []FallbackStep
+	// DenseLimit overrides DefaultDenseLimit.
+	DenseLimit int
+	// Stats, when non-nil, receives the attempt history.
+	Stats *RobustStats
+}
+
+// SolveAttempt reports one executed step of a fallback chain.
+type SolveAttempt struct {
+	// Method is the solver that ran.
+	Method string
+	// Iterations and Residual report what the iterative solver did (zero
+	// for the dense method).
+	Iterations int
+	Residual   float64
+	// Err is the step's failure, nil on success.
+	Err error
+	// Injected marks a failure synthesised by fault injection
+	// (fault.PointSolverDiverge) rather than a real solve.
+	Injected bool
+}
+
+// RobustStats is RobustSolve's attempt history.
+type RobustStats struct {
+	// Attempts lists the executed steps in order.
+	Attempts []SolveAttempt
+	// Method is the step that produced the returned solution (empty on
+	// failure).
+	Method string
+}
+
+// RobustSolve solves A·x = b through a fallback chain: each step runs an
+// iterative method under (possibly relaxed) budgets, and a step failing
+// with a *ConvergenceError escalates to the next; any other error (singular
+// matrix, dimension mismatch) aborts immediately since no amount of
+// escalation repairs it. The dense step is skipped for systems larger than
+// DenseLimit. Every executed step is recorded in opts.Stats and in the
+// context's obs.AttemptRecorder, so run manifests show which solvers were
+// tried. The fault.PointSolverDiverge injection point, when armed, replaces
+// a step's real solve with a synthetic convergence failure.
+func RobustSolve(ctx context.Context, a *CSR, b Vector, opts RobustOpts) (Vector, error) {
+	chain := opts.Chain
+	if len(chain) == 0 {
+		chain = DefaultFallbackChain()
+	}
+	denseLimit := opts.DenseLimit
+	if denseLimit <= 0 {
+		denseLimit = DefaultDenseLimit
+	}
+	base := opts.Opts.withDefaults()
+	ctx, sp := obs.Start(ctx, "linalg.robust_solve")
+	defer sp.End()
+	var lastErr error
+	try := 0
+	for _, step := range chain {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if step.Method == MethodDense && a.Rows > denseLimit {
+			continue
+		}
+		try++
+		stepOpts := base
+		if step.IterFactor > 1 {
+			stepOpts.MaxIter = base.MaxIter * step.IterFactor
+		}
+		if step.TolFactor > 1 {
+			stepOpts.Tol = base.Tol * step.TolFactor
+		}
+		var stats IterStats
+		stepOpts.Stats = &stats
+		start := time.Now()
+		var (
+			x        Vector
+			err      error
+			injected bool
+		)
+		if fault.Should(fault.PointSolverDiverge) {
+			injected = true
+			err = &ConvergenceError{Method: step.Method, Iterations: stepOpts.MaxIter, Residual: math.Inf(1), Tol: stepOpts.Tol}
+		} else {
+			switch step.Method {
+			case MethodGaussSeidel:
+				x, err = GaussSeidel(a, b, stepOpts)
+			case MethodJacobi:
+				x, err = Jacobi(a, b, stepOpts)
+			case MethodDense:
+				x, err = SolveDense(a.ToDense(), b)
+			default:
+				return nil, fmt.Errorf("linalg: unknown fallback method %q", step.Method)
+			}
+		}
+		if opts.Stats != nil {
+			opts.Stats.Attempts = append(opts.Stats.Attempts, SolveAttempt{
+				Method:     step.Method,
+				Iterations: stats.Iterations,
+				Residual:   stats.Residual,
+				Err:        err,
+				Injected:   injected,
+			})
+		}
+		rec := obs.Attempt{
+			Stage:      "solver",
+			Try:        try,
+			Method:     step.Method,
+			Outcome:    obs.AttemptOK,
+			Iterations: stats.Iterations,
+			Seconds:    time.Since(start).Seconds(),
+		}
+		if err != nil {
+			rec.Outcome = obs.AttemptError
+			if injected {
+				rec.Outcome = obs.AttemptInjected
+			}
+			rec.Error = err.Error()
+		}
+		obs.RecordAttempt(ctx, rec)
+		if err == nil {
+			if opts.Stats != nil {
+				opts.Stats.Method = step.Method
+			}
+			sp.Str("method", step.Method)
+			sp.Int("attempts", int64(try))
+			sp.Int("iterations", int64(stats.Iterations))
+			return x, nil
+		}
+		var ce *ConvergenceError
+		if !errors.As(err, &ce) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		return nil, fmt.Errorf("linalg: fallback chain has no applicable step for a %dx%d system", a.Rows, a.Cols)
+	}
+	return nil, fmt.Errorf("linalg: fallback chain exhausted after %d attempts: %w", try, lastErr)
+}

@@ -1,0 +1,47 @@
+package modular
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestExploreStateBudgetTyped(t *testing.T) {
+	m, _ := buildBirthDeath(t, 100, 1, 1)
+	_, err := m.Explore(ExploreOpts{MaxStates: 10})
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Resource != "states" || be.Limit != 10 {
+		t.Fatalf("err = %v, want *BudgetError{states, 10}", err)
+	}
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err %v does not match ErrBudgetExceeded", err)
+	}
+	// Backward compatibility: the state budget still matches the original
+	// sentinel.
+	if !errors.Is(err, ErrStateSpaceLimit) {
+		t.Fatalf("err %v does not match ErrStateSpaceLimit", err)
+	}
+}
+
+func TestExploreTransitionBudget(t *testing.T) {
+	m, _ := buildBirthDeath(t, 100, 1, 1)
+	_, err := m.Explore(ExploreOpts{MaxTransitions: 5})
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Resource != "transitions" || be.Limit != 5 {
+		t.Fatalf("err = %v, want *BudgetError{transitions, 5}", err)
+	}
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err %v does not match ErrBudgetExceeded", err)
+	}
+	// The transition budget must not alias the state sentinel.
+	if errors.Is(err, ErrStateSpaceLimit) {
+		t.Fatalf("transition budget error %v unexpectedly matches ErrStateSpaceLimit", err)
+	}
+	// A budget that accommodates the model leaves exploration untouched.
+	ex, err := m.Explore(ExploreOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.N() != 101 {
+		t.Fatalf("states = %d, want 101", ex.N())
+	}
+}

@@ -15,6 +15,33 @@ import (
 // state budget.
 var ErrStateSpaceLimit = errors.New("modular: state-space limit exceeded")
 
+// ErrBudgetExceeded is the sentinel every exploration-budget violation
+// matches — the typed guardrail a service maps to HTTP 422 so a runaway or
+// hostile architecture fails fast instead of exhausting memory.
+var ErrBudgetExceeded = errors.New("modular: state-space budget exceeded")
+
+// BudgetError reports which exploration budget was hit.
+type BudgetError struct {
+	// Resource is "states" or "transitions".
+	Resource string
+	// Limit is the configured budget.
+	Limit int
+}
+
+// Error implements error.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("modular: exploration exceeded the %s budget (%d)", e.Resource, e.Limit)
+}
+
+// Is matches ErrBudgetExceeded, and keeps the pre-existing
+// ErrStateSpaceLimit identity for state-budget violations.
+func (e *BudgetError) Is(target error) bool {
+	if target == ErrBudgetExceeded {
+		return true
+	}
+	return target == ErrStateSpaceLimit && e.Resource == "states"
+}
+
 // ErrAssignConflict is returned when synchronised commands write the same
 // variable.
 var ErrAssignConflict = errors.New("modular: conflicting assignments in synchronised update")
@@ -27,6 +54,9 @@ var ErrRangeViolation = errors.New("modular: update drives variable out of range
 type ExploreOpts struct {
 	// MaxStates bounds the number of reachable states (default 5,000,000).
 	MaxStates int
+	// MaxTransitions bounds the number of transitions (default 20,000,000).
+	// Dense models hit this long before the state budget.
+	MaxTransitions int
 }
 
 // Explored is the result of state-space exploration: the reachable states,
@@ -63,6 +93,10 @@ func (m *Model) ExploreContext(ctx context.Context, opts ExploreOpts) (*Explored
 	if maxStates <= 0 {
 		maxStates = 5_000_000
 	}
+	maxTransitions := opts.MaxTransitions
+	if maxTransitions <= 0 {
+		maxTransitions = 20_000_000
+	}
 	ex := &Explored{Model: m, index: make(map[string]int)}
 	init := m.InitState()
 	ex.States = append(ex.States, init)
@@ -83,13 +117,16 @@ func (m *Model) ExploreContext(ctx context.Context, opts ExploreOpts) (*Explored
 			to, seen := ex.index[key]
 			if !seen {
 				if len(ex.States) >= maxStates {
-					return nil, fmt.Errorf("%w (%d states)", ErrStateSpaceLimit, maxStates)
+					return nil, &BudgetError{Resource: "states", Limit: maxStates}
 				}
 				to = len(ex.States)
 				ex.States = append(ex.States, s.state)
 				ex.index[key] = to
 			} else {
 				dedupHits++
+			}
+			if len(transitions) >= maxTransitions {
+				return nil, &BudgetError{Resource: "transitions", Limit: maxTransitions}
 			}
 			transitions = append(transitions, pendingTransition{from: head, to: to, rate: s.rate})
 		}

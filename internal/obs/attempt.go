@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"context"
+	"sync"
+)
+
+// Attempt outcomes.
+const (
+	// AttemptOK: the attempt produced a result.
+	AttemptOK = "ok"
+	// AttemptError: the attempt failed with an error.
+	AttemptError = "error"
+	// AttemptPanic: the attempt panicked and was recovered.
+	AttemptPanic = "panic"
+	// AttemptInjected: the attempt failed because a fault-injection point
+	// fired.
+	AttemptInjected = "injected"
+)
+
+// Attempt is one try of a fault-tolerant stage — a solver in a fallback
+// chain, or a job execution in a retry loop. The recovery machinery records
+// attempts into the run manifest so a chaos run's history (which methods
+// were tried, what failed, what finally succeeded) is auditable after the
+// fact.
+type Attempt struct {
+	// Stage names the retrying layer ("solver", "job").
+	Stage string `json:"stage"`
+	// Try is the 1-based attempt number within the stage.
+	Try int `json:"try"`
+	// Method identifies what was tried (solver name; empty for job retries).
+	Method string `json:"method,omitempty"`
+	// Outcome is one of the Attempt* constants.
+	Outcome string `json:"outcome"`
+	// Error carries the failure message for non-ok outcomes.
+	Error string `json:"error,omitempty"`
+	// Stack is the recovered panic's stack trace, when Outcome is "panic".
+	Stack string `json:"stack,omitempty"`
+	// Iterations reports solver sweeps, when the stage is a solver.
+	Iterations int `json:"iterations,omitempty"`
+	// Seconds is the attempt's wall time.
+	Seconds float64 `json:"seconds,omitempty"`
+}
+
+// AttemptRecorder accumulates attempts across the layers of one job. It is
+// carried through the context (WithAttempts) so a deep solver fallback can
+// report into the same history as the worker-level retry loop. Safe for
+// concurrent use.
+type AttemptRecorder struct {
+	mu       sync.Mutex
+	attempts []Attempt
+}
+
+// Record appends one attempt.
+func (r *AttemptRecorder) Record(a Attempt) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.attempts = append(r.attempts, a)
+	r.mu.Unlock()
+}
+
+// Attempts snapshots the recorded history.
+func (r *AttemptRecorder) Attempts() []Attempt {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Attempt, len(r.attempts))
+	copy(out, r.attempts)
+	return out
+}
+
+type attemptKey struct{}
+
+// WithAttempts returns a context carrying the recorder.
+func WithAttempts(ctx context.Context, r *AttemptRecorder) context.Context {
+	return context.WithValue(ctx, attemptKey{}, r)
+}
+
+// AttemptsFrom extracts the context's recorder, or nil.
+func AttemptsFrom(ctx context.Context) *AttemptRecorder {
+	r, _ := ctx.Value(attemptKey{}).(*AttemptRecorder)
+	return r
+}
+
+// RecordAttempt records into the context's recorder, a no-op without one.
+func RecordAttempt(ctx context.Context, a Attempt) {
+	AttemptsFrom(ctx).Record(a)
+}

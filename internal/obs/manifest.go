@@ -113,6 +113,10 @@ type Manifest struct {
 	Phases      []PhaseStat        `json:"phases"`
 	Counters    map[string]float64 `json:"counters,omitempty"`
 	Gauges      map[string]float64 `json:"gauges,omitempty"`
+	// Attempts is the fault-tolerance history of the run — solver fallback
+	// tries and job retries, including recovered panics with their stacks.
+	// The retry machinery (internal/service) fills it after collection.
+	Attempts []Attempt `json:"attempts,omitempty"`
 }
 
 // exploreSpan is the span name whose attributes carry model size; the

@@ -65,6 +65,15 @@ func (c *lruCache) Put(key string, v any) {
 	}
 }
 
+// Purge drops every entry, keeping the hit/miss/eviction history — the
+// cache-loss fault hook (fault.PointCacheEvictAll) and tests.
+func (c *lruCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+}
+
 // Len returns the current entry count.
 func (c *lruCache) Len() int {
 	c.mu.Lock()

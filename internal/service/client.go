@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -20,6 +22,10 @@ type Client struct {
 	HTTP *http.Client
 	// PollInterval paces Wait's job polling (default 200ms).
 	PollInterval time.Duration
+	// MaxRetries bounds automatic retries of requests rejected with 503 or
+	// 429 when the server sent a Retry-After hint (queue-full backpressure).
+	// Negative disables retries; 0 means the default of 3.
+	MaxRetries int
 }
 
 // NewClient returns a client for the server at baseURL.
@@ -34,30 +40,76 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// apiError is a non-2xx response, carrying the server's error body.
+// apiError is a non-2xx response, carrying the server's error body and, for
+// backpressure rejections, the Retry-After hint in seconds (0 when absent).
 type apiError struct {
-	Status int
-	Msg    string
+	Status     int
+	Msg        string
+	RetryAfter int
 }
 
 func (e *apiError) Error() string {
 	return fmt.Sprintf("service: server returned %d: %s", e.Status, e.Msg)
 }
 
+// retryAfter reports whether err is a backpressure rejection (503 or 429)
+// carrying a Retry-After hint, and the hinted delay.
+func retryAfter(err error) (time.Duration, bool) {
+	var ae *apiError
+	if !errors.As(err, &ae) || ae.RetryAfter <= 0 {
+		return 0, false
+	}
+	if ae.Status != http.StatusServiceUnavailable && ae.Status != http.StatusTooManyRequests {
+		return 0, false
+	}
+	return time.Duration(ae.RetryAfter) * time.Second, true
+}
+
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var data []byte
 	if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(body); err != nil {
 			return err
 		}
+	}
+	retries := c.MaxRetries
+	if retries == 0 {
+		retries = 3
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		if err = c.doOnce(ctx, method, path, data, out); err == nil {
+			return nil
+		}
+		hint, ok := retryAfter(err)
+		if !ok || attempt > retries {
+			return err
+		}
+		// The server's hint is the floor; add jitter so a burst of rejected
+		// clients does not return in lockstep, and back off on repeats.
+		delay := retryDelay(hint, 4*hint, attempt)
+		if delay < hint {
+			delay = hint
+		}
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(delay):
+		}
+	}
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, data []byte, out any) error {
+	var rd io.Reader
+	if data != nil {
 		rd = bytes.NewReader(data)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
 		return err
 	}
-	if body != nil {
+	if data != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.httpClient().Do(req)
@@ -65,21 +117,25 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		return err
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if err != nil {
 		return err
 	}
 	if resp.StatusCode >= 400 {
+		ae := &apiError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(body))}
 		var eb errorBody
-		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
-			return &apiError{Status: resp.StatusCode, Msg: eb.Error}
+		if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+			ae.Msg = eb.Error
 		}
-		return &apiError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(data))}
+		if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+			ae.RetryAfter = secs
+		}
+		return ae
 	}
 	if out == nil {
 		return nil
 	}
-	return json.Unmarshal(data, out)
+	return json.Unmarshal(body, out)
 }
 
 // Submit posts a request and returns the accepted job (possibly already

@@ -17,12 +17,14 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"strings"
 	"sync/atomic"
 
 	"repro/internal/arch"
 	"repro/internal/core"
 	"repro/internal/csl"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/transform"
 )
@@ -66,6 +68,12 @@ type EngineOptions struct {
 	// ModelsDir resolves stored-model architecture references; empty
 	// disables them.
 	ModelsDir string
+	// MaxStates / MaxTransitions cap the per-request exploration budgets: a
+	// request may lower them but not raise or disable them (0 = the
+	// library defaults, 5M states / 20M transitions). Violations surface as
+	// modular.ErrBudgetExceeded, which the HTTP layer maps to 422.
+	MaxStates      int
+	MaxTransitions int
 }
 
 // Engine executes analysis requests against the core pipeline with
@@ -73,11 +81,13 @@ type EngineOptions struct {
 // concurrent use; the Server runs one Engine under its worker pool, and
 // benchmarks drive it directly.
 type Engine struct {
-	models    *lruCache // modelKey → *core.Prepared
-	results   *lruCache // resultKey → *Outcome
-	modelSF   flightGroup
-	resultSF  flightGroup
-	modelsDir string
+	models         *lruCache // modelKey → *core.Prepared
+	results        *lruCache // resultKey → *Outcome
+	modelSF        flightGroup
+	resultSF       flightGroup
+	modelsDir      string
+	maxStates      int
+	maxTransitions int
 
 	// solves counts pipeline executions; hits and shared count requests
 	// served without one. solves+misses in the result cache differ only
@@ -100,9 +110,11 @@ func NewEngine(opts EngineOptions) *Engine {
 		opts.ResultCacheSize = 1024
 	}
 	e := &Engine{
-		models:    newLRUCache(opts.ModelCacheSize),
-		results:   newLRUCache(opts.ResultCacheSize),
-		modelsDir: opts.ModelsDir,
+		models:         newLRUCache(opts.ModelCacheSize),
+		results:        newLRUCache(opts.ResultCacheSize),
+		modelsDir:      opts.ModelsDir,
+		maxStates:      opts.MaxStates,
+		maxTransitions: opts.MaxTransitions,
 	}
 	e.run = e.analyze
 	return e
@@ -155,6 +167,11 @@ func (e *Engine) Run(ctx context.Context, req *AnalysisRequest) (*Outcome, Cache
 	if err != nil {
 		return nil, "", err
 	}
+	if fault.Should(fault.PointCacheEvictAll) {
+		e.models.Purge()
+		e.results.Purge()
+		obs.Count(ctx, "service.cache.evicted_all", 1)
+	}
 	rkey := resultKey(rr.archCanon, rr.msg, rr.an, rr.mode, rr.cat, rr.prot, rr.property)
 	for {
 		if v, ok := e.results.Get(rkey); ok {
@@ -165,7 +182,7 @@ func (e *Engine) Run(ctx context.Context, req *AnalysisRequest) (*Outcome, Cache
 		v, err, leader := e.resultSF.Do(rkey, func() (any, error) {
 			obs.Count(ctx, "service.cache.result.miss", 1)
 			atomic.AddInt64(&e.solves, 1)
-			out, err := e.run(ctx, rr)
+			out, err := e.safeRun(ctx, rr)
 			if err != nil {
 				return nil, err
 			}
@@ -188,6 +205,28 @@ func (e *Engine) Run(ctx context.Context, req *AnalysisRequest) (*Outcome, Cache
 		}
 		return v.(*Outcome), CacheMiss, nil
 	}
+}
+
+// safeRun wraps the substitutable run hook with the solve-path fault
+// points and panic recovery. Recovering here — inside the single-flight
+// leader — matters twice over: the worker goroutine survives, and a panic
+// escaping the flight function would otherwise leave every waiter parked
+// on the flight's done channel forever.
+func (e *Engine) safeRun(ctx context.Context, rr *resolvedRequest) (out *Outcome, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			obs.Count(ctx, "service.panic.recovered", 1)
+			out = nil
+			err = &PanicError{Value: fmt.Sprint(r), Stack: string(debug.Stack())}
+		}
+	}()
+	fault.Crash(fault.PointWorkerPanic)
+	if fault.Sleep(ctx, fault.PointSolveSlow) {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+	}
+	return e.run(ctx, rr)
 }
 
 // analyze is the real pipeline execution behind Run.
@@ -330,6 +369,9 @@ func (e *Engine) resolve(req *AnalysisRequest) (*resolvedRequest, error) {
 	if req.TimeoutSeconds < 0 || req.WaitSeconds < 0 {
 		return nil, badRequestf("negative timeout or wait")
 	}
+	if req.MaxStates < 0 || req.MaxTransitions < 0 {
+		return nil, badRequestf("negative state or transition budget")
+	}
 	rr := &resolvedRequest{
 		arch:      a,
 		archCanon: canon,
@@ -339,6 +381,8 @@ func (e *Engine) resolve(req *AnalysisRequest) (*resolvedRequest, error) {
 			Horizon:         req.Horizon,
 			SkipSteadyState: req.SkipSteadyState,
 			UseLumping:      req.UseLumping,
+			MaxStates:       clampBudget(req.MaxStates, e.maxStates),
+			MaxTransitions:  clampBudget(req.MaxTransitions, e.maxTransitions),
 		},
 		property: req.Property,
 	}
@@ -381,6 +425,15 @@ const (
 	maxNMax    = 8
 	maxHorizon = 1000
 )
+
+// clampBudget resolves a request's exploration budget against the server
+// cap: a request may lower the cap but not raise or disable it.
+func clampBudget(requested, cap int) int {
+	if cap > 0 && (requested <= 0 || requested > cap) {
+		return cap
+	}
+	return requested
+}
 
 func (e *Engine) resolveArchitecture(req *AnalysisRequest) (*arch.Architecture, error) {
 	if len(req.Inline) > 0 {

@@ -61,6 +61,12 @@ type AnalysisRequest struct {
 	// UseLumping solves the ordinary-lumping quotient instead of the full
 	// chain.
 	UseLumping bool `json:"use_lumping,omitempty"`
+	// MaxStates / MaxTransitions bound exploration for this request; 0
+	// inherits the server budget, larger values are clamped to it. A
+	// violated budget fails the job with error kind "budget_exceeded"
+	// (HTTP 422 on synchronous submission).
+	MaxStates      int `json:"max_states,omitempty"`
+	MaxTransitions int `json:"max_transitions,omitempty"`
 	// TimeoutSeconds bounds the job's execution; 0 inherits the server's
 	// job timeout, larger values are clamped to it.
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
@@ -108,8 +114,15 @@ type Job struct {
 	req     *AnalysisRequest
 	created time.Time
 
+	// collector and recorder accumulate spans and retry/fallback attempts
+	// across every execution of the job, so the manifest of a retried job
+	// covers its whole history.
+	collector *obs.Collector
+	recorder  *obs.AttemptRecorder
+
 	mu       sync.Mutex
 	status   JobStatus
+	attempt  int
 	started  time.Time
 	finished time.Time
 	outcome  *Outcome
@@ -122,27 +135,49 @@ type Job struct {
 
 func newJob(id string, req *AnalysisRequest) *Job {
 	return &Job{
-		id:      id,
-		req:     req,
-		created: time.Now(),
-		status:  StatusQueued,
-		done:    make(chan struct{}),
+		id:        id,
+		req:       req,
+		created:   time.Now(),
+		collector: obs.NewCollector(),
+		recorder:  &obs.AttemptRecorder{},
+		status:    StatusQueued,
+		done:      make(chan struct{}),
 	}
 }
 
 // Done returns a channel closed when the job reaches a terminal status.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
-func (j *Job) setRunning() {
+// beginAttempt transitions the job to running and returns the 1-based
+// attempt number.
+func (j *Job) beginAttempt() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.status = StatusRunning
-	j.started = time.Now()
+	j.attempt++
+	if j.started.IsZero() {
+		j.started = time.Now()
+	}
+	return j.attempt
 }
 
-func (j *Job) finish(out *Outcome, cache CacheState, err error, m *obs.Manifest) {
+// requeued marks the job waiting for a retry.
+func (j *Job) requeued() {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.status = StatusQueued
+}
+
+// finish publishes the terminal state exactly once, reporting whether this
+// call was the one that finished the job (false when it was already
+// terminal — the last-resort panic recovery can race a normal finish).
+func (j *Job) finish(out *Outcome, cache CacheState, err error, m *obs.Manifest) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.status {
+	case StatusDone, StatusFailed, StatusCanceled:
+		return false
+	}
 	j.finished = time.Now()
 	j.outcome = out
 	j.err = err
@@ -157,6 +192,7 @@ func (j *Job) finish(out *Outcome, cache CacheState, err error, m *obs.Manifest)
 		j.status = StatusFailed
 	}
 	close(j.done)
+	return true
 }
 
 // Manifest returns the per-job run manifest (nil until the job finishes).
@@ -176,11 +212,18 @@ type JobView struct {
 	Finished *time.Time `json:"finished,omitempty"`
 	// Cache reports how the outcome was obtained: "hit", "miss" or
 	// "shared" (joined a concurrent identical solve).
-	Cache          CacheState       `json:"cache,omitempty"`
-	ElapsedSeconds float64          `json:"elapsed_seconds,omitempty"`
-	Error          string           `json:"error,omitempty"`
-	Results        []AnalysisResult `json:"results,omitempty"`
-	Property       *PropertyResult  `json:"property,omitempty"`
+	Cache          CacheState `json:"cache,omitempty"`
+	ElapsedSeconds float64    `json:"elapsed_seconds,omitempty"`
+	// Attempts counts executions of the job (> 1 after transient-failure
+	// retries).
+	Attempts int    `json:"attempts,omitempty"`
+	Error    string `json:"error,omitempty"`
+	// ErrorKind classifies a failure: "bad_request", "budget_exceeded",
+	// "no_convergence", "panic", "injected_fault", "timeout", "canceled"
+	// or "internal".
+	ErrorKind string           `json:"error_kind,omitempty"`
+	Results   []AnalysisResult `json:"results,omitempty"`
+	Property  *PropertyResult  `json:"property,omitempty"`
 }
 
 // View snapshots the job for serialisation.
@@ -188,10 +231,11 @@ func (j *Job) View() *JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := &JobView{
-		ID:      j.id,
-		Status:  j.status,
-		Created: j.created,
-		Cache:   j.cache,
+		ID:       j.id,
+		Status:   j.status,
+		Created:  j.created,
+		Cache:    j.cache,
+		Attempts: j.attempt,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -206,6 +250,7 @@ func (j *Job) View() *JobView {
 	}
 	if j.err != nil {
 		v.Error = j.err.Error()
+		v.ErrorKind = errorKind(j.err)
 	}
 	if j.outcome != nil {
 		v.Results = j.outcome.Results

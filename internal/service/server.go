@@ -8,10 +8,13 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -23,7 +26,7 @@ type Config struct {
 	// Workers bounds concurrent analyses (default GOMAXPROCS).
 	Workers int
 	// QueueDepth bounds accepted-but-not-started jobs; a full queue
-	// rejects submissions with 429 (default 64).
+	// rejects submissions with 503 + Retry-After (default 64).
 	QueueDepth int
 	// ModelCacheSize / ResultCacheSize bound the engine caches (see
 	// EngineOptions).
@@ -40,6 +43,27 @@ type Config struct {
 	// RetainJobs bounds how many finished jobs stay queryable; the oldest
 	// are dropped first (default 1024).
 	RetainJobs int
+	// MaxAttempts bounds executions per job, including the first (default
+	// 3). Transient failures — convergence exhaustion, recovered panics,
+	// injected faults — are re-enqueued with capped exponential backoff
+	// and jitter until the budget is spent; deterministic failures (bad
+	// requests, exceeded exploration budgets) and context errors fail
+	// immediately.
+	MaxAttempts int
+	// RetryBaseDelay / RetryMaxDelay shape the backoff (defaults 100ms /
+	// 5s).
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// RetryAfterSeconds is the hint sent with 503 queue-full rejections
+	// (default 1).
+	RetryAfterSeconds int
+	// DegradedAfter is the consecutive-job-failure count at which
+	// /v1/healthz reports "degraded" (default 5).
+	DegradedAfter int
+	// MaxStates / MaxTransitions cap per-request exploration budgets (see
+	// EngineOptions).
+	MaxStates      int
+	MaxTransitions int
 	// ExtraSink, when set, additionally receives every span/counter the
 	// server emits (per-request and per-job) — secserved passes the sinks
 	// of its -trace/-progress session here.
@@ -65,6 +89,21 @@ func (c Config) withDefaults() Config {
 	if c.RetainJobs <= 0 {
 		c.RetainJobs = 1024
 	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = 100 * time.Millisecond
+	}
+	if c.RetryMaxDelay <= 0 {
+		c.RetryMaxDelay = 5 * time.Second
+	}
+	if c.RetryAfterSeconds <= 0 {
+		c.RetryAfterSeconds = 1
+	}
+	if c.DegradedAfter <= 0 {
+		c.DegradedAfter = 5
+	}
 	return c
 }
 
@@ -86,17 +125,31 @@ type Server struct {
 	jobs     map[string]*Job
 	finished []string // retention order
 	queue    chan *Job
+	retries  map[string]*pendingRetry
 	draining bool
 	seq      uint64
 
 	wg      sync.WaitGroup
 	started time.Time
 
-	accepted  atomic.Int64
-	completed atomic.Int64
-	failed    atomic.Int64
-	rejected  atomic.Int64
-	running   atomic.Int64
+	accepted       atomic.Int64
+	completed      atomic.Int64
+	failed         atomic.Int64
+	rejected       atomic.Int64
+	running        atomic.Int64
+	retried        atomic.Int64
+	panics         atomic.Int64
+	consecFailures atomic.Int64
+}
+
+// pendingRetry is a job waiting out its backoff. Ownership protocol:
+// whoever deletes the retries map entry resolves the job — the timer
+// callback (requeue) on the happy path, Shutdown when it cancels pending
+// retries during drain.
+type pendingRetry struct {
+	job   *Job
+	timer *time.Timer
+	err   error // the failure being retried
 }
 
 // New builds the server and starts its worker pool.
@@ -108,10 +161,13 @@ func New(cfg Config) *Server {
 			ModelCacheSize:  cfg.ModelCacheSize,
 			ResultCacheSize: cfg.ResultCacheSize,
 			ModelsDir:       cfg.ModelsDir,
+			MaxStates:       cfg.MaxStates,
+			MaxTransitions:  cfg.MaxTransitions,
 		}),
 		collector: obs.NewCollector(),
 		jobs:      make(map[string]*Job),
 		queue:     make(chan *Job, cfg.QueueDepth),
+		retries:   make(map[string]*pendingRetry),
 		started:   time.Now(),
 	}
 	sinks := obs.MultiSink{s.collector}
@@ -197,12 +253,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		// No sends can follow: handleSubmit checks draining under mu
-		// before enqueueing.
+		// No sends can follow: handleSubmit and requeue check draining
+		// under mu before enqueueing.
 		close(s.queue)
 	}
 	httpSrv := s.httpSrv
 	s.mu.Unlock()
+	// Jobs parked on backoff timers fail now with their original errors
+	// rather than stalling the drain for up to a full backoff period.
+	s.cancelPendingRetries()
 
 	drained := make(chan struct{})
 	go func() {
@@ -242,7 +301,20 @@ func (s *Server) worker() {
 	}
 }
 
+// runJob executes one attempt of a job. Transient failures within the
+// attempt budget are re-enqueued with backoff instead of finishing the job.
 func (s *Server) runJob(job *Job) {
+	// Last-resort isolation: the engine recovers its own solve-path
+	// panics, but a panic anywhere else on the job path must kill only
+	// this job, never the worker goroutine.
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			s.finishJob(job, nil, "", &PanicError{Value: fmt.Sprint(r), Stack: string(debug.Stack())})
+		}
+	}()
+
+	attempt := job.beginAttempt()
 	timeout := s.cfg.JobTimeout
 	if t := time.Duration(job.req.TimeoutSeconds * float64(time.Second)); t > 0 && t < timeout {
 		timeout = t
@@ -251,32 +323,144 @@ func (s *Server) runJob(job *Job) {
 	defer cancel()
 
 	// Per-job tracer: events flow to the job's own collector (the per-job
-	// manifest) and to the server-wide sinks.
-	jobCollector := obs.NewCollector()
-	sinks := obs.MultiSink{s.collector, jobCollector}
+	// manifest, accumulated across attempts) and to the server-wide sinks.
+	// The attempt recorder rides the context so deep solver fallbacks
+	// report into the same history.
+	sinks := obs.MultiSink{s.collector, job.collector}
 	if s.cfg.ExtraSink != nil {
 		sinks = append(sinks, s.cfg.ExtraSink)
 	}
 	tr := obs.NewTracer(sinks, false)
 	ctx, sp := tr.StartSpan(ctx, "service.job")
 	sp.Str("job", job.id)
+	sp.Int("attempt", int64(attempt))
+	ctx = obs.WithAttempts(ctx, job.recorder)
 
-	job.setRunning()
 	s.running.Add(1)
+	start := time.Now()
 	out, cache, err := s.engine.Run(ctx, job.req)
 	s.running.Add(-1)
 	sp.Str("cache", string(cache))
+
+	rec := obs.Attempt{Stage: "job", Try: attempt, Outcome: obs.AttemptOK, Seconds: time.Since(start).Seconds()}
 	if err != nil {
 		sp.Str("error", err.Error())
+		rec.Outcome = obs.AttemptError
+		rec.Error = err.Error()
+		var pe *PanicError
+		switch {
+		case errors.As(err, &pe):
+			rec.Outcome = obs.AttemptPanic
+			rec.Stack = pe.Stack
+			s.panics.Add(1)
+		case errors.Is(err, fault.ErrInjected):
+			rec.Outcome = obs.AttemptInjected
+		}
 	}
+	job.recorder.Record(rec)
 	sp.End()
-	job.finish(out, cache, err, jobCollector.Manifest("secserved", []string{"job:" + job.id}))
+
+	if err != nil && retryable(err) && attempt < s.cfg.MaxAttempts && s.baseCtx.Err() == nil {
+		if s.scheduleRetry(job, err, attempt) {
+			return
+		}
+	}
+	s.finishJob(job, out, cache, err)
+}
+
+// finishJob publishes the terminal state exactly once, assembles the
+// manifest from the job's accumulated collector and attempt history, and
+// updates the health signals.
+func (s *Server) finishJob(job *Job, out *Outcome, cache CacheState, err error) {
+	m := job.collector.Manifest("secserved", []string{"job:" + job.id})
+	m.Attempts = job.recorder.Attempts()
+	if !job.finish(out, cache, err, m) {
+		return // already terminal: a panic raced a normal finish
+	}
 	if err != nil {
 		s.failed.Add(1)
+		s.consecFailures.Add(1)
 	} else {
 		s.completed.Add(1)
+		s.consecFailures.Store(0)
 	}
 	s.retire(job)
+}
+
+// scheduleRetry arms a backoff timer that re-enqueues the job, reporting
+// false when the server is draining (the caller then fails the job). The
+// pending retry joins the drain WaitGroup so Shutdown waits for — or
+// cancels — it.
+func (s *Server) scheduleRetry(job *Job, lastErr error, attempt int) bool {
+	delay := retryDelay(s.cfg.RetryBaseDelay, s.cfg.RetryMaxDelay, attempt)
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return false
+	}
+	s.wg.Add(1)
+	// Status flips before the timer is armed: a near-zero backoff must not
+	// re-begin the attempt and then have this stale write mask it.
+	job.requeued()
+	pr := &pendingRetry{job: job, err: lastErr}
+	pr.timer = time.AfterFunc(delay, func() { s.requeue(job.id) })
+	s.retries[job.id] = pr
+	s.mu.Unlock()
+	s.retried.Add(1)
+	return true
+}
+
+// requeue is the retry timer callback: it moves the due job back onto the
+// queue, or fails it when the server started draining (or the queue
+// refilled) during the backoff.
+func (s *Server) requeue(id string) {
+	defer s.wg.Done()
+	s.mu.Lock()
+	pr, ok := s.retries[id]
+	if !ok {
+		s.mu.Unlock()
+		return // Shutdown took ownership and resolves the job
+	}
+	delete(s.retries, id)
+	if s.draining {
+		s.mu.Unlock()
+		s.finishJob(pr.job, nil, "", pr.err)
+		return
+	}
+	select {
+	case s.queue <- pr.job:
+		s.mu.Unlock()
+	default:
+		// The queue refilled while the job backed off; failing with the
+		// original error beats waiting unboundedly for a slot.
+		s.mu.Unlock()
+		s.finishJob(pr.job, nil, "", pr.err)
+	}
+}
+
+// cancelPendingRetries resolves every backoff-parked job during drain:
+// each is failed with the error that put it there. Timers whose callback
+// already fired resolve through requeue instead (it finds its map entry
+// gone and leaves the job to us — entries are deleted here first).
+func (s *Server) cancelPendingRetries() {
+	s.mu.Lock()
+	type cancelled struct {
+		pr      *pendingRetry
+		stopped bool
+	}
+	pending := make([]cancelled, 0, len(s.retries))
+	for id, pr := range s.retries {
+		delete(s.retries, id)
+		pending = append(pending, cancelled{pr: pr, stopped: pr.timer.Stop()})
+	}
+	s.mu.Unlock()
+	for _, c := range pending {
+		s.finishJob(c.pr.job, nil, "", c.pr.err)
+		if c.stopped {
+			// The callback will never run; release its drain slot.
+			s.wg.Done()
+		}
+	}
 }
 
 // retire records the finished job for retention accounting and drops the
@@ -327,7 +511,8 @@ func (s *Server) Job(id string) (*Job, bool) {
 	return j, ok
 }
 
-// Submission failure modes (HTTP 503 / 429).
+// Submission failure modes (both HTTP 503; only the full queue advertises
+// a Retry-After, since draining is not a transient condition).
 var (
 	ErrDraining  = errors.New("service: server is draining")
 	ErrQueueFull = errors.New("service: job queue is full")
@@ -346,7 +531,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, ErrDraining):
 			writeError(w, http.StatusServiceUnavailable, err)
 		case errors.Is(err, ErrQueueFull):
-			writeError(w, http.StatusTooManyRequests, err)
+			// Back-pressure, not failure: tell clients when to come back.
+			w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
+			writeError(w, http.StatusServiceUnavailable, err)
 		default:
 			writeError(w, http.StatusBadRequest, err)
 		}
@@ -370,8 +557,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	view := job.View()
 	w.Header().Set("Location", "/v1/analyses/"+job.id)
 	status := http.StatusOK
-	if view.Finished == nil {
+	switch {
+	case view.Finished == nil:
 		status = http.StatusAccepted
+	case view.ErrorKind == errKindBudget:
+		// The architecture's state space exceeds the exploration budget:
+		// the request is well-formed but unprocessable within limits.
+		status = http.StatusUnprocessableEntity
 	}
 	writeJSON(w, status, view)
 }
@@ -399,28 +591,52 @@ func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, m)
 }
 
-// Health is the /v1/healthz body.
+// Health is the /v1/healthz body. Status is "ok", "degraded" (persistent
+// job failures or near-saturated queue; still HTTP 200 so load balancers
+// don't evict a recovering instance) or "draining" (HTTP 503).
 type Health struct {
 	Status        string  `json:"status"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	JobsRunning   int64   `json:"jobs_running"`
 	QueueDepth    int     `json:"queue_depth"`
+	QueueCapacity int     `json:"queue_capacity"`
+	// QueuePressure is QueueDepth/QueueCapacity; ≥ 0.9 degrades.
+	QueuePressure float64 `json:"queue_pressure"`
+	// ConsecutiveFailures counts job failures since the last success;
+	// reaching the configured DegradedAfter threshold degrades.
+	ConsecutiveFailures int64 `json:"consecutive_failures"`
+	// PanicsRecovered counts solve-path panics converted to job failures
+	// over the server's lifetime.
+	PanicsRecovered int64 `json:"panics_recovered"`
+	// RetriesPending counts jobs currently waiting out a backoff.
+	RetriesPending int `json:"retries_pending,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
+	pending := len(s.retries)
 	s.mu.Unlock()
 	h := Health{
-		Status:        "ok",
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		JobsRunning:   s.running.Load(),
-		QueueDepth:    len(s.queue),
+		Status:              "ok",
+		UptimeSeconds:       time.Since(s.started).Seconds(),
+		JobsRunning:         s.running.Load(),
+		QueueDepth:          len(s.queue),
+		QueueCapacity:       s.cfg.QueueDepth,
+		ConsecutiveFailures: s.consecFailures.Load(),
+		PanicsRecovered:     s.panics.Load(),
+		RetriesPending:      pending,
+	}
+	if s.cfg.QueueDepth > 0 {
+		h.QueuePressure = float64(h.QueueDepth) / float64(s.cfg.QueueDepth)
 	}
 	status := http.StatusOK
-	if draining {
+	switch {
+	case draining:
 		h.Status = "draining"
 		status = http.StatusServiceUnavailable
+	case h.ConsecutiveFailures >= int64(s.cfg.DegradedAfter) || h.QueuePressure >= 0.9:
+		h.Status = "degraded"
 	}
 	writeJSON(w, status, h)
 }
@@ -429,31 +645,42 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // engine's cache statistics. The full per-phase pipeline aggregate is
 // served separately at /v1/metrics/pipeline (obs.MetricsHandler).
 type Metrics struct {
-	UptimeSeconds float64     `json:"uptime_seconds"`
-	Workers       int         `json:"workers"`
-	QueueDepth    int         `json:"queue_depth"`
-	QueueCapacity int         `json:"queue_capacity"`
-	JobsAccepted  int64       `json:"jobs_accepted"`
-	JobsCompleted int64       `json:"jobs_completed"`
-	JobsFailed    int64       `json:"jobs_failed"`
-	JobsRejected  int64       `json:"jobs_rejected"`
-	JobsRunning   int64       `json:"jobs_running"`
-	Engine        EngineStats `json:"engine"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Workers       int     `json:"workers"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCapacity int     `json:"queue_capacity"`
+	JobsAccepted  int64   `json:"jobs_accepted"`
+	JobsCompleted int64   `json:"jobs_completed"`
+	JobsFailed    int64   `json:"jobs_failed"`
+	JobsRejected  int64   `json:"jobs_rejected"`
+	JobsRunning   int64   `json:"jobs_running"`
+	// JobsRetried counts transient-failure re-enqueues; PanicsRecovered
+	// counts solve-path panics converted to job failures.
+	JobsRetried     int64       `json:"jobs_retried"`
+	PanicsRecovered int64       `json:"panics_recovered"`
+	RetriesPending  int         `json:"retries_pending"`
+	Engine          EngineStats `json:"engine"`
 }
 
 // Metrics snapshots the server counters.
 func (s *Server) Metrics() Metrics {
+	s.mu.Lock()
+	pending := len(s.retries)
+	s.mu.Unlock()
 	return Metrics{
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		Workers:       s.cfg.Workers,
-		QueueDepth:    len(s.queue),
-		QueueCapacity: s.cfg.QueueDepth,
-		JobsAccepted:  s.accepted.Load(),
-		JobsCompleted: s.completed.Load(),
-		JobsFailed:    s.failed.Load(),
-		JobsRejected:  s.rejected.Load(),
-		JobsRunning:   s.running.Load(),
-		Engine:        s.engine.Stats(),
+		UptimeSeconds:   time.Since(s.started).Seconds(),
+		Workers:         s.cfg.Workers,
+		QueueDepth:      len(s.queue),
+		QueueCapacity:   s.cfg.QueueDepth,
+		JobsAccepted:    s.accepted.Load(),
+		JobsCompleted:   s.completed.Load(),
+		JobsFailed:      s.failed.Load(),
+		JobsRejected:    s.rejected.Load(),
+		JobsRunning:     s.running.Load(),
+		JobsRetried:     s.retried.Load(),
+		PanicsRecovered: s.panics.Load(),
+		RetriesPending:  pending,
+		Engine:          s.engine.Stats(),
 	}
 }
 
