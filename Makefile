@@ -4,14 +4,15 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos check cover bench examples experiments serve fuzz clean
+.PHONY: all build vet test race chaos explore check cover bench examples experiments serve fuzz clean
 
 all: check
 
 # check is the full local gate: compile, static analysis, unit tests, the
-# race detector over the concurrent paths (parallel grids, sinks), and the
-# chaos suite (fault injection, retries, solver fallback) under -race.
-check: build vet test race chaos
+# race detector over the concurrent paths (parallel grids, sinks), the
+# chaos suite (fault injection, retries, solver fallback) under -race, and
+# a design-space exploration smoke run.
+check: build vet test race chaos explore
 
 build:
 	$(GO) build ./...
@@ -31,6 +32,15 @@ race:
 chaos:
 	$(GO) test -race ./internal/fault/
 	$(GO) test -race -run 'TestChaos|Budget|TestQueueFullRetryAfter|TestClientRetries|TestHealthDegrades|TestRetryDelay|TestRobustSolve' ./internal/linalg/ ./internal/modular/ ./internal/service/
+
+# explore smoke-runs the design-space search on a tiny budget: the default
+# protection space of the checked-in architecture, then a two-wide beam over
+# the Figure-5 scenario space (see models/README.md for the schema).
+explore:
+	$(GO) run ./cmd/secexplore -arch models/architecture1.json -categories confidentiality
+	$(GO) run ./cmd/secexplore -arch models/architecture1.json \
+		-space models/scenario_parkassist.json -categories confidentiality \
+		-strategy beam -seed 1 -beam-width 2 -generations 2
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

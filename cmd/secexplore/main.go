@@ -1,0 +1,160 @@
+// Command secexplore searches a design space of message protections, ECU
+// patching cadences and topology mutations for Pareto-optimal automotive
+// architectures — the automated counterpart to the paper's three hand-built
+// Figure-4/5 variants. Candidates are scored through the analysis engine,
+// so identical sub-problems collapse onto the content-addressed caches; the
+// summary line reports the measured hit rate.
+//
+// Usage:
+//
+//	secexplore                                    # protections of builtin:1, exhaustive
+//	secexplore -space models/scenario_parkassist.json
+//	secexplore -strategy beam -seed 7 -results cands.jsonl -json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/arch"
+	"repro/internal/explore"
+	"repro/internal/obs"
+	"repro/internal/report"
+	"repro/internal/transform"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "secexplore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) (err error) {
+	fs := flag.NewFlagSet("secexplore", flag.ContinueOnError)
+	archFlag := fs.String("arch", "builtin:1", "base architecture: builtin:1|2|3 or JSON file")
+	spaceFlag := fs.String("space", "", "scenario-space JSON file (default: every message × three protections)")
+	strategyFlag := fs.String("strategy", "exhaustive", "search strategy: exhaustive | random | beam")
+	seed := fs.Int64("seed", 1, "random seed for -strategy random and beam")
+	samples := fs.Int("samples", 64, "candidates drawn by -strategy random")
+	beamWidth := fs.Int("beam-width", 4, "beam width for -strategy beam")
+	generations := fs.Int("generations", 8, "beam generations")
+	maxCandidates := fs.Int("max-candidates", 4096, "largest space -strategy exhaustive accepts; also caps beam evaluations")
+	categories := fs.String("categories", "", "comma-separated security categories (default all three)")
+	nmax := fs.Int("nmax", 2, "maximum concurrent exploits per interface")
+	horizon := fs.Float64("horizon", 1, "analysis horizon in years")
+	workers := fs.Int("workers", 0, "parallel engine workers (0 = one per CPU)")
+	results := fs.String("results", "", "stream per-candidate JSONL to this file")
+	asJSON := fs.Bool("json", false, "emit the Pareto front as JSON instead of a table")
+	var ocli obs.CLI
+	ocli.Bind(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	orun, err := ocli.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := ocli.Finish(orun, "secexplore", args); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
+
+	base, err := selectArchitecture(*archFlag)
+	if err != nil {
+		return err
+	}
+	var sp *explore.Space
+	if *spaceFlag == "" {
+		sp = explore.DefaultSpace(base)
+	} else if sp, err = explore.LoadSpace(*spaceFlag, base); err != nil {
+		return err
+	}
+
+	var strategy explore.Strategy
+	switch *strategyFlag {
+	case "exhaustive":
+		strategy = explore.Exhaustive{MaxCandidates: *maxCandidates}
+	case "random":
+		strategy = explore.Random{Seed: *seed, Samples: *samples}
+	case "beam":
+		strategy = explore.Beam{Seed: *seed, Width: *beamWidth,
+			Generations: *generations, MaxEvals: *maxCandidates}
+	default:
+		return fmt.Errorf("unknown -strategy %q (want exhaustive, random or beam)", *strategyFlag)
+	}
+
+	var cats []transform.Category
+	if *categories != "" {
+		for _, name := range strings.Split(*categories, ",") {
+			c, err := transform.ParseCategory(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			cats = append(cats, c)
+		}
+	}
+
+	opts := explore.Options{
+		Strategy:   strategy,
+		Categories: cats,
+		NMax:       *nmax,
+		Horizon:    *horizon,
+		Workers:    *workers,
+	}
+	if *results != "" {
+		f, err := os.Create(*results)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		enc := json.NewEncoder(f)
+		opts.OnCandidate = func(c *explore.Candidate) { enc.Encode(c) }
+	}
+
+	res, err := explore.Run(ctx, sp, opts)
+	if err != nil {
+		return err
+	}
+	front := res.FrontTable()
+	if *asJSON {
+		if err := front.WriteJSON(out); err != nil {
+			return err
+		}
+	} else if _, err := front.Table().WriteTo(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(out,
+		"strategy=%s space=%d candidates=%d front=%d cells=%d solves=%d hits=%d shared=%d hit-rate=%s\n",
+		res.Strategy, sp.Size(), len(res.Candidates), len(res.Front),
+		res.Cells, res.Solves, res.Hits, res.Shared, report.Percent(res.HitRate))
+	return nil
+}
+
+func selectArchitecture(spec string) (*arch.Architecture, error) {
+	switch spec {
+	case "builtin:1":
+		return arch.Architecture1(), nil
+	case "builtin:2":
+		return arch.Architecture2(), nil
+	case "builtin:3":
+		return arch.Architecture3(), nil
+	default:
+		return arch.LoadFile(spec)
+	}
+}

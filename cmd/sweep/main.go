@@ -1,7 +1,10 @@
 // Command sweep runs the paper's Figure-6 parameter explorations: it varies
 // the patching or exploitation rate of one component over a logarithmic
 // grid and reports the message's exploitable-time fraction at each point,
-// plus the rate at which the curve crosses a target threshold.
+// plus the rate at which the curve crosses a target threshold. Points are
+// analysed concurrently through the analysis engine, so repeated grids (and
+// grids sharing points) collapse onto its content-addressed caches; the
+// cache economics are reported at the end.
 //
 // Usage:
 //
@@ -12,6 +15,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/service"
 	"repro/internal/transform"
 )
 
@@ -51,6 +56,7 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	category := fs.String("category", "confidentiality", "security category")
 	protection := fs.String("protection", "unencrypted", "message protection")
 	threshold := fs.Float64("threshold", 0.005, "report the crossing of this exploitable-time fraction")
+	workers := fs.Int("workers", 0, "parallel engine workers (0 = one per CPU)")
 	csv := fs.Bool("csv", false, "emit CSV")
 	var ocli obs.CLI
 	ocli.Bind(fs)
@@ -72,32 +78,70 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
-	cat, err := transform.ParseCategory(*category)
-	if err != nil {
+	if _, err := transform.ParseCategory(*category); err != nil {
 		return err
 	}
-	pr, err := transform.ParseProtection(*protection)
-	if err != nil {
+	if _, err := transform.ParseProtection(*protection); err != nil {
 		return err
 	}
-	var sp core.SweepParam
-	switch *param {
-	case "patch":
-		sp = core.SweepPatchRate
-	case "exploit":
-		sp = core.SweepExploitRate
-	default:
+	if *param != "patch" && *param != "exploit" {
 		return fmt.Errorf("unknown -param %q (want patch or exploit)", *param)
+	}
+	if a.ECU(*ecu) == nil {
+		return fmt.Errorf("%w: ECU %q", core.ErrSweepTarget, *ecu)
 	}
 	rates := core.LogSpace(*from, *to, *points)
 	if rates == nil {
 		return fmt.Errorf("invalid grid: from=%v to=%v points=%d", *from, *to, *points)
 	}
-	an := core.Analyzer{NMax: *nmax, Horizon: *horizon}
-	pts, err := an.SweepContext(ctx, a, *msg, cat, pr, sp, *ecu, *bus, rates)
-	if err != nil {
-		return err
+
+	// One engine request per grid point, each against a variant architecture
+	// with the swept rate applied. The engine prepares each variant's state
+	// space once (core.Prepared, content-addressed) and solves the points in
+	// parallel.
+	reqs := make([]*service.AnalysisRequest, 0, len(rates))
+	for _, rate := range rates {
+		c := a.Clone()
+		e := c.ECU(*ecu)
+		switch *param {
+		case "patch":
+			e.PatchRate = rate
+		case "exploit":
+			found := false
+			for i := range e.Interfaces {
+				if e.Interfaces[i].Bus == *bus {
+					e.Interfaces[i].ExploitRate = rate
+					found = true
+				}
+			}
+			if !found {
+				return fmt.Errorf("%w: ECU %q has no interface on %q", core.ErrSweepTarget, *ecu, *bus)
+			}
+		}
+		inline, err := c.ToJSON()
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, &service.AnalysisRequest{
+			Inline:          json.RawMessage(inline),
+			Message:         *msg,
+			NMax:            *nmax,
+			Horizon:         *horizon,
+			Category:        *category,
+			Protection:      *protection,
+			SkipSteadyState: true,
+		})
 	}
+	eng := service.NewEngine(service.EngineOptions{})
+	items := eng.RunBatch(ctx, reqs, *workers)
+	pts := make([]core.SweepPoint, 0, len(rates))
+	for i, it := range items {
+		if it.Err != nil {
+			return fmt.Errorf("sweep at rate %v: %w", rates[i], it.Err)
+		}
+		pts = append(pts, core.SweepPoint{Rate: rates[i], TimeFraction: it.Outcome.Results[0].ExploitableTime})
+	}
+
 	tbl := report.NewTable("rate (1/a)", "exploitable time")
 	for _, p := range pts {
 		tbl.AddRow(fmt.Sprintf("%.4g", p.Rate), report.Percent(p.TimeFraction))
@@ -115,6 +159,13 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	} else {
 		fmt.Fprintf(out, "crosses %s at rate ≈ %.3g per year\n", report.Percent(*threshold), cross)
 	}
+	st := eng.Stats()
+	var hitRate float64
+	if len(reqs) > 0 {
+		hitRate = float64(st.Hits+st.Shared) / float64(len(reqs))
+	}
+	fmt.Fprintf(out, "cache: solves=%d hits=%d shared=%d hit-rate=%s\n",
+		st.Solves, st.Hits, st.Shared, report.Percent(hitRate))
 	return nil
 }
 

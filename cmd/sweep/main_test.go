@@ -28,6 +28,9 @@ func TestPatchSweep(t *testing.T) {
 	if !strings.Contains(out, "crosses") && !strings.Contains(out, "never crosses") {
 		t.Fatalf("threshold report missing: %q", out)
 	}
+	if !strings.Contains(out, "cache: solves=") || !strings.Contains(out, "hit-rate=") {
+		t.Fatalf("cache report missing: %q", out)
+	}
 }
 
 func TestExploitSweepCSV(t *testing.T) {
@@ -82,20 +85,20 @@ func TestSweepTraceEmitsProgress(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var sweepSpans, progress int
+	var batchSpans, progress int
 	for _, ln := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
 		e, err := obs.DecodeJSONL([]byte(ln))
 		if err != nil {
 			continue // manifest envelope line
 		}
 		switch {
-		case e.Kind == obs.EventSpan && e.Name == "core.sweep":
-			sweepSpans++
-		case e.Kind == obs.EventProgress && e.Name == "core.sweep" && e.Total == 3:
+		case e.Kind == obs.EventSpan && e.Name == "service.batch":
+			batchSpans++
+		case e.Kind == obs.EventProgress && e.Name == "service.batch" && e.Total == 3:
 			progress++
 		}
 	}
-	if sweepSpans != 1 || progress == 0 {
-		t.Fatalf("sweep trace: %d core.sweep spans, %d progress events\n%s", sweepSpans, progress, raw)
+	if batchSpans != 1 || progress == 0 {
+		t.Fatalf("sweep trace: %d service.batch spans, %d progress events\n%s", batchSpans, progress, raw)
 	}
 }

@@ -278,7 +278,7 @@ func (a *Architecture) Validate() error {
 		msgSeen[m.Name] = true
 		sender := a.ECU(m.Sender)
 		if sender == nil {
-			return invalidf("message %q sender %q not found", m.Name, m.Sender)
+			return invalidf("message %q references sender ECU %q, which is not declared in the architecture", m.Name, m.Sender)
 		}
 		if len(m.Receivers) == 0 {
 			return invalidf("message %q has no receivers", m.Name)
@@ -289,7 +289,7 @@ func (a *Architecture) Validate() error {
 		routeBus := make(map[string]bool)
 		for _, bn := range m.Buses {
 			if !busSeen[bn] {
-				return invalidf("message %q routed over unknown bus %q", m.Name, bn)
+				return invalidf("message %q is routed over bus %q, which is not declared in the architecture", m.Name, bn)
 			}
 			if routeBus[bn] {
 				return invalidf("message %q visits bus %q twice", m.Name, bn)
@@ -302,7 +302,7 @@ func (a *Architecture) Validate() error {
 		for _, rn := range m.Receivers {
 			r := a.ECU(rn)
 			if r == nil {
-				return invalidf("message %q receiver %q not found", m.Name, rn)
+				return invalidf("message %q references receiver ECU %q, which is not declared in the architecture", m.Name, rn)
 			}
 			if rn == m.Sender {
 				return invalidf("message %q lists its sender as receiver", m.Name)

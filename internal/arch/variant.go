@@ -1,0 +1,167 @@
+package arch
+
+import (
+	"fmt"
+)
+
+// OpKind names one architecture edit. Ops are the vocabulary of design-space
+// exploration (internal/explore): each mutates a clone of a base
+// architecture, so candidate variants — a re-homed function, an added
+// gateway link, a bus technology swap — can be generated and validated
+// instead of hand-built.
+type OpKind string
+
+// Architecture edit operations.
+const (
+	// OpAddInterface attaches ECU to Bus with ExploitRate (and optional
+	// CVSSVector).
+	OpAddInterface OpKind = "add_interface"
+	// OpRemoveInterface detaches ECU from Bus.
+	OpRemoveInterface OpKind = "remove_interface"
+	// OpRemoveECU deletes the ECU entirely. Messages that still reference
+	// it become dangling and fail validation by name.
+	OpRemoveECU OpKind = "remove_ecu"
+	// OpReplaceBus changes the technology of Bus to BusKind, installing
+	// Guardian when the new kind is FlexRay. Interfaces keep their
+	// assessments.
+	OpReplaceBus OpKind = "replace_bus"
+	// OpRerouteMessage replaces the route of Message with Buses.
+	OpRerouteMessage OpKind = "reroute_message"
+	// OpMoveSender re-homes the sending function of Message onto ECU
+	// (removing the new sender from the receiver list if present).
+	OpMoveSender OpKind = "move_sender"
+	// OpSetPatchRate overrides the patching rate of ECU with PatchRate.
+	OpSetPatchRate OpKind = "set_patch_rate"
+)
+
+// Op is one architecture edit; the fields used depend on Kind.
+type Op struct {
+	Kind        OpKind    `json:"kind"`
+	ECU         string    `json:"ecu,omitempty"`
+	Bus         string    `json:"bus,omitempty"`
+	Message     string    `json:"message,omitempty"`
+	Buses       []string  `json:"buses,omitempty"`
+	ExploitRate float64   `json:"exploit_rate,omitempty"`
+	CVSSVector  string    `json:"cvss_vector,omitempty"`
+	BusKind     *BusKind  `json:"bus_kind,omitempty"`
+	Guardian    *Guardian `json:"guardian,omitempty"`
+	PatchRate   float64   `json:"patch_rate,omitempty"`
+}
+
+// Mutation is a named, costed sequence of edits — one option of a
+// design-space topology axis. An empty Ops list is the identity mutation
+// (the unmodified base architecture).
+type Mutation struct {
+	Name string  `json:"name"`
+	Cost float64 `json:"cost,omitempty"`
+	Ops  []Op    `json:"ops,omitempty"`
+}
+
+// ApplyMutation returns a validated deep copy of the architecture with the
+// mutation's edits applied; the receiver is never modified. Errors name the
+// mutation and the offending component, including validation failures of
+// the resulting variant (dangling message or ECU references introduced by
+// an edit).
+func (a *Architecture) ApplyMutation(m Mutation) (*Architecture, error) {
+	c := a.Clone()
+	for i, op := range m.Ops {
+		if err := c.applyOp(op); err != nil {
+			return nil, fmt.Errorf("%w: mutation %q op %d (%s): %s", ErrInvalid, m.Name, i, op.Kind, err)
+		}
+	}
+	if len(m.Ops) > 0 {
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("mutation %q: %w", m.Name, err)
+		}
+	}
+	return c, nil
+}
+
+func (c *Architecture) applyOp(op Op) error {
+	switch op.Kind {
+	case OpAddInterface:
+		e := c.ECU(op.ECU)
+		if e == nil {
+			return fmt.Errorf("ECU %q is not declared in architecture %q", op.ECU, c.Name)
+		}
+		if c.Bus(op.Bus) == nil {
+			return fmt.Errorf("bus %q is not declared in architecture %q", op.Bus, c.Name)
+		}
+		if e.HasInterfaceOn(op.Bus) {
+			return fmt.Errorf("ECU %q already has an interface on bus %q", op.ECU, op.Bus)
+		}
+		e.Interfaces = append(e.Interfaces, Interface{
+			Bus: op.Bus, ExploitRate: op.ExploitRate, CVSSVector: op.CVSSVector,
+		})
+	case OpRemoveInterface:
+		e := c.ECU(op.ECU)
+		if e == nil {
+			return fmt.Errorf("ECU %q is not declared in architecture %q", op.ECU, c.Name)
+		}
+		for i := range e.Interfaces {
+			if e.Interfaces[i].Bus == op.Bus {
+				e.Interfaces = append(e.Interfaces[:i], e.Interfaces[i+1:]...)
+				return nil
+			}
+		}
+		return fmt.Errorf("ECU %q has no interface on bus %q", op.ECU, op.Bus)
+	case OpRemoveECU:
+		for i := range c.ECUs {
+			if c.ECUs[i].Name == op.ECU {
+				c.ECUs = append(c.ECUs[:i], c.ECUs[i+1:]...)
+				return nil
+			}
+		}
+		return fmt.Errorf("ECU %q is not declared in architecture %q", op.ECU, c.Name)
+	case OpReplaceBus:
+		b := c.Bus(op.Bus)
+		if b == nil {
+			return fmt.Errorf("bus %q is not declared in architecture %q", op.Bus, c.Name)
+		}
+		if op.BusKind == nil {
+			return fmt.Errorf("replace_bus on %q needs a bus_kind", op.Bus)
+		}
+		b.Kind = *op.BusKind
+		b.Guardian = nil
+		if op.Guardian != nil {
+			g := *op.Guardian
+			b.Guardian = &g
+		}
+	case OpRerouteMessage:
+		m := c.Message(op.Message)
+		if m == nil {
+			return fmt.Errorf("message %q is not declared in architecture %q", op.Message, c.Name)
+		}
+		if len(op.Buses) == 0 {
+			return fmt.Errorf("reroute_message on %q needs a non-empty route", op.Message)
+		}
+		m.Buses = append([]string(nil), op.Buses...)
+	case OpMoveSender:
+		m := c.Message(op.Message)
+		if m == nil {
+			return fmt.Errorf("message %q is not declared in architecture %q", op.Message, c.Name)
+		}
+		if c.ECU(op.ECU) == nil {
+			return fmt.Errorf("ECU %q is not declared in architecture %q", op.ECU, c.Name)
+		}
+		m.Sender = op.ECU
+		for i := range m.Receivers {
+			if m.Receivers[i] == op.ECU {
+				m.Receivers = append(m.Receivers[:i], m.Receivers[i+1:]...)
+				break
+			}
+		}
+	case OpSetPatchRate:
+		e := c.ECU(op.ECU)
+		if e == nil {
+			return fmt.Errorf("ECU %q is not declared in architecture %q", op.ECU, c.Name)
+		}
+		if op.PatchRate <= 0 {
+			return fmt.Errorf("set_patch_rate on %q needs a positive rate, got %v", op.ECU, op.PatchRate)
+		}
+		e.PatchRate = op.PatchRate
+	default:
+		return fmt.Errorf("unknown op kind %q", op.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package arch
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func kindPtr(k BusKind) *BusKind { return &k }
+
+// TestMutationRecoversArchitecture2 checks that the paper's Architecture 2
+// can be derived from Architecture 1 by two edits: a dedicated PA link on
+// CAN2 and rerouting m over it.
+func TestMutationRecoversArchitecture2(t *testing.T) {
+	base := Architecture1()
+	v, err := base.ApplyMutation(Mutation{
+		Name: "direct-can2",
+		Ops: []Op{
+			{Kind: OpAddInterface, ECU: ParkAssist, Bus: BusCAN2,
+				ExploitRate: RateHardenedECU, CVSSVector: vecHardened},
+			{Kind: OpRerouteMessage, Message: MessageM, Buses: []string{BusCAN2}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Architecture2()
+	if !v.ECU(ParkAssist).HasInterfaceOn(BusCAN2) {
+		t.Fatal("PA not attached to CAN2")
+	}
+	if got := v.Message(MessageM).Buses; len(got) != 1 || got[0] != BusCAN2 {
+		t.Fatalf("route = %v", got)
+	}
+	if len(v.ECUs) != len(want.ECUs) || len(v.Buses) != len(want.Buses) {
+		t.Fatalf("shape mismatch: %d ECUs / %d buses", len(v.ECUs), len(v.Buses))
+	}
+	// The base must be untouched.
+	if base.ECU(ParkAssist).HasInterfaceOn(BusCAN2) {
+		t.Fatal("base architecture mutated")
+	}
+}
+
+// TestMutationRecoversArchitecture3 swaps CAN1 for a guarded FlexRay bus,
+// the structural change of the paper's Architecture 3.
+func TestMutationRecoversArchitecture3(t *testing.T) {
+	v, err := Architecture1().ApplyMutation(Mutation{
+		Name: "flexray",
+		Ops: []Op{
+			{Kind: OpReplaceBus, Bus: BusCAN1, BusKind: kindPtr(FlexRay),
+				Guardian: &Guardian{ExploitRate: RateBusGuardian, PatchRate: 4, CVSSVector: vecGuardian}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := v.Bus(BusCAN1)
+	if b.Kind != FlexRay || b.Guardian == nil || b.Guardian.ExploitRate != RateBusGuardian {
+		t.Fatalf("bus = %+v", b)
+	}
+}
+
+func TestMutationMoveSender(t *testing.T) {
+	v, err := Architecture1().ApplyMutation(Mutation{
+		Name: "move-sender",
+		Ops: []Op{
+			{Kind: OpMoveSender, Message: MessageM, ECU: Gateway},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Message(MessageM).Sender; got != Gateway {
+		t.Fatalf("sender = %q", got)
+	}
+}
+
+func TestMutationSetPatchRate(t *testing.T) {
+	v, err := Architecture1().ApplyMutation(Mutation{
+		Name: "fast-patch",
+		Ops:  []Op{{Kind: OpSetPatchRate, ECU: Telematics, PatchRate: 365}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := v.ECU(Telematics).EffectivePatchRate()
+	if err != nil || r != 365 {
+		t.Fatalf("rate = %v, %v", r, err)
+	}
+}
+
+// TestBrokenVariantNamesDanglingReferences removes the power steering ECU,
+// leaving message m with a dangling receiver: the validation error must
+// name both the message and the missing ECU so the broken variant can be
+// traced back to the mutation that produced it.
+func TestBrokenVariantNamesDanglingReferences(t *testing.T) {
+	_, err := Architecture1().ApplyMutation(Mutation{
+		Name: "drop-ps",
+		Ops:  []Op{{Kind: OpRemoveECU, ECU: PowerSteering}},
+	})
+	if err == nil {
+		t.Fatal("broken variant validated")
+	}
+	if !errors.Is(err, ErrInvalid) {
+		t.Fatalf("err = %v, want ErrInvalid", err)
+	}
+	for _, want := range []string{`"m"`, `"PS"`, "drop-ps"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not name %s", err, want)
+		}
+	}
+}
+
+// TestBrokenVariantNamesDanglingBus reroutes m over a bus that does not
+// exist; the error must name both the message and the bus.
+func TestBrokenVariantNamesDanglingBus(t *testing.T) {
+	_, err := Architecture1().ApplyMutation(Mutation{
+		Name: "ghost-bus",
+		Ops:  []Op{{Kind: OpRerouteMessage, Message: MessageM, Buses: []string{"CAN9"}}},
+	})
+	if err == nil {
+		t.Fatal("broken variant validated")
+	}
+	for _, want := range []string{`"m"`, `"CAN9"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not name %s", err, want)
+		}
+	}
+}
+
+func TestMutationOpErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		op   Op
+		want string // substring the error must contain
+	}{
+		{"unknown ecu", Op{Kind: OpAddInterface, ECU: "XX", Bus: BusCAN1}, `"XX"`},
+		{"unknown bus", Op{Kind: OpAddInterface, ECU: ParkAssist, Bus: "B9"}, `"B9"`},
+		{"duplicate interface", Op{Kind: OpAddInterface, ECU: ParkAssist, Bus: BusCAN1}, "already has"},
+		{"remove missing interface", Op{Kind: OpRemoveInterface, ECU: ParkAssist, Bus: BusCAN2}, "no interface"},
+		{"remove missing ecu", Op{Kind: OpRemoveECU, ECU: "XX"}, `"XX"`},
+		{"replace missing bus", Op{Kind: OpReplaceBus, Bus: "B9", BusKind: kindPtr(CAN)}, `"B9"`},
+		{"replace without kind", Op{Kind: OpReplaceBus, Bus: BusCAN1}, "bus_kind"},
+		{"reroute missing message", Op{Kind: OpRerouteMessage, Message: "x", Buses: []string{BusCAN1}}, `"x"`},
+		{"reroute empty route", Op{Kind: OpRerouteMessage, Message: MessageM}, "non-empty route"},
+		{"move to missing ecu", Op{Kind: OpMoveSender, Message: MessageM, ECU: "XX"}, `"XX"`},
+		{"bad patch rate", Op{Kind: OpSetPatchRate, ECU: ParkAssist, PatchRate: -1}, "positive"},
+		{"unknown op", Op{Kind: "frobnicate"}, "unknown op"},
+	}
+	for _, tc := range cases {
+		_, err := Architecture1().ApplyMutation(Mutation{Name: "t", Ops: []Op{tc.op}})
+		if err == nil {
+			t.Fatalf("%s: no error", tc.name)
+		}
+		if !errors.Is(err, ErrInvalid) {
+			t.Fatalf("%s: err = %v, want ErrInvalid", tc.name, err)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q missing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestIdentityMutation checks the empty op list returns an equivalent copy.
+func TestIdentityMutation(t *testing.T) {
+	base := Architecture1()
+	v, err := base.ApplyMutation(Mutation{Name: "base"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := base.CanonicalJSON()
+	b2, _ := v.CanonicalJSON()
+	if string(b1) != string(b2) {
+		t.Fatal("identity mutation changed the architecture")
+	}
+}

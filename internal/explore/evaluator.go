@@ -1,0 +1,199 @@
+package explore
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/transform"
+)
+
+// CellResult is one analysed (message, category) cell of a candidate.
+type CellResult struct {
+	Message    string `json:"message"`
+	Category   string `json:"category"`
+	Protection string `json:"protection"`
+	// Effective is the protection actually submitted to the engine: a
+	// protection that does not cover the category is normalised to
+	// "unencrypted", because the generated model is structurally identical
+	// (transform builds no crypto submodule either way, paper Figure 5) —
+	// which collapses e.g. every availability cell of a protection axis
+	// onto one cached solve.
+	Effective    string  `json:"effective"`
+	TimeFraction float64 `json:"time_fraction"`
+	States       int     `json:"states"`
+	Cache        string  `json:"cache"`
+}
+
+// Candidate is one evaluated assignment.
+type Candidate struct {
+	Assignment Assignment `json:"assignment"`
+	Key        string     `json:"key"`
+	Label      string     `json:"label"`
+	Arch       string     `json:"arch"`
+	Cost       float64    `json:"cost"`
+	// Times holds the worst-case (maximum over analysed messages)
+	// exploitable-time fraction per category, in Evaluator.Categories order.
+	Times []float64 `json:"times"`
+	// Objectives is Times followed by Cost — the minimised vector Pareto
+	// dominance is computed over.
+	Objectives []float64    `json:"objectives"`
+	Cells      []CellResult `json:"cells"`
+}
+
+// Evaluator scores assignments by materialising the candidate architecture
+// and submitting one engine request per (message axis × category) cell
+// through service.Engine.RunBatch. It memoises whole candidates by
+// assignment key, so strategies may re-propose assignments for free, and it
+// is safe for concurrent use by a single search (Evaluate serialises).
+type Evaluator struct {
+	Engine     *service.Engine
+	Categories []transform.Category
+	NMax       int
+	Horizon    float64
+	Workers    int
+	// OnCandidate, when set, observes each newly evaluated candidate in
+	// deterministic (proposal) order — the JSONL streaming hook.
+	OnCandidate func(*Candidate)
+
+	mu         sync.Mutex
+	memo       map[string]*Candidate
+	cells      int
+	candidates int
+}
+
+// Stats reports how much work the evaluator has done: distinct candidates
+// evaluated and engine cells submitted.
+func (ev *Evaluator) Stats() (candidates, cells int) {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	return ev.candidates, ev.cells
+}
+
+// Evaluate scores the assignments (deduplicating repeats and memoised ones)
+// and returns one candidate per distinct assignment, in first-proposal
+// order. All cells of all new candidates form a single engine batch, so
+// independent solves run in parallel while identical ones collapse onto the
+// caches.
+func (ev *Evaluator) Evaluate(ctx context.Context, sp *Space, asgs []Assignment) ([]*Candidate, error) {
+	ev.mu.Lock()
+	if ev.memo == nil {
+		ev.memo = make(map[string]*Candidate)
+	}
+	ev.mu.Unlock()
+
+	type pending struct {
+		cand  *Candidate
+		first int // index of its first request in the batch
+	}
+	var (
+		out  []*Candidate
+		seen = make(map[string]bool)
+		news []pending
+		reqs []*service.AnalysisRequest
+	)
+	if len(sp.Messages) == 0 {
+		return nil, fmt.Errorf("explore: space over %s has no protection axes to evaluate", sp.Base.Name)
+	}
+	for _, a := range asgs {
+		key := a.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		ev.mu.Lock()
+		memoised := ev.memo[key]
+		ev.mu.Unlock()
+		if memoised != nil {
+			out = append(out, memoised)
+			continue
+		}
+		variant, err := sp.Materialize(a)
+		if err != nil {
+			return nil, err
+		}
+		inline, err := variant.ToJSON()
+		if err != nil {
+			return nil, err
+		}
+		cand := &Candidate{
+			Assignment: a.Clone(),
+			Key:        key,
+			Label:      sp.Label(a),
+			Arch:       variant.Name,
+			Cost:       sp.CostOf(a),
+		}
+		news = append(news, pending{cand, len(reqs)})
+		out = append(out, cand)
+		for i := range sp.Messages {
+			prot := sp.protection(a, i)
+			for _, cat := range ev.Categories {
+				eff := prot
+				if !prot.Covers(cat) {
+					eff = transform.Unencrypted
+				}
+				reqs = append(reqs, &service.AnalysisRequest{
+					Inline:          json.RawMessage(inline),
+					Message:         sp.Messages[i].Message,
+					NMax:            ev.NMax,
+					Horizon:         ev.Horizon,
+					Category:        cat.String(),
+					Protection:      eff.String(),
+					SkipSteadyState: true,
+				})
+			}
+		}
+	}
+	if len(news) == 0 {
+		return out, nil
+	}
+	items := ev.Engine.RunBatch(ctx, reqs, ev.Workers)
+	for _, p := range news {
+		cand := p.cand
+		cand.Times = make([]float64, len(ev.Categories))
+		idx := p.first
+		for i := range sp.Messages {
+			prot := sp.protection(cand.Assignment, i)
+			for ci, cat := range ev.Categories {
+				it := items[idx]
+				idx++
+				if it.Err != nil {
+					return nil, fmt.Errorf("explore: candidate %s cell %s/%s: %w",
+						cand.Label, sp.Messages[i].Message, cat, it.Err)
+				}
+				r := it.Outcome.Results[0]
+				if r.ExploitableTime > cand.Times[ci] {
+					cand.Times[ci] = r.ExploitableTime
+				}
+				cand.Cells = append(cand.Cells, CellResult{
+					Message:      sp.Messages[i].Message,
+					Category:     cat.String(),
+					Protection:   prot.String(),
+					Effective:    r.Protection,
+					TimeFraction: r.ExploitableTime,
+					States:       r.States,
+					Cache:        string(it.Cache),
+				})
+			}
+		}
+		cand.Objectives = append(append([]float64(nil), cand.Times...), cand.Cost)
+	}
+	ev.mu.Lock()
+	for _, p := range news {
+		ev.memo[p.cand.Key] = p.cand
+	}
+	ev.candidates += len(news)
+	ev.cells += len(reqs)
+	ev.mu.Unlock()
+	obs.Count(ctx, "explore.candidates", int64(len(news)))
+	obs.Count(ctx, "explore.cells", int64(len(reqs)))
+	if ev.OnCandidate != nil {
+		for _, p := range news {
+			ev.OnCandidate(p.cand)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,127 @@
+package explore
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/report"
+	"repro/internal/service"
+	"repro/internal/transform"
+)
+
+// Options configures one exploration run.
+type Options struct {
+	// Strategy defaults to Exhaustive{}.
+	Strategy Strategy
+	// Categories are the security principles scored per candidate (default
+	// the paper's three: confidentiality, integrity, availability).
+	Categories []transform.Category
+	// NMax and Horizon are the per-cell analyzer settings (defaults 2 and
+	// 1 year).
+	NMax    int
+	Horizon float64
+	// Workers bounds the engine batch concurrency (≤ 0 = one per CPU).
+	Workers int
+	// Engine, when set, is reused (its caches carry over between runs —
+	// repeating a search, or refining one strategy's result with another,
+	// is then nearly free). When nil a private engine is created.
+	Engine *service.Engine
+	// OnCandidate observes each newly evaluated candidate in deterministic
+	// order (the per-candidate JSONL stream of cmd/secexplore).
+	OnCandidate func(*Candidate)
+}
+
+// Result is a finished exploration.
+type Result struct {
+	Strategy   string
+	Objectives []string
+	// Candidates is every distinct evaluated assignment in proposal order;
+	// Front is its non-dominated subset in deterministic order.
+	Candidates []*Candidate
+	Front      []*Candidate
+	// Cells counts engine requests issued; Solves, Hits and Shared are the
+	// engine's pipeline-execution and cache counters for this run, from
+	// which HitRate = (Hits+Shared)/Cells. With a shared engine, repeated
+	// sub-assignments make Solves < Cells.
+	Cells   int
+	Solves  int64
+	Hits    int64
+	Shared  int64
+	HitRate float64
+}
+
+// Run validates the space and executes the strategy, returning every
+// evaluated candidate, the Pareto front, and the cache economics of the
+// run. An "explore.search" span covers the whole search; the counters
+// explore.candidates / explore.cells and the gauge explore.cache_hit_rate
+// land in the run manifest.
+func Run(ctx context.Context, sp *Space, opts Options) (*Result, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	strategy := opts.Strategy
+	if strategy == nil {
+		strategy = Exhaustive{}
+	}
+	cats := opts.Categories
+	if len(cats) == 0 {
+		cats = core.Categories
+	}
+	eng := opts.Engine
+	if eng == nil {
+		eng = service.NewEngine(service.EngineOptions{})
+	}
+	ctx, span := obs.Start(ctx, "explore.search")
+	defer span.End()
+	span.Str("strategy", strategy.Name())
+	span.Str("arch", sp.Base.Name)
+	span.Int("space", int64(sp.Size()))
+
+	before := eng.Stats()
+	ev := &Evaluator{
+		Engine:      eng,
+		Categories:  cats,
+		NMax:        opts.NMax,
+		Horizon:     opts.Horizon,
+		Workers:     opts.Workers,
+		OnCandidate: opts.OnCandidate,
+	}
+	cands, err := strategy.Search(ctx, sp, ev)
+	if err != nil {
+		return nil, err
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("explore: strategy %s evaluated no candidates", strategy.Name())
+	}
+	after := eng.Stats()
+	_, cells := ev.Stats()
+	res := &Result{
+		Strategy:   strategy.Name(),
+		Candidates: cands,
+		Front:      ParetoFront(cands),
+		Cells:      cells,
+		Solves:     after.Solves - before.Solves,
+		Hits:       after.Hits - before.Hits,
+		Shared:     after.Shared - before.Shared,
+	}
+	for _, c := range cats {
+		res.Objectives = append(res.Objectives, c.String())
+	}
+	res.Objectives = append(res.Objectives, "cost")
+	if cells > 0 {
+		res.HitRate = float64(res.Hits+res.Shared) / float64(cells)
+	}
+	span.Int("candidates", int64(len(cands)))
+	span.Int("front", int64(len(res.Front)))
+	obs.Count(ctx, "explore.engine_solves", res.Solves)
+	obs.Count(ctx, "explore.cache_hits", res.Hits+res.Shared)
+	obs.Gauge(ctx, "explore.cache_hit_rate", res.HitRate)
+	return res, nil
+}
+
+// FrontTable renders the result's Pareto front through the report layer.
+func (r *Result) FrontTable() *report.Front {
+	return FrontReport(r.Objectives, r.Front)
+}

@@ -1,0 +1,74 @@
+package explore
+
+import (
+	"sort"
+
+	"repro/internal/report"
+)
+
+// dominates reports whether objective vector a weakly dominates b: no worse
+// in every component and strictly better in at least one (all objectives
+// minimised).
+func dominates(a, b []float64) bool {
+	better := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			better = true
+		}
+	}
+	return better
+}
+
+// ParetoFront returns the non-dominated candidates, sorted deterministically
+// by objective vector (lexicographic) and then by assignment key, so equal
+// runs render byte-identical fronts. Candidates with identical objective
+// vectors are all kept — they are distinct designs of equal merit.
+func ParetoFront(cands []*Candidate) []*Candidate {
+	var front []*Candidate
+	for _, c := range cands {
+		dominated := false
+		for _, o := range cands {
+			if o != c && dominates(o.Objectives, c.Objectives) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, c)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		return lessCandidate(front[i], front[j])
+	})
+	return front
+}
+
+// lessCandidate is the deterministic candidate order: objective vector
+// lexicographic, assignment key as the final tie-break.
+func lessCandidate(a, b *Candidate) bool {
+	for i := range a.Objectives {
+		if i >= len(b.Objectives) {
+			break
+		}
+		if a.Objectives[i] != b.Objectives[i] {
+			return a.Objectives[i] < b.Objectives[i]
+		}
+	}
+	return a.Key < b.Key
+}
+
+// FrontReport converts a front into the report-layer section, with one
+// objective column per category plus cost.
+func FrontReport(objectives []string, front []*Candidate) *report.Front {
+	f := &report.Front{Objectives: objectives}
+	for _, c := range front {
+		f.Points = append(f.Points, report.FrontPoint{
+			Label:  c.Label,
+			Values: append([]float64(nil), c.Objectives...),
+		})
+	}
+	return f
+}

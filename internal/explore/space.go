@@ -1,0 +1,345 @@
+// Package explore is the design-space exploration engine: it searches
+// assignments of message protections (none / CMAC-128 / AES-128), per-ECU
+// patching cadences and topology mutations of a base architecture for
+// Pareto-optimal configurations — the automated counterpart to the paper's
+// three hand-built Figure-4/5 variants. A scenario Space declares the axes
+// and their cost model; a Strategy (exhaustive, random sampling, beam
+// search) proposes assignments; the Evaluator materialises each candidate
+// and scores it through service.Engine, so the content-addressed caches and
+// single-flight dedup make repeated sub-assignments near-free; and
+// ParetoFront reduces the evaluated candidates to the non-dominated set
+// over (exploitable time per security category, total cost).
+package explore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/asil"
+	"repro/internal/transform"
+)
+
+// ProtectionAxis offers a choice of message protections for one stream.
+type ProtectionAxis struct {
+	Message     string   `json:"message"`
+	Protections []string `json:"protections"`
+
+	parsed []transform.Protection
+}
+
+// PatchAxis offers a choice of patching cadences (named by the ASIL level
+// whose re-validation effort they correspond to) for one ECU. Choosing a
+// cadence overrides the ECU's patch rate with asil.Level.PatchRate.
+type PatchAxis struct {
+	ECU    string   `json:"ecu"`
+	Levels []string `json:"levels"`
+
+	parsed []asil.Level
+}
+
+// MutationAxis offers a choice of topology mutations (arch.Mutation); an
+// option with no ops keeps the base architecture. Option costs live on the
+// mutations themselves.
+type MutationAxis struct {
+	Name    string          `json:"name,omitempty"`
+	Options []arch.Mutation `json:"options"`
+}
+
+// CostModel prices assignments. All costs are unitless proxies summed into
+// the "cost" objective: protection costs stand in for crypto latency and
+// bus load, patch-level costs for the sustained engineering effort of the
+// cadence, and mutation costs (on arch.Mutation.Cost) for the hardware or
+// redesign expense of the topology change.
+type CostModel struct {
+	// Protection maps protection name → per-message cost. Defaults:
+	// unencrypted 0, CMAC128 1 (MAC computation and +16 bytes per frame),
+	// AES128 2.5 (encryption latency on both endpoints).
+	Protection map[string]float64 `json:"protection,omitempty"`
+	// PatchLevel maps cadence name → per-ECU cost, defaulting to one tenth
+	// of the cadence's patches per year (QM 36.5 … D 0.4): each deployed
+	// patch carries a fixed re-validation effort, so cost scales with
+	// frequency.
+	PatchLevel map[string]float64 `json:"patch_level,omitempty"`
+}
+
+// Default per-option costs (see CostModel).
+var (
+	defaultProtectionCost = map[transform.Protection]float64{
+		transform.Unencrypted: 0,
+		transform.CMAC128:     1,
+		transform.AES128:      2.5,
+	}
+	defaultPatchCostFactor = 0.1 // cost = patches/year × factor
+)
+
+func (c CostModel) protectionCost(p transform.Protection) float64 {
+	if v, ok := c.Protection[p.String()]; ok {
+		return v
+	}
+	return defaultProtectionCost[p]
+}
+
+func (c CostModel) patchCost(l asil.Level) float64 {
+	if v, ok := c.PatchLevel[l.String()]; ok {
+		return v
+	}
+	r, err := l.PatchRate()
+	if err != nil {
+		return 0
+	}
+	return r * defaultPatchCostFactor
+}
+
+// Space is a scenario space: a base architecture plus the axes along which
+// candidates may vary. The zero value is unusable; build spaces with
+// DefaultSpace, ParseSpace or literal construction followed by Validate.
+type Space struct {
+	Base      *arch.Architecture `json:"-"`
+	Messages  []ProtectionAxis   `json:"messages,omitempty"`
+	Patch     []PatchAxis        `json:"patch_levels,omitempty"`
+	Mutations []MutationAxis     `json:"mutations,omitempty"`
+	Cost      CostModel          `json:"costs,omitempty"`
+}
+
+// DefaultSpace is the smallest interesting space over an architecture: every
+// message stream may choose any of the paper's three protections; topology
+// and patching stay fixed.
+func DefaultSpace(a *arch.Architecture) *Space {
+	s := &Space{Base: a}
+	for i := range a.Messages {
+		s.Messages = append(s.Messages, ProtectionAxis{
+			Message:     a.Messages[i].Name,
+			Protections: []string{"unencrypted", "CMAC128", "AES128"},
+		})
+	}
+	return s
+}
+
+// ParseSpace decodes a scenario-space JSON document (see models/README.md
+// for the schema) against the given base architecture and validates it.
+func ParseSpace(data []byte, base *arch.Architecture) (*Space, error) {
+	s := &Space{}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(s); err != nil {
+		return nil, fmt.Errorf("explore: parsing space: %w", err)
+	}
+	s.Base = base
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// LoadSpace reads a scenario-space JSON file against the base architecture.
+func LoadSpace(path string, base *arch.Architecture) (*Space, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("explore: %w", err)
+	}
+	return ParseSpace(data, base)
+}
+
+// Validate resolves every axis against the base architecture: referenced
+// messages and ECUs must exist, option lists must be non-empty and parse,
+// and every mutation option must apply cleanly to the base in isolation.
+func (s *Space) Validate() error {
+	if s.Base == nil {
+		return fmt.Errorf("explore: space has no base architecture")
+	}
+	if err := s.Base.Validate(); err != nil {
+		return err
+	}
+	if len(s.Messages)+len(s.Patch)+len(s.Mutations) == 0 {
+		return fmt.Errorf("explore: space over %s has no axes", s.Base.Name)
+	}
+	for i := range s.Messages {
+		ax := &s.Messages[i]
+		if s.Base.Message(ax.Message) == nil {
+			return fmt.Errorf("explore: protection axis references message %q, which is not declared in architecture %q", ax.Message, s.Base.Name)
+		}
+		if len(ax.Protections) == 0 {
+			return fmt.Errorf("explore: protection axis for message %q has no options", ax.Message)
+		}
+		ax.parsed = ax.parsed[:0]
+		for _, name := range ax.Protections {
+			p, err := transform.ParseProtection(name)
+			if err != nil {
+				return fmt.Errorf("explore: protection axis for message %q: %w", ax.Message, err)
+			}
+			ax.parsed = append(ax.parsed, p)
+		}
+	}
+	for i := range s.Patch {
+		ax := &s.Patch[i]
+		if s.Base.ECU(ax.ECU) == nil {
+			return fmt.Errorf("explore: patch axis references ECU %q, which is not declared in architecture %q", ax.ECU, s.Base.Name)
+		}
+		if len(ax.Levels) == 0 {
+			return fmt.Errorf("explore: patch axis for ECU %q has no options", ax.ECU)
+		}
+		ax.parsed = ax.parsed[:0]
+		for _, name := range ax.Levels {
+			l, err := asil.Parse(name)
+			if err != nil {
+				return fmt.Errorf("explore: patch axis for ECU %q: %w", ax.ECU, err)
+			}
+			ax.parsed = append(ax.parsed, l)
+		}
+	}
+	for i := range s.Mutations {
+		ax := &s.Mutations[i]
+		if len(ax.Options) == 0 {
+			return fmt.Errorf("explore: mutation axis %q has no options", ax.name(i))
+		}
+		for _, opt := range ax.Options {
+			if _, err := s.Base.ApplyMutation(opt); err != nil {
+				return fmt.Errorf("explore: mutation axis %q: %w", ax.name(i), err)
+			}
+		}
+	}
+	return nil
+}
+
+func (ax *MutationAxis) name(i int) string {
+	if ax.Name != "" {
+		return ax.Name
+	}
+	return fmt.Sprintf("mutations[%d]", i)
+}
+
+// Assignment selects one option per axis: first the protection axes, then
+// the patch axes, then the mutation axes, in declaration order.
+type Assignment []int
+
+// Key is the assignment's stable identity within its space.
+func (a Assignment) Key() string {
+	parts := make([]string, len(a))
+	for i, v := range a {
+		parts[i] = strconv.Itoa(v)
+	}
+	return strings.Join(parts, ".")
+}
+
+// Clone returns an independent copy.
+func (a Assignment) Clone() Assignment {
+	return append(Assignment(nil), a...)
+}
+
+// AxisSizes returns the number of options per axis, in Assignment order.
+func (s *Space) AxisSizes() []int {
+	var sizes []int
+	for i := range s.Messages {
+		sizes = append(sizes, len(s.Messages[i].Protections))
+	}
+	for i := range s.Patch {
+		sizes = append(sizes, len(s.Patch[i].Levels))
+	}
+	for i := range s.Mutations {
+		sizes = append(sizes, len(s.Mutations[i].Options))
+	}
+	return sizes
+}
+
+// Size returns the number of distinct assignments.
+func (s *Space) Size() int {
+	n := 1
+	for _, sz := range s.AxisSizes() {
+		n *= sz
+	}
+	return n
+}
+
+// checkAssignment rejects out-of-range assignments.
+func (s *Space) checkAssignment(a Assignment) error {
+	sizes := s.AxisSizes()
+	if len(a) != len(sizes) {
+		return fmt.Errorf("explore: assignment has %d axes, space has %d", len(a), len(sizes))
+	}
+	for i, v := range a {
+		if v < 0 || v >= sizes[i] {
+			return fmt.Errorf("explore: assignment axis %d = %d outside [0, %d)", i, v, sizes[i])
+		}
+	}
+	return nil
+}
+
+// protection returns the chosen protection of protection-axis i.
+func (s *Space) protection(a Assignment, i int) transform.Protection {
+	return s.Messages[i].parsed[a[i]]
+}
+
+// Materialize builds the candidate architecture for an assignment: the base
+// with the chosen patch cadences and topology mutations applied. Message
+// protections are analysis parameters, not architecture edits, so they do
+// not appear here. The variant's name records the non-identity mutations.
+func (s *Space) Materialize(a Assignment) (*arch.Architecture, error) {
+	if err := s.checkAssignment(a); err != nil {
+		return nil, err
+	}
+	c := s.Base.Clone()
+	off := len(s.Messages)
+	for i := range s.Patch {
+		level := s.Patch[i].parsed[a[off+i]]
+		rate, err := level.PatchRate()
+		if err != nil {
+			return nil, err
+		}
+		c.ECU(s.Patch[i].ECU).PatchRate = rate
+	}
+	off += len(s.Patch)
+	var suffix []string
+	for i := range s.Mutations {
+		opt := s.Mutations[i].Options[a[off+i]]
+		v, err := c.ApplyMutation(opt)
+		if err != nil {
+			return nil, err
+		}
+		c = v
+		if len(opt.Ops) > 0 {
+			suffix = append(suffix, opt.Name)
+		}
+	}
+	if len(suffix) > 0 {
+		c.Name = fmt.Sprintf("%s [%s]", c.Name, strings.Join(suffix, ", "))
+	}
+	return c, nil
+}
+
+// Label renders an assignment for humans: one axis=option term per axis.
+func (s *Space) Label(a Assignment) string {
+	var parts []string
+	for i := range s.Messages {
+		parts = append(parts, fmt.Sprintf("%s=%s", s.Messages[i].Message, s.Messages[i].parsed[a[i]]))
+	}
+	off := len(s.Messages)
+	for i := range s.Patch {
+		parts = append(parts, fmt.Sprintf("%s=%s", s.Patch[i].ECU, s.Patch[i].Levels[a[off+i]]))
+	}
+	off += len(s.Patch)
+	for i := range s.Mutations {
+		parts = append(parts, s.Mutations[i].Options[a[off+i]].Name)
+	}
+	return strings.Join(parts, " ")
+}
+
+// CostOf sums the assignment's cost objective under the space's cost model.
+func (s *Space) CostOf(a Assignment) float64 {
+	var cost float64
+	for i := range s.Messages {
+		cost += s.Cost.protectionCost(s.Messages[i].parsed[a[i]])
+	}
+	off := len(s.Messages)
+	for i := range s.Patch {
+		cost += s.Cost.patchCost(s.Patch[i].parsed[a[off+i]])
+	}
+	off += len(s.Patch)
+	for i := range s.Mutations {
+		cost += s.Mutations[i].Options[a[off+i]].Cost
+	}
+	return cost
+}

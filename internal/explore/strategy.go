@@ -1,0 +1,205 @@
+package explore
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Strategy proposes assignments to the evaluator and returns every
+// candidate it evaluated. Strategies must be deterministic for a fixed
+// configuration (seeded randomness only).
+type Strategy interface {
+	Name() string
+	Search(ctx context.Context, sp *Space, ev *Evaluator) ([]*Candidate, error)
+}
+
+// Exhaustive enumerates the whole space in odometer order. It refuses
+// spaces larger than MaxCandidates (default 4096) — use Random or Beam
+// there.
+type Exhaustive struct {
+	MaxCandidates int
+}
+
+// Name implements Strategy.
+func (Exhaustive) Name() string { return "exhaustive" }
+
+// Search implements Strategy.
+func (x Exhaustive) Search(ctx context.Context, sp *Space, ev *Evaluator) ([]*Candidate, error) {
+	max := x.MaxCandidates
+	if max <= 0 {
+		max = 4096
+	}
+	size := sp.Size()
+	if size > max {
+		return nil, fmt.Errorf("explore: space has %d assignments, exhaustive cap is %d (use -strategy random or beam, or raise -max-candidates)", size, max)
+	}
+	sizes := sp.AxisSizes()
+	asgs := make([]Assignment, 0, size)
+	cur := make(Assignment, len(sizes))
+	for {
+		asgs = append(asgs, cur.Clone())
+		i := len(cur) - 1
+		for ; i >= 0; i-- {
+			cur[i]++
+			if cur[i] < sizes[i] {
+				break
+			}
+			cur[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return ev.Evaluate(ctx, sp, asgs)
+}
+
+// Random evaluates Samples distinct assignments drawn uniformly with a
+// seeded generator (capped at the space size, so small spaces degrade to
+// exhaustive coverage in random order).
+type Random struct {
+	Seed    int64
+	Samples int
+}
+
+// Name implements Strategy.
+func (Random) Name() string { return "random" }
+
+// Search implements Strategy.
+func (r Random) Search(ctx context.Context, sp *Space, ev *Evaluator) ([]*Candidate, error) {
+	samples := r.Samples
+	if samples <= 0 {
+		samples = 64
+	}
+	if size := sp.Size(); samples > size {
+		samples = size
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	sizes := sp.AxisSizes()
+	seen := make(map[string]bool)
+	var asgs []Assignment
+	for len(asgs) < samples {
+		a := make(Assignment, len(sizes))
+		for i, sz := range sizes {
+			a[i] = rng.Intn(sz)
+		}
+		if key := a.Key(); !seen[key] {
+			seen[key] = true
+			asgs = append(asgs, a)
+		}
+	}
+	return ev.Evaluate(ctx, sp, asgs)
+}
+
+// Beam is a greedy hill-climber over the Pareto order: it starts from the
+// all-defaults assignment plus Width−1 random seeds, and each generation
+// evaluates every one-axis neighbour of the current beam, then keeps the
+// Width best candidates (front members first, then by objective order).
+// It stops after Generations rounds, when a round yields nothing new, or at
+// MaxEvals evaluated candidates.
+type Beam struct {
+	Seed        int64
+	Width       int
+	Generations int
+	MaxEvals    int
+}
+
+// Name implements Strategy.
+func (Beam) Name() string { return "beam" }
+
+// Search implements Strategy.
+func (b Beam) Search(ctx context.Context, sp *Space, ev *Evaluator) ([]*Candidate, error) {
+	width := b.Width
+	if width <= 0 {
+		width = 4
+	}
+	gens := b.Generations
+	if gens <= 0 {
+		gens = 8
+	}
+	maxEvals := b.MaxEvals
+	if maxEvals <= 0 {
+		maxEvals = 512
+	}
+	rng := rand.New(rand.NewSource(b.Seed))
+	sizes := sp.AxisSizes()
+
+	start := []Assignment{make(Assignment, len(sizes))}
+	for len(start) < width {
+		a := make(Assignment, len(sizes))
+		for i, sz := range sizes {
+			a[i] = rng.Intn(sz)
+		}
+		start = append(start, a)
+	}
+	all, err := ev.Evaluate(ctx, sp, start)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, len(all))
+	for _, c := range all {
+		seen[c.Key] = true
+	}
+	beam := selectBeam(all, width)
+	for g := 0; g < gens && len(all) < maxEvals; g++ {
+		var next []Assignment
+		for _, c := range beam {
+			for i, sz := range sizes {
+				for v := 0; v < sz; v++ {
+					if v == c.Assignment[i] {
+						continue
+					}
+					n := c.Assignment.Clone()
+					n[i] = v
+					if key := n.Key(); !seen[key] {
+						seen[key] = true
+						next = append(next, n)
+					}
+				}
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		if room := maxEvals - len(all); len(next) > room {
+			next = next[:room]
+		}
+		cands, err := ev.Evaluate(ctx, sp, next)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, cands...)
+		beam = selectBeam(all, width)
+	}
+	return all, nil
+}
+
+// selectBeam keeps the width best candidates: the Pareto front of
+// everything seen, in deterministic order, padded with the best dominated
+// candidates when the front is narrower than the beam.
+func selectBeam(all []*Candidate, width int) []*Candidate {
+	front := ParetoFront(all)
+	if len(front) >= width {
+		return front[:width]
+	}
+	onFront := make(map[string]bool, len(front))
+	for _, c := range front {
+		onFront[c.Key] = true
+	}
+	rest := make([]*Candidate, 0, len(all))
+	for _, c := range all {
+		if !onFront[c.Key] {
+			rest = append(rest, c)
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool { return lessCandidate(rest[i], rest[j]) })
+	beam := append([]*Candidate(nil), front...)
+	for _, c := range rest {
+		if len(beam) >= width {
+			break
+		}
+		beam = append(beam, c)
+	}
+	return beam
+}

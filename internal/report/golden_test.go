@@ -1,0 +1,110 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden compares got against testdata/<name>.golden, rewriting the file
+// under -update.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("%s mismatch:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// sampleTable is a Figure-5-shaped grid used by the table golden tests.
+func sampleTable() *Table {
+	tbl := NewTable("architecture", "category", "protection", "exploitable time")
+	tbl.AddRow("Architecture 1", "confidentiality", "unencrypted", Percent(0.122))
+	tbl.AddRow("Architecture 1", "confidentiality", "AES128", Percent(0.0697))
+	tbl.AddRow("Architecture 3", "availability", "unencrypted", Percent(0.00668))
+	tbl.AddRow("Architecture 3, \"guarded\"", "integrity", "CMAC128", Percent(0.00388))
+	return tbl
+}
+
+// sampleFront is a small Pareto front: the paper's three protection
+// variants of Architecture 1 over (exploitable time per category, cost).
+func sampleFront() *Front {
+	return &Front{
+		Objectives: []string{"confidentiality", "integrity", "availability", "cost"},
+		Points: []FrontPoint{
+			{Label: "m=unencrypted", Values: []float64{0.122, 0.122, 0.122, 0}},
+			{Label: "m=CMAC128", Values: []float64{0.122, 0.0697, 0.122, 1}},
+			{Label: "m=AES128", Values: []float64{0.0697, 0.0697, 0.122, 2.5}},
+		},
+	}
+}
+
+func TestGoldenTableText(t *testing.T) {
+	golden(t, "table", sampleTable().String())
+}
+
+func TestGoldenTableCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sampleTable().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "table_csv", b.String())
+}
+
+func TestGoldenTableJSON(t *testing.T) {
+	var b strings.Builder
+	if err := sampleTable().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "table_json", b.String())
+}
+
+func TestGoldenFrontTable(t *testing.T) {
+	golden(t, "front", sampleFront().Table().String())
+}
+
+func TestGoldenFrontJSON(t *testing.T) {
+	var b strings.Builder
+	if err := sampleFront().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "front_json", b.String())
+}
+
+// TestGoldenEmpty pins the renderers' behaviour on empty inputs (no rows,
+// no points): still valid documents, no trailing garbage.
+func TestGoldenEmpty(t *testing.T) {
+	empty := NewTable("a", "b")
+	var b strings.Builder
+	if err := empty.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "[]\n" {
+		t.Fatalf("empty table JSON = %q", b.String())
+	}
+	f := &Front{Objectives: []string{"cost"}}
+	b.Reset()
+	if err := f.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"points": []`) {
+		t.Fatalf("empty front JSON = %q", b.String())
+	}
+}

@@ -1,0 +1,96 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// FrontPoint is one non-dominated design of a Pareto front: a label naming
+// the configuration and one value per objective (all minimised).
+type FrontPoint struct {
+	Label  string
+	Values []float64
+}
+
+// Front is the Pareto-front section of an exploration report: named
+// objectives and the non-dominated points, in the deterministic order the
+// search produced (sorted by objective vector, then label).
+type Front struct {
+	Objectives []string
+	Points     []FrontPoint
+}
+
+// Objective formats an objective value compactly and stably (the front
+// renderers' cell format).
+func Objective(v float64) string {
+	return fmt.Sprintf("%.4g", v)
+}
+
+// Table renders the front as a column-aligned table with one row per point.
+func (f *Front) Table() *Table {
+	tbl := NewTable(append([]string{"point"}, f.Objectives...)...)
+	for _, p := range f.Points {
+		cells := make([]string, 0, 1+len(p.Values))
+		cells = append(cells, p.Label)
+		for _, v := range p.Values {
+			cells = append(cells, Objective(v))
+		}
+		tbl.AddRow(cells...)
+	}
+	return tbl
+}
+
+// WriteJSON renders the front as a stable JSON document: the objective
+// names in order, then one object per point with its values keyed by
+// objective name (in objective order, so the output is byte-stable).
+func (f *Front) WriteJSON(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("{\n  \"objectives\": ")
+	names, err := json.Marshal(f.Objectives)
+	if err != nil {
+		return err
+	}
+	b.Write(names)
+	b.WriteString(",\n  \"points\": [")
+	for i, p := range f.Points {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n    {\"label\": ")
+		lb, err := json.Marshal(p.Label)
+		if err != nil {
+			return err
+		}
+		b.Write(lb)
+		b.WriteString(", \"values\": {")
+		for j, name := range f.Objectives {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			nb, err := json.Marshal(name)
+			if err != nil {
+				return err
+			}
+			b.Write(nb)
+			b.WriteString(": ")
+			v := 0.0
+			if j < len(p.Values) {
+				v = p.Values[j]
+			}
+			vb, err := json.Marshal(v)
+			if err != nil {
+				return err
+			}
+			b.Write(vb)
+		}
+		b.WriteString("}}")
+	}
+	if len(f.Points) > 0 {
+		b.WriteString("\n  ")
+	}
+	b.WriteString("]\n}\n")
+	_, err = io.WriteString(w, b.String())
+	return err
+}

@@ -1,9 +1,12 @@
-// Package report renders analysis results as aligned text tables and CSV,
-// the output format of the command-line tools and the experiment harness
-// (Figure 5 grids, Figure 6 curves, Table 2 assessments).
+// Package report renders analysis results as aligned text tables, CSV and
+// stable JSON, the output format of the command-line tools and the
+// experiment harness (Figure 5 grids, Figure 6 curves, Table 2
+// assessments), plus the Pareto-front section of design-space exploration
+// reports.
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -114,6 +117,43 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	return nil
 }
 
+// WriteJSON renders the table as a JSON array with one object per row,
+// keyed by column header in declaration order (hand-encoded so the output
+// is byte-stable for golden comparisons and diff-friendly across runs).
+func (t *Table) WriteJSON(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("[")
+	for i, row := range t.rows {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n  {")
+		for j, h := range t.header {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			hb, err := json.Marshal(h)
+			if err != nil {
+				return err
+			}
+			b.Write(hb)
+			b.WriteString(": ")
+			vb, err := json.Marshal(row[j])
+			if err != nil {
+				return err
+			}
+			b.Write(vb)
+		}
+		b.WriteString("}")
+	}
+	if len(t.rows) > 0 {
+		b.WriteString("\n")
+	}
+	b.WriteString("]\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
 func csvEscape(s string) string {
 	if strings.ContainsAny(s, ",\"\n") {
 		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
@@ -126,6 +166,8 @@ func csvEscape(s string) string {
 func Percent(fraction float64) string {
 	p := 100 * fraction
 	switch {
+	case p == 0:
+		return "0%"
 	case p >= 10:
 		return fmt.Sprintf("%.1f%%", p)
 	case p >= 0.01:

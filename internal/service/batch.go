@@ -1,0 +1,59 @@
+package service
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// BatchItem is the outcome of one request of a RunBatch call. Items are
+// independent: one failing request does not abort the rest, so callers
+// inspect Err per item.
+type BatchItem struct {
+	Outcome *Outcome
+	Cache   CacheState
+	Err     error
+}
+
+// RunBatch executes many requests through Run on a bounded worker pool and
+// returns the outcomes in input order. It is the entry point for
+// grid-shaped clients — parameter sweeps and design-space exploration —
+// whose requests overlap heavily: the engine's content-addressed caches and
+// single-flight dedup make repeated sub-assignments near-free, and the
+// worker pool keeps distinct solves saturating the CPUs.
+//
+// workers ≤ 0 selects one worker per CPU. A "service.batch" span records the
+// request count and per-item progress.
+func (e *Engine) RunBatch(ctx context.Context, reqs []*AnalysisRequest, workers int) []BatchItem {
+	ctx, sp := obs.Start(ctx, "service.batch")
+	defer sp.End()
+	sp.Int("requests", int64(len(reqs)))
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	out := make([]BatchItem, len(reqs))
+	var next, done int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				out[i].Outcome, out[i].Cache, out[i].Err = e.Run(ctx, reqs[i])
+				sp.Progress(atomic.AddInt64(&done, 1), int64(len(reqs)))
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,99 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunBatchOrderAndDedup submits a batch with repeated identical
+// requests: outcomes come back in input order, every duplicate is served
+// without an extra solve, and errors stay item-local.
+func TestRunBatchOrderAndDedup(t *testing.T) {
+	e := NewEngine(EngineOptions{})
+	var solves int64
+	e.run = func(ctx context.Context, rr *resolvedRequest) (*Outcome, error) {
+		atomic.AddInt64(&solves, 1)
+		return &Outcome{Results: []AnalysisResult{{
+			Architecture: rr.arch.Name,
+			Message:      rr.msg,
+			Category:     rr.cat.String(),
+		}}}, nil
+	}
+	mk := func(cat string) *AnalysisRequest {
+		return &AnalysisRequest{Architecture: "builtin:1", Category: cat, Protection: "unencrypted"}
+	}
+	reqs := []*AnalysisRequest{
+		mk("confidentiality"), mk("integrity"), mk("confidentiality"),
+		{Architecture: "builtin:1", Category: "bogus", Protection: "unencrypted"}, // item-local failure
+		mk("integrity"), mk("availability"),
+	}
+	items := e.RunBatch(context.Background(), reqs, 4)
+	if len(items) != len(reqs) {
+		t.Fatalf("items = %d", len(items))
+	}
+	wantCat := []string{"confidentiality", "integrity", "confidentiality", "", "integrity", "availability"}
+	for i, it := range items {
+		if i == 3 {
+			if it.Err == nil {
+				t.Fatal("bad request did not fail")
+			}
+			continue
+		}
+		if it.Err != nil {
+			t.Fatalf("item %d: %v", i, it.Err)
+		}
+		if got := it.Outcome.Results[0].Category; got != wantCat[i] {
+			t.Fatalf("item %d category = %q, want %q", i, got, wantCat[i])
+		}
+	}
+	if n := atomic.LoadInt64(&solves); n > 3 {
+		t.Fatalf("solves = %d, want ≤ 3 (three distinct cells)", n)
+	}
+	st := e.Stats()
+	if st.Hits+st.Shared < 2 {
+		t.Fatalf("cache stats = %+v, want ≥ 2 duplicate requests served without a solve", st)
+	}
+}
+
+// TestRunBatchManyWorkers drives a larger batch than the worker count with
+// unique requests, checking every slot is filled exactly once.
+func TestRunBatchManyWorkers(t *testing.T) {
+	e := NewEngine(EngineOptions{})
+	e.run = func(ctx context.Context, rr *resolvedRequest) (*Outcome, error) {
+		return &Outcome{Results: []AnalysisResult{{Message: rr.msg}}}, nil
+	}
+	var reqs []*AnalysisRequest
+	for i := 0; i < 37; i++ {
+		reqs = append(reqs, &AnalysisRequest{
+			Architecture: "builtin:1",
+			Horizon:      float64(i + 1), // distinct result-cache keys
+		})
+	}
+	items := e.RunBatch(context.Background(), reqs, 5)
+	for i, it := range items {
+		if it.Err != nil || it.Outcome == nil {
+			t.Fatalf("item %d: %+v err=%v", i, it.Outcome, it.Err)
+		}
+	}
+	if got := fmt.Sprint(len(items)); got != "37" {
+		t.Fatalf("items = %s", got)
+	}
+}
+
+// TestRunBatchCanceled checks a canceled context fails items instead of
+// hanging the pool.
+func TestRunBatchCanceled(t *testing.T) {
+	e := NewEngine(EngineOptions{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	items := e.RunBatch(ctx, []*AnalysisRequest{
+		{Architecture: "builtin:1"}, {Architecture: "builtin:2"},
+	}, 2)
+	for i, it := range items {
+		if it.Err == nil && it.Outcome == nil {
+			t.Fatalf("item %d neither failed nor produced an outcome", i)
+		}
+	}
+}
