@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos explore check cover bench examples experiments serve fuzz clean
+.PHONY: all build vet test race chaos explore check cover bench bench-smoke examples experiments serve fuzz clean
 
 all: check
 
@@ -46,9 +46,20 @@ cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
 
-# Regenerates every table and figure of the paper (see EXPERIMENTS.md).
+# Regenerates every table and figure of the paper (see EXPERIMENTS.md),
+# then the secbench regression suite (full iterations, BENCH_<date>.json).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+	$(GO) run ./cmd/secbench
+
+# bench-smoke is the CI gate: one iteration per secbench workload, compared
+# against the committed baseline with a generous threshold (quick runs on
+# shared runners are noisy — this catches order-of-magnitude regressions,
+# `make bench` catches the rest locally).
+BENCH_BASELINE ?= $(firstword $(wildcard BENCH_*.json))
+bench-smoke:
+	$(GO) run ./cmd/secbench -quick -out bench-smoke.json \
+		$(if $(BENCH_BASELINE),-compare $(BENCH_BASELINE) -threshold 3.0)
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,0 +1,422 @@
+// Command secbench is the repo's performance-regression harness: it runs a
+// canonical workload suite — the paper's Eq-15 chain, the three Figure-5
+// case-study grids, a large synthetic architecture, and the service engine
+// warm vs cold — and writes one BENCH_<date>.json with per-workload wall
+// time, heap allocations, model size and p99 solve latency (from the obs
+// histogram layer), stamped with the git SHA.
+//
+// Usage:
+//
+//	secbench                        # full suite -> BENCH_<date>.json
+//	secbench -quick                 # CI smoke: one iteration per workload
+//	secbench -run 'fig5|service'    # filter workloads by regexp
+//	secbench -compare old.json      # exit nonzero on >15% wall-time regressions
+//	secbench -compare old.json -threshold 0.25
+//
+// Comparisons match workloads by name; a workload slower than the old file
+// by more than -threshold (fractional, default 0.15) is a regression and
+// makes the run exit nonzero — `make bench-smoke` wires this into CI.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"runtime/metrics"
+	"strings"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/ctmc"
+	"repro/internal/modular"
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/transform"
+)
+
+// benchSchema versions the JSON layout; bump on incompatible changes so
+// -compare can refuse to diff across layouts.
+const benchSchema = "secbench/v1"
+
+// WorkloadResult is one measured workload in a bench file. WallSeconds and
+// AllocObjects are per iteration.
+type WorkloadResult struct {
+	Name            string  `json:"name"`
+	Iterations      int     `json:"iterations"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	AllocObjects    uint64  `json:"alloc_objects"`
+	States          int     `json:"states,omitempty"`
+	P99SolveSeconds float64 `json:"p99_solve_seconds,omitempty"`
+}
+
+// BenchFile is the on-disk record of one secbench run.
+type BenchFile struct {
+	Schema    string           `json:"schema"`
+	Date      string           `json:"date"`
+	GitSHA    string           `json:"git_sha"`
+	GoVersion string           `json:"go_version"`
+	Quick     bool             `json:"quick,omitempty"`
+	Workloads []WorkloadResult `json:"workloads"`
+}
+
+// workload is one suite entry. setup builds the per-iteration function
+// (creating any state shared across iterations, e.g. a warmed cache);
+// measurement starts after setup returns. solveSpan names the obs span
+// whose latency histogram provides the p99 ("" = no solve stage).
+type workload struct {
+	name       string
+	solveSpan  string
+	quickIters int
+	fullIters  int
+	setup      func() (func(ctx context.Context) (states int, err error), error)
+}
+
+// fig5Grid runs the full CIA × protection grid for one case-study
+// architecture, returning the largest model's state count.
+func fig5Grid(a *arch.Architecture) func(ctx context.Context) (int, error) {
+	an := core.Analyzer{NMax: 2, Horizon: 1, SkipSteadyState: true}
+	return func(ctx context.Context) (int, error) {
+		states := 0
+		for _, cat := range core.Categories {
+			for _, prot := range core.Protections {
+				r, err := an.AnalyzeContext(ctx, a, arch.MessageM, cat, prot)
+				if err != nil {
+					return 0, err
+				}
+				if r.States > states {
+					states = r.States
+				}
+			}
+		}
+		return states, nil
+	}
+}
+
+// gridRequest is the service-engine equivalent of fig5Grid's workload.
+func gridRequest() *service.AnalysisRequest {
+	return &service.AnalysisRequest{Architecture: "builtin:1", SkipSteadyState: true}
+}
+
+func suite() []workload {
+	return []workload{
+		{
+			// The worked steady-state example of Section 3.3 (Eqs. 13–15):
+			// tiny, so it isolates solver overhead rather than model size.
+			name: "eq15-steadystate", solveSpan: "ctmc.steadystate",
+			quickIters: 50, fullIters: 2000,
+			setup: func() (func(ctx context.Context) (int, error), error) {
+				bd := ctmc.NewBuilder(3)
+				bd.Add(0, 1, 2)
+				bd.Add(1, 0, 52)
+				bd.Add(1, 2, 2)
+				bd.Add(2, 1, 52)
+				bd.Add(2, 0, 52)
+				c, err := bd.Build()
+				if err != nil {
+					return nil, err
+				}
+				return func(ctx context.Context) (int, error) {
+					if _, err := c.SteadyStateContext(ctx, c.DiracInit(0)); err != nil {
+						return 0, err
+					}
+					return c.N(), nil
+				}, nil
+			},
+		},
+		{
+			name: "fig5-arch1", solveSpan: "ctmc.cumulative_reward",
+			quickIters: 1, fullIters: 5,
+			setup: func() (func(ctx context.Context) (int, error), error) {
+				return fig5Grid(arch.Architecture1()), nil
+			},
+		},
+		{
+			name: "fig5-arch2", solveSpan: "ctmc.cumulative_reward",
+			quickIters: 1, fullIters: 5,
+			setup: func() (func(ctx context.Context) (int, error), error) {
+				return fig5Grid(arch.Architecture2()), nil
+			},
+		},
+		{
+			name: "fig5-arch3", solveSpan: "ctmc.cumulative_reward",
+			quickIters: 1, fullIters: 5,
+			setup: func() (func(ctx context.Context) (int, error), error) {
+				return fig5Grid(arch.Architecture3()), nil
+			},
+		},
+		{
+			// The synthetic generator well past the case-study sizes:
+			// exploration-dominated, so it tracks the transform/explore path.
+			name: "archgen-synthetic", solveSpan: "modular.explore",
+			quickIters: 1, fullIters: 3,
+			setup: func() (func(ctx context.Context) (int, error), error) {
+				// ECUs 9 over two buses is the largest synthetic that fits the
+				// default exploration budgets — well past the case studies.
+				a, err := arch.Synthetic(arch.SyntheticSpec{ECUs: 9, Buses: 2})
+				if err != nil {
+					return nil, err
+				}
+				return func(ctx context.Context) (int, error) {
+					res, err := transform.Build(a, arch.MessageM, transform.Options{
+						NMax: 2, Category: transform.Availability,
+					})
+					if err != nil {
+						return 0, err
+					}
+					ex, err := res.Model.ExploreContext(ctx, modular.ExploreOpts{})
+					if err != nil {
+						return 0, err
+					}
+					return ex.N(), nil
+				}, nil
+			},
+		},
+		{
+			// A fresh engine per iteration: the price a one-shot CLI pays.
+			name: "service-cold", solveSpan: "ctmc.cumulative_reward",
+			quickIters: 1, fullIters: 3,
+			setup: func() (func(ctx context.Context) (int, error), error) {
+				return func(ctx context.Context) (int, error) {
+					e := service.NewEngine(service.EngineOptions{})
+					out, _, err := e.Run(ctx, gridRequest())
+					if err != nil {
+						return 0, err
+					}
+					return maxStates(out), nil
+				}, nil
+			},
+		},
+		{
+			// The same request against a warmed content-addressed cache: the
+			// speedup a resident secserved gives repeated traffic.
+			name: "service-warm", solveSpan: "",
+			quickIters: 10, fullIters: 200,
+			setup: func() (func(ctx context.Context) (int, error), error) {
+				e := service.NewEngine(service.EngineOptions{})
+				out, _, err := e.Run(context.Background(), gridRequest())
+				if err != nil {
+					return nil, err
+				}
+				states := maxStates(out)
+				return func(ctx context.Context) (int, error) {
+					_, state, err := e.Run(ctx, gridRequest())
+					if err != nil {
+						return 0, err
+					}
+					if state != service.CacheHit {
+						return 0, fmt.Errorf("warm run missed the cache: %q", state)
+					}
+					return states, nil
+				}, nil
+			},
+		},
+	}
+}
+
+func maxStates(out *service.Outcome) int {
+	states := 0
+	for _, r := range out.Results {
+		if r.States > states {
+			states = r.States
+		}
+	}
+	return states
+}
+
+// heapAllocs reads the cumulative heap-allocation object count without
+// stopping the world (same channel the obs layer uses for span deltas).
+func heapAllocs() uint64 {
+	s := []metrics.Sample{{Name: "/gc/heap/allocs:objects"}}
+	metrics.Read(s)
+	if s[0].Value.Kind() == metrics.KindUint64 {
+		return s[0].Value.Uint64()
+	}
+	return 0
+}
+
+// runWorkload measures one workload under a fresh collector so per-stage
+// latency histograms (and the p99 they yield) cover exactly this workload.
+func runWorkload(w workload, iters int) (WorkloadResult, error) {
+	col := obs.NewCollector()
+	obs.SetDefault(obs.NewTracer(col, false))
+	defer obs.SetDefault(nil)
+
+	iter, err := w.setup()
+	if err != nil {
+		return WorkloadResult{}, fmt.Errorf("%s: setup: %w", w.name, err)
+	}
+	ctx := context.Background()
+	states := 0
+	alloc0 := heapAllocs()
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if states, err = iter(ctx); err != nil {
+			return WorkloadResult{}, fmt.Errorf("%s: %w", w.name, err)
+		}
+	}
+	wall := time.Since(start)
+	allocs := heapAllocs() - alloc0
+
+	r := WorkloadResult{
+		Name:         w.name,
+		Iterations:   iters,
+		WallSeconds:  wall.Seconds() / float64(iters),
+		AllocObjects: allocs / uint64(iters),
+		States:       states,
+	}
+	if w.solveSpan != "" {
+		if s, ok := col.Histogram(w.solveSpan); ok {
+			r.P99SolveSeconds = s.P99()
+		}
+	}
+	return r, nil
+}
+
+// gitSHA best-efforts the current short commit hash ("unknown" outside a
+// work tree or without git on PATH — bench files stay writable anywhere).
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// compare diffs new against old by workload name, returning the regression
+// report lines (those beyond threshold) and the full delta table.
+func compare(old, cur *BenchFile, threshold float64) (regressions []string, table []string) {
+	byName := make(map[string]WorkloadResult, len(old.Workloads))
+	for _, w := range old.Workloads {
+		byName[w.Name] = w
+	}
+	for _, w := range cur.Workloads {
+		prev, ok := byName[w.Name]
+		if !ok || prev.WallSeconds <= 0 {
+			table = append(table, fmt.Sprintf("%-20s %12.6fs  (no baseline)", w.Name, w.WallSeconds))
+			continue
+		}
+		delta := w.WallSeconds/prev.WallSeconds - 1
+		table = append(table, fmt.Sprintf("%-20s %12.6fs  vs %12.6fs  %+7.1f%%",
+			w.Name, w.WallSeconds, prev.WallSeconds, 100*delta))
+		if delta > threshold {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.6fs vs %.6fs (%+.1f%% > %.0f%%)",
+				w.Name, w.WallSeconds, prev.WallSeconds, 100*delta, 100*threshold))
+		}
+	}
+	return regressions, table
+}
+
+func loadBenchFile(path string) (*BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f BenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != benchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, benchSchema)
+	}
+	return &f, nil
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("secbench", flag.ContinueOnError)
+	fs.SetOutput(out)
+	outPath := fs.String("out", "", "bench file to write (default BENCH_<date>.json)")
+	quick := fs.Bool("quick", false, "one-iteration smoke run (CI)")
+	filter := fs.String("run", "", "regexp selecting workloads by name")
+	comparePath := fs.String("compare", "", "baseline bench file; exit nonzero on regressions")
+	threshold := fs.Float64("threshold", 0.15, "fractional wall-time regression tolerance for -compare")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var re *regexp.Regexp
+	if *filter != "" {
+		var err error
+		if re, err = regexp.Compile(*filter); err != nil {
+			return fmt.Errorf("bad -run regexp: %w", err)
+		}
+	}
+
+	file := &BenchFile{
+		Schema:    benchSchema,
+		Date:      time.Now().Format("2006-01-02"),
+		GitSHA:    gitSHA(),
+		GoVersion: runtime.Version(),
+		Quick:     *quick,
+	}
+	for _, w := range suite() {
+		if re != nil && !re.MatchString(w.name) {
+			continue
+		}
+		iters := w.fullIters
+		if *quick {
+			iters = w.quickIters
+		}
+		fmt.Fprintf(out, "secbench: %s (%d iterations)...\n", w.name, iters)
+		r, err := runWorkload(w, iters)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "secbench: %-20s %12.6fs/iter  %10d allocs  %6d states  p99 %.6fs\n",
+			r.Name, r.WallSeconds, r.AllocObjects, r.States, r.P99SolveSeconds)
+		file.Workloads = append(file.Workloads, r)
+	}
+	if len(file.Workloads) == 0 {
+		return fmt.Errorf("no workloads matched -run %q", *filter)
+	}
+
+	path := *outPath
+	if path == "" {
+		path = "BENCH_" + file.Date + ".json"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	werr := enc.Encode(file)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	fmt.Fprintf(out, "secbench: wrote %s\n", path)
+
+	if *comparePath != "" {
+		old, err := loadBenchFile(*comparePath)
+		if err != nil {
+			return err
+		}
+		regressions, table := compare(old, file, *threshold)
+		for _, line := range table {
+			fmt.Fprintln(out, "secbench:", line)
+		}
+		if len(regressions) > 0 {
+			return fmt.Errorf("%d wall-time regression(s):\n  %s",
+				len(regressions), strings.Join(regressions, "\n  "))
+		}
+		fmt.Fprintf(out, "secbench: no regressions beyond %.0f%% vs %s\n", 100**threshold, *comparePath)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "secbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCompareDetectsSlowdown feeds compare a synthetic 2x slowdown: it must
+// flag the regressed workload and only that one.
+func TestCompareDetectsSlowdown(t *testing.T) {
+	old := &BenchFile{Schema: benchSchema, Workloads: []WorkloadResult{
+		{Name: "fig5-arch1", WallSeconds: 0.10},
+		{Name: "eq15-steadystate", WallSeconds: 0.001},
+	}}
+	cur := &BenchFile{Schema: benchSchema, Workloads: []WorkloadResult{
+		{Name: "fig5-arch1", WallSeconds: 0.20}, // 2x: regression
+		{Name: "eq15-steadystate", WallSeconds: 0.00101},
+		{Name: "brand-new", WallSeconds: 1}, // no baseline: never a regression
+	}}
+	regressions, table := compare(old, cur, 0.15)
+	if len(regressions) != 1 || !strings.Contains(regressions[0], "fig5-arch1") {
+		t.Fatalf("regressions = %v, want exactly fig5-arch1", regressions)
+	}
+	if len(table) != 3 {
+		t.Fatalf("delta table has %d rows, want 3:\n%s", len(table), strings.Join(table, "\n"))
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	old := &BenchFile{Schema: benchSchema, Workloads: []WorkloadResult{{Name: "w", WallSeconds: 0.10}}}
+	cur := &BenchFile{Schema: benchSchema, Workloads: []WorkloadResult{{Name: "w", WallSeconds: 0.11}}}
+	if regressions, _ := compare(old, cur, 0.15); len(regressions) != 0 {
+		t.Fatalf("10%% slowdown flagged at 15%% threshold: %v", regressions)
+	}
+	// Speedups are never regressions.
+	cur.Workloads[0].WallSeconds = 0.01
+	if regressions, _ := compare(old, cur, 0.15); len(regressions) != 0 {
+		t.Fatalf("speedup flagged: %v", regressions)
+	}
+}
+
+// TestQuickFilteredRunWritesValidFile runs the cheapest real workload and
+// checks the bench file it writes parses and carries sane numbers.
+func TestQuickFilteredRunWritesValidFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var log bytes.Buffer
+	if err := run([]string{"-quick", "-run", "eq15", "-out", out}, &log); err != nil {
+		t.Fatalf("run: %v\n%s", err, log.String())
+	}
+	f, err := loadBenchFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Schema != benchSchema || !f.Quick || f.GoVersion == "" || f.Date == "" {
+		t.Fatalf("bench file header wrong: %+v", f)
+	}
+	if len(f.Workloads) != 1 {
+		t.Fatalf("got %d workloads, want 1 (eq15)", len(f.Workloads))
+	}
+	w := f.Workloads[0]
+	if w.Name != "eq15-steadystate" || w.WallSeconds <= 0 || w.States != 3 || w.Iterations <= 0 {
+		t.Fatalf("workload result wrong: %+v", w)
+	}
+	if w.P99SolveSeconds <= 0 {
+		t.Fatalf("no p99 solve latency recorded: %+v", w)
+	}
+}
+
+// TestCompareFlowFlagsRegression is the end-to-end gate: run the quick eq15
+// workload, halve the recorded wall time into a fake baseline, and require
+// the -compare run against it to fail.
+func TestCompareFlowFlagsRegression(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "new.json")
+	var log bytes.Buffer
+	if err := run([]string{"-quick", "-run", "eq15", "-out", out}, &log); err != nil {
+		t.Fatalf("baseline run: %v\n%s", err, log.String())
+	}
+	f, err := loadBenchFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.Workloads {
+		f.Workloads[i].WallSeconds /= 2 // pretend the past was 2x faster
+	}
+	oldPath := filepath.Join(dir, "old.json")
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(oldPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	log.Reset()
+	err = run([]string{"-quick", "-run", "eq15", "-out", filepath.Join(dir, "new2.json"), "-compare", oldPath}, &log)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("2x slowdown not flagged: err=%v\n%s", err, log.String())
+	}
+}
+
+func TestLoadBenchFileRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBenchFile(path); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+}
+
+func TestRunRejectsBadRegexpAndEmptyMatch(t *testing.T) {
+	var log bytes.Buffer
+	if err := run([]string{"-run", "("}, &log); err == nil {
+		t.Fatal("bad regexp accepted")
+	}
+	if err := run([]string{"-run", "no-such-workload", "-out", filepath.Join(t.TempDir(), "x.json")}, &log); err == nil {
+		t.Fatal("empty workload selection accepted")
+	}
+}

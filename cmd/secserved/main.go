@@ -19,6 +19,11 @@
 //	GET  /v1/healthz                 # liveness (503 while draining)
 //	GET  /v1/metrics                 # job + cache counters
 //	GET  /v1/metrics/pipeline        # aggregated pipeline phase timings
+//	GET  /metrics                    # Prometheus text exposition (counters,
+//	                                 # gauges, per-stage latency histograms)
+//
+// -pprof-http additionally mounts net/http/pprof under /debug/pprof/ on the
+// service port.
 //
 // SIGINT/SIGTERM drain gracefully: submissions are refused, in-flight jobs
 // finish (up to -drain), then the process exits.
@@ -64,6 +69,7 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	maxTransitions := fs.Int("max-transitions", 0, "transition budget cap per job (0 = library default)")
 	maxAttempts := fs.Int("max-attempts", 0, "execution budget per job incl. retries (0 = default 3)")
 	retryBase := fs.Duration("retry-base", 0, "base retry backoff delay (0 = default 100ms)")
+	pprofHTTP := fs.Bool("pprof-http", false, "mount net/http/pprof under /debug/pprof/ on the service port")
 	faults := fs.String("faults", os.Getenv("SECFAULTS"), "fault-injection spec, e.g. \"worker.panic:p=0.1,solve.slow:d=2s\" (default $SECFAULTS)")
 	faultSeed := fs.Int64("fault-seed", 0, "fault-injection RNG seed (default $SECFAULT_SEED or 1)")
 	var ocli obs.CLI
@@ -116,6 +122,7 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		MaxAttempts:     *maxAttempts,
 		RetryBaseDelay:  *retryBase,
 		ExtraSink:       orun.Sink(),
+		EnablePprof:     *pprofHTTP,
 	})
 
 	l, err := net.Listen("tcp", *addr)

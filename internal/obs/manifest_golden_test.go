@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden compares got against testdata/<name>.golden, rewriting under
+// -update — the same idiom internal/report uses.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("%s mismatch:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// goldenManifest drives the collector through its real Emit path with fully
+// synthetic events (fixed durations, no clocks), then pins the
+// run-dependent header fields so the rendered JSON is reproducible.
+func goldenManifest() *Manifest {
+	col := NewCollector()
+	span := func(name string, d time.Duration, attrs ...Attr) {
+		col.Emit(&Event{Kind: EventSpan, Name: name, Duration: d, Attrs: attrs})
+	}
+	span("modular.explore", 40*time.Millisecond,
+		Attr{Key: "states", Kind: KindInt, Int: 729},
+		Attr{Key: "transitions", Kind: KindInt, Int: 6128})
+	// Two phases with identical totals pin the name tiebreak in the sort.
+	for i := 0; i < 3; i++ {
+		span("ctmc.transient", 5*time.Millisecond, Attr{Key: "matvecs", Kind: KindInt, Int: int64(100 + i)})
+	}
+	span("ctmc.steadystate", 15*time.Millisecond)
+	span("csl.check", 15*time.Millisecond)
+	col.Emit(&Event{Kind: EventCounter, Name: "service.cache.result.miss", Value: 2})
+	col.Emit(&Event{Kind: EventCounter, Name: "service.cache.result.hit", Value: 5})
+	col.Emit(&Event{Kind: EventGauge, Name: "service.queue.depth", Value: 1})
+	col.Emit(&Event{Kind: EventHistogram, Name: "service.queue.wait", Value: 0.002})
+	col.Emit(&Event{Kind: EventHistogram, Name: "service.queue.wait", Value: 0.008})
+
+	m := col.Manifest("secanalyze", []string{"-model", "fig5.json"})
+	m.Start = time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	m.WallSeconds = 0.0753
+	m.GoVersion = "go1.24"
+	m.TraceID = strings.Repeat("ab", 16)
+	return m
+}
+
+func TestGoldenManifestJSON(t *testing.T) {
+	var b strings.Builder
+	if err := goldenManifest().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "manifest", b.String())
+}
+
+// TestManifestByteStable renders the same collector state twice and requires
+// identical bytes — the property the golden file certifies once.
+func TestManifestByteStable(t *testing.T) {
+	var a, b strings.Builder
+	if err := goldenManifest().WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := goldenManifest().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("manifest not byte-stable:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}

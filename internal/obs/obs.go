@@ -87,6 +87,11 @@ const (
 	EventProgress
 	// EventLog is a free-form annotation.
 	EventLog
+	// EventHistogram is one observation of a latency-style distribution;
+	// collectors aggregate it into log-bucketed histograms. Span events feed
+	// the same histograms implicitly (duration), so EventHistogram exists for
+	// stages that are not spans — queue waits, cache lookups.
+	EventHistogram
 )
 
 func (k EventKind) String() string {
@@ -99,6 +104,8 @@ func (k EventKind) String() string {
 		return "gauge"
 	case EventProgress:
 		return "progress"
+	case EventHistogram:
+		return "hist"
 	default:
 		return "log"
 	}
@@ -129,10 +136,13 @@ type Sink interface {
 }
 
 // Tracer binds a sink to span-ID allocation. A nil *Tracer is a valid,
-// disabled tracer.
+// disabled tracer. Every tracer carries a process-unique trace ID that
+// Inject stamps onto outgoing requests, so work fanned out to a remote
+// service stitches back into this tracer's span tree.
 type Tracer struct {
-	sink   Sink
-	nextID atomic.Uint64
+	sink    Sink
+	nextID  atomic.Uint64
+	traceID string
 	// captureAllocs enables per-span heap-allocation deltas via
 	// runtime/metrics (cheap, no stop-the-world).
 	captureAllocs bool
@@ -144,7 +154,15 @@ func NewTracer(sink Sink, captureAllocs bool) *Tracer {
 	if sink == nil {
 		return nil
 	}
-	return &Tracer{sink: sink, captureAllocs: captureAllocs}
+	return &Tracer{sink: sink, traceID: newTraceID(), captureAllocs: captureAllocs}
+}
+
+// TraceID returns the tracer's 32-hex-digit trace ID ("" when disabled).
+func (t *Tracer) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	return t.traceID
 }
 
 // defaultTracer is the process-wide fallback used when a context carries no
@@ -208,17 +226,24 @@ func Start(ctx context.Context, name string) (context.Context, *Span) {
 // StartSpan begins a span on this specific tracer, nesting under any span
 // already carried by ctx (regardless of that span's tracer). It serves
 // components that own their tracer instead of the process default — an HTTP
-// server with a per-process collector, a per-job run manifest. A nil tracer
-// returns ctx unchanged and a nil span.
+// server with a per-process collector, a per-job run manifest. A context
+// carrying a remote trace context (WithRemote) but no local span makes the
+// new span a child of the remote span and tags it with the remote trace ID,
+// stitching cross-process traces together. A nil tracer returns ctx
+// unchanged and a nil span.
 func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	if t == nil {
 		return ctx, nil
 	}
 	var parent uint64
+	var remoteTrace string
 	depth := 0
 	if p, ok := ctx.Value(spanKey{}).(*Span); ok && p != nil {
 		parent = p.id
 		depth = p.depth + 1
+	} else if rc, ok := RemoteFrom(ctx); ok {
+		parent = rc.SpanID
+		remoteTrace = rc.TraceID
 	}
 	sp := &Span{
 		tracer: t,
@@ -227,6 +252,9 @@ func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *
 		depth:  depth,
 		name:   name,
 		start:  time.Now(),
+	}
+	if remoteTrace != "" {
+		sp.attrs = append(sp.attrs, Attr{Key: "trace", Kind: KindString, Str: remoteTrace})
 	}
 	if t.captureAllocs {
 		sp.startAllocs = readAllocs()
@@ -238,6 +266,22 @@ func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *
 func FromContext(ctx context.Context) *Span {
 	sp, _ := ctx.Value(spanKey{}).(*Span)
 	return sp
+}
+
+// ID returns the span's ID (0 for a nil span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// TraceID returns the trace ID of the span's tracer ("" for a nil span).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.tracer.TraceID()
 }
 
 // End emits the span event. Safe on a nil span; End may be called at most
@@ -318,6 +362,20 @@ func Gauge(ctx context.Context, name string, v float64) {
 	if tr := resolve(ctx); tr != nil {
 		tr.sink.Emit(&Event{Kind: EventGauge, Time: time.Now(), Name: name, Value: v})
 	}
+}
+
+// Observe emits one histogram observation (collectors aggregate these into
+// log-bucketed latency distributions, alongside the implicit per-span-name
+// duration histograms). Free when observability is disabled.
+func Observe(ctx context.Context, name string, v float64) {
+	if tr := resolve(ctx); tr != nil {
+		tr.sink.Emit(&Event{Kind: EventHistogram, Time: time.Now(), Name: name, Value: v})
+	}
+}
+
+// ObserveDuration emits a duration observation in seconds.
+func ObserveDuration(ctx context.Context, name string, d time.Duration) {
+	Observe(ctx, name, d.Seconds())
 }
 
 // Log emits a free-form annotation. Callers that need formatting should

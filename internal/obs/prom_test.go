@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promCollector builds a collector with one counter, one gauge, one span
+// histogram and one observed histogram, via the same Emit path production
+// uses.
+func promCollector(t *testing.T) *Collector {
+	t.Helper()
+	col := NewCollector()
+	tr := NewTracer(col, false)
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		_, sp := tr.StartSpan(ctx, "ctmc.steadystate.solve")
+		sp.End()
+	}
+	sctx, root := tr.StartSpan(ctx, "service.job")
+	Count(sctx, "service.cache.result.hit", 3)
+	Gauge(sctx, "service.queue.depth", 2)
+	ObserveDuration(sctx, "service.queue.wait", 250*time.Microsecond)
+	root.End()
+	return col
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, promCollector(t), "secserved"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE secserved_service_cache_result_hit_total counter\n",
+		"secserved_service_cache_result_hit_total 3\n",
+		"# TYPE secserved_service_queue_depth gauge\n",
+		"secserved_service_queue_depth 2\n",
+		"# TYPE secserved_stage_duration_seconds histogram\n",
+		`secserved_stage_duration_seconds_bucket{stage="ctmc.steadystate.solve",le="+Inf"} 4`,
+		`secserved_stage_duration_seconds_count{stage="ctmc.steadystate.solve"} 4`,
+		`secserved_stage_duration_seconds_bucket{stage="service.queue.wait",le=`,
+		`secserved_stage_duration_seconds_sum{stage="service.queue.wait"} 0.00025`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Bucket series must be cumulative and end at the total count on +Inf.
+	var last string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, `secserved_stage_duration_seconds_bucket{stage="service.job"`) {
+			last = line
+		}
+	}
+	if !strings.HasSuffix(last, " 1") || !strings.Contains(last, `le="+Inf"`) {
+		t.Errorf("last service.job bucket not cumulative +Inf: %q", last)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	col := promCollector(t)
+	var a, b strings.Builder
+	if err := WritePrometheus(&a, col, "secserved"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, col, "secserved"); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("exposition not byte-stable across renders")
+	}
+}
+
+func TestPromHandler(t *testing.T) {
+	h := PromHandler(promCollector(t), "secserved")
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != PromContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, PromContentType)
+	}
+	if !strings.Contains(rr.Body.String(), "_bucket{") {
+		t.Fatalf("no bucket series in body:\n%s", rr.Body.String())
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("POST", "/metrics", nil))
+	if rr.Code != 405 {
+		t.Fatalf("POST status %d, want 405", rr.Code)
+	}
+}
+
+func TestPromNameSanitisation(t *testing.T) {
+	cases := map[string]string{
+		"service.cache.result.hit": "service_cache_result_hit",
+		"ctmc-solve/iters":         "ctmc_solve_iters",
+		"9lives":                   "_9lives",
+		"ok_name:sub":              "ok_name:sub",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestMetricsHandlerContentType pins the JSON manifest endpoint's header —
+// the Prometheus endpoint serves text, this one must stay application/json.
+func TestMetricsHandlerContentType(t *testing.T) {
+	h := MetricsHandler(NewCollector(), "secserved")
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/metrics/pipeline", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	if !strings.Contains(rr.Body.String(), `"tool": "secserved"`) {
+		t.Fatalf("manifest body wrong:\n%s", rr.Body.String())
+	}
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// TraceparentHeader is the HTTP header carrying cross-process trace context,
+// in the W3C trace-context shape: "00-<32 hex trace id>-<16 hex span id>-01".
+const TraceparentHeader = "traceparent"
+
+// TraceContext identifies the remote end of a distributed trace: the trace
+// ID shared by every span of the trace, and the span under which remote work
+// should nest.
+type TraceContext struct {
+	TraceID string
+	SpanID  uint64
+}
+
+// Valid reports whether the context can be propagated: a 32-hex-digit,
+// non-zero trace ID and a non-zero span ID.
+func (tc TraceContext) Valid() bool {
+	if len(tc.TraceID) != 32 || tc.SpanID == 0 {
+		return false
+	}
+	zero := true
+	for i := 0; i < len(tc.TraceID); i++ {
+		c := tc.TraceID[i]
+		if c != '0' {
+			zero = false
+		}
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return !zero
+}
+
+// Traceparent renders the wire form.
+func (tc TraceContext) Traceparent() string {
+	return fmt.Sprintf("00-%s-%016x-01", tc.TraceID, tc.SpanID)
+}
+
+// ParseTraceparent parses the wire form, accepting any version field and
+// rejecting all-zero IDs (the W3C "invalid" sentinel).
+func ParseTraceparent(s string) (TraceContext, bool) {
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) < 4 || len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 {
+		return TraceContext{}, false
+	}
+	spanRaw, err := hex.DecodeString(parts[2])
+	if err != nil {
+		return TraceContext{}, false
+	}
+	tc := TraceContext{
+		TraceID: strings.ToLower(parts[1]),
+		SpanID:  binary.BigEndian.Uint64(spanRaw),
+	}
+	if !tc.Valid() {
+		return TraceContext{}, false
+	}
+	return tc, true
+}
+
+// traceSeq disambiguates fallback trace IDs generated in the same nanosecond.
+var traceSeq atomic.Uint64
+
+// newTraceID returns 16 random bytes as lowercase hex. crypto/rand failure
+// (exotic) falls back to a time-and-sequence-derived ID: uniqueness within
+// the process is what span stitching needs, unpredictability is not.
+func newTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		binary.BigEndian.PutUint64(b[:8], uint64(time.Now().UnixNano()))
+		binary.BigEndian.PutUint64(b[8:], traceSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+type remoteKey struct{}
+
+// WithRemote returns a context carrying a remote trace context. The next
+// StartSpan without a local parent nests under it (see Tracer.StartSpan).
+func WithRemote(ctx context.Context, tc TraceContext) context.Context {
+	if !tc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteKey{}, tc)
+}
+
+// RemoteFrom extracts the remote trace context carried by ctx, if any.
+func RemoteFrom(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(remoteKey{}).(TraceContext)
+	return tc, ok
+}
+
+// Inject stamps the trace context onto outgoing request headers: the current
+// span's trace and span ID when ctx carries one, else a remote context being
+// forwarded, else nothing. With observability disabled this is a no-op, so
+// un-traced clients send no header.
+func Inject(ctx context.Context, h http.Header) {
+	if sp := FromContext(ctx); sp != nil {
+		h.Set(TraceparentHeader, TraceContext{TraceID: sp.TraceID(), SpanID: sp.ID()}.Traceparent())
+		return
+	}
+	if tc, ok := RemoteFrom(ctx); ok {
+		h.Set(TraceparentHeader, tc.Traceparent())
+	}
+}
+
+// Extract parses the trace context from incoming request headers.
+func Extract(h http.Header) (TraceContext, bool) {
+	return ParseTraceparent(h.Get(TraceparentHeader))
+}

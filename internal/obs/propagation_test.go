@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceID: "0af7651916cd43dd8448eb211c80319c", SpanID: 0xb7ad6b7169203331}
+	wire := tc.Traceparent()
+	if wire != "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01" {
+		t.Fatalf("wire form = %q", wire)
+	}
+	got, ok := ParseTraceparent(wire)
+	if !ok || got != tc {
+		t.Fatalf("round trip: %+v ok=%v", got, ok)
+	}
+}
+
+func TestParseTraceparentRejectsInvalid(t *testing.T) {
+	bad := []string{
+		"",
+		"garbage",
+		"00-short-b7ad6b7169203331-01",
+		"00-0af7651916cd43dd8448eb211c80319c-short-01",
+		"00-0af7651916cd43dd8448eb211c80319c-zzzzzzzzzzzzzzzz-01", // non-hex span
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01", // all-zero trace
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01", // all-zero span
+		"00-0AF7651916CD43DD8448EB211C80319X-b7ad6b7169203331-01", // non-hex trace
+	}
+	for _, s := range bad {
+		if tc, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent(%q) accepted: %+v", s, tc)
+		}
+	}
+	// Future versions and vendor suffixes still parse (W3C forward compat).
+	if _, ok := ParseTraceparent("cc-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra"); !ok {
+		t.Error("future-version traceparent rejected")
+	}
+}
+
+func TestNewTraceIDShape(t *testing.T) {
+	a, b := newTraceID(), newTraceID()
+	if len(a) != 32 || a == b {
+		t.Fatalf("trace IDs: %q %q", a, b)
+	}
+	if !(TraceContext{TraceID: a, SpanID: 1}).Valid() {
+		t.Fatalf("generated trace ID %q not valid", a)
+	}
+}
+
+func TestInjectFromLocalSpan(t *testing.T) {
+	sink := &memorySink{}
+	tr := NewTracer(sink, false)
+	ctx, sp := tr.StartSpan(context.Background(), "client.request")
+	h := http.Header{}
+	Inject(ctx, h)
+	sp.End()
+
+	got, ok := Extract(h)
+	if !ok {
+		t.Fatalf("no traceparent injected: %v", h)
+	}
+	if got.TraceID != tr.TraceID() || got.SpanID != sp.ID() {
+		t.Fatalf("extracted %+v, want trace %s span %d", got, tr.TraceID(), sp.ID())
+	}
+}
+
+func TestInjectDisabledSendsNothing(t *testing.T) {
+	SetDefault(nil)
+	h := http.Header{}
+	Inject(context.Background(), h)
+	if v := h.Get(TraceparentHeader); v != "" {
+		t.Fatalf("disabled Inject set header %q", v)
+	}
+}
+
+func TestInjectForwardsRemote(t *testing.T) {
+	tc := TraceContext{TraceID: strings.Repeat("ab", 16), SpanID: 42}
+	ctx := WithRemote(context.Background(), tc)
+	h := http.Header{}
+	Inject(ctx, h)
+	if got, ok := Extract(h); !ok || got != tc {
+		t.Fatalf("remote context not forwarded: %+v ok=%v", got, ok)
+	}
+}
+
+// TestStartSpanAdoptsRemoteParent is the server half of trace stitching: a
+// context carrying only a remote trace context makes the next span a child
+// of the remote span and tags it with the remote trace ID.
+func TestStartSpanAdoptsRemoteParent(t *testing.T) {
+	sink := &memorySink{}
+	tr := NewTracer(sink, false)
+	remote := TraceContext{TraceID: strings.Repeat("cd", 16), SpanID: 99}
+	ctx := WithRemote(context.Background(), remote)
+
+	cctx, sp := tr.StartSpan(ctx, "http.request")
+	_, child := tr.StartSpan(cctx, "service.job")
+	child.End()
+	sp.End()
+
+	spans := sink.byKind(EventSpan)
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	byName := map[string]Event{}
+	for _, e := range spans {
+		byName[e.Name] = e
+	}
+	root := byName["http.request"]
+	if root.Parent != remote.SpanID {
+		t.Errorf("root parent = %d, want remote span %d", root.Parent, remote.SpanID)
+	}
+	var traceAttr string
+	for _, a := range root.Attrs {
+		if a.Key == "trace" {
+			traceAttr = a.Str
+		}
+	}
+	if traceAttr != remote.TraceID {
+		t.Errorf("root trace attr = %q, want %q", traceAttr, remote.TraceID)
+	}
+	// The local child nests under the adopted root, not the remote span.
+	if byName["service.job"].Parent != root.ID {
+		t.Errorf("child parent = %d, want %d", byName["service.job"].Parent, root.ID)
+	}
+}
+
+func TestWithRemoteRejectsInvalid(t *testing.T) {
+	ctx := WithRemote(context.Background(), TraceContext{TraceID: "nope", SpanID: 1})
+	if _, ok := RemoteFrom(ctx); ok {
+		t.Fatal("invalid trace context stored")
+	}
+}

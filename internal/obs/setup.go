@@ -41,6 +41,7 @@ type Run struct {
 	trace     *os.File
 	traceSink *JSONLSink
 	sinks     MultiSink
+	tracer    *Tracer
 	active    bool
 }
 
@@ -89,7 +90,8 @@ func StartRun(opts RunOptions) (*Run, error) {
 	}
 	r.active = true
 	r.sinks = sinks
-	SetDefault(NewTracer(sinks, opts.CaptureAllocs))
+	r.tracer = NewTracer(sinks, opts.CaptureAllocs)
+	SetDefault(r.tracer)
 	return r, nil
 }
 
@@ -107,9 +109,13 @@ func (r *Run) Sink() Sink {
 	return r.sinks
 }
 
-// Manifest snapshots the collector (see Collector.Manifest).
+// Manifest snapshots the collector (see Collector.Manifest), stamping the
+// run tracer's trace ID so the offline manifest correlates with any server
+// side manifests the run's requests produced.
 func (r *Run) Manifest(tool string, args []string) *Manifest {
-	return r.Collector.Manifest(tool, args)
+	m := r.Collector.Manifest(tool, args)
+	m.TraceID = r.tracer.TraceID()
+	return m
 }
 
 // EmitManifest appends the manifest as a final {"kind":"manifest",...}

@@ -54,7 +54,7 @@ func (s *JSONLSink) Emit(e *Event) {
 		je.Depth = e.Depth
 		je.DurUS = float64(e.Duration) / float64(time.Microsecond)
 		je.Allocs = e.Allocs
-	case EventCounter, EventGauge:
+	case EventCounter, EventGauge, EventHistogram:
 		v := e.Value
 		je.Value = &v
 	case EventProgress:
@@ -94,6 +94,8 @@ func DecodeJSONL(line []byte) (*Event, error) {
 		e.Kind = EventCounter
 	case "gauge":
 		e.Kind = EventGauge
+	case "hist":
+		e.Kind = EventHistogram
 	case "progress":
 		e.Kind = EventProgress
 	case "log":
@@ -161,6 +163,8 @@ func (s *TextSink) Emit(e *Event) {
 		fmt.Fprintf(s.w, "counter %s += %g\n", e.Name, e.Value)
 	case EventGauge:
 		fmt.Fprintf(s.w, "gauge %s = %g\n", e.Name, e.Value)
+	case EventHistogram:
+		fmt.Fprintf(s.w, "hist %s <- %g\n", e.Name, e.Value)
 	case EventProgress:
 		if e.Total > 0 {
 			fmt.Fprintf(s.w, "progress %s %d/%d\n", e.Name, e.Done, e.Total)

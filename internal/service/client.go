@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Client talks to a secserved instance: submit, poll, metrics. The zero
@@ -49,6 +51,9 @@ type apiError struct {
 }
 
 func (e *apiError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("service: server returned %d: %s (retry after %ds)", e.Status, e.Msg, e.RetryAfter)
+	}
 	return fmt.Sprintf("service: server returned %d: %s", e.Status, e.Msg)
 }
 
@@ -105,6 +110,14 @@ func (c *Client) doOnce(ctx context.Context, method, path string, data []byte, o
 	if data != nil {
 		rd = bytes.NewReader(data)
 	}
+	// The request runs under its own span and carries the trace context as a
+	// traceparent header, so the server's request and job spans stitch into
+	// this client's trace. With observability disabled both are free and no
+	// header is sent.
+	ctx, sp := obs.Start(ctx, "service.client.request")
+	sp.Str("method", method)
+	sp.Str("path", path)
+	defer sp.End()
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
 		return err
@@ -112,6 +125,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, data []byte, o
 	if data != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	obs.Inject(ctx, req.Header)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return err

@@ -113,6 +113,10 @@ type Job struct {
 	id      string
 	req     *AnalysisRequest
 	created time.Time
+	// trace is the client's distributed-trace context when the submission
+	// carried a traceparent header (zero otherwise): job spans parent to it
+	// and the job manifest is stamped with its trace ID.
+	trace obs.TraceContext
 
 	// collector and recorder accumulate spans and retry/fallback attempts
 	// across every execution of the job, so the manifest of a retried job

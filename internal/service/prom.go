@@ -1,0 +1,45 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// handleProm serves GET /metrics in the Prometheus text exposition format:
+// the server's own worker-pool/job/engine counters followed by the
+// collector's aggregate — obs counters, gauges and per-stage latency
+// histograms (solve, transform, cache lookups, queue wait) — so one scrape
+// covers the whole service.
+func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.PromContentType)
+	m := s.Metrics()
+	counter := func(name string, v int64, help string) {
+		fmt.Fprintf(w, "# HELP secserved_%s %s\n# TYPE secserved_%s counter\nsecserved_%s %d\n",
+			name, help, name, name, v)
+	}
+	gauge := func(name string, v float64, help string) {
+		fmt.Fprintf(w, "# HELP secserved_%s %s\n# TYPE secserved_%s gauge\nsecserved_%s %g\n",
+			name, help, name, name, v)
+	}
+	gauge("uptime_seconds", m.UptimeSeconds, "Seconds since the server started.")
+	gauge("workers", float64(m.Workers), "Size of the analysis worker pool.")
+	gauge("queue_depth", float64(m.QueueDepth), "Jobs accepted but not yet running.")
+	gauge("queue_capacity", float64(m.QueueCapacity), "Bound on the job queue.")
+	gauge("jobs_running", float64(m.JobsRunning), "Jobs currently executing.")
+	gauge("retries_pending", float64(m.RetriesPending), "Jobs waiting out a retry backoff.")
+	counter("jobs_accepted_total", m.JobsAccepted, "Jobs accepted into the queue.")
+	counter("jobs_completed_total", m.JobsCompleted, "Jobs finished successfully.")
+	counter("jobs_failed_total", m.JobsFailed, "Jobs finished in error.")
+	counter("jobs_rejected_total", m.JobsRejected, "Submissions rejected by a full queue.")
+	counter("jobs_retried_total", m.JobsRetried, "Transient-failure re-enqueues.")
+	counter("panics_recovered_total", m.PanicsRecovered, "Solve-path panics converted to job failures.")
+	counter("engine_solves_total", m.Engine.Solves, "Full pipeline executions.")
+	counter("engine_result_cache_hits_total", m.Engine.ResultCache.Hits, "Outcomes served from the result cache.")
+	counter("engine_result_cache_misses_total", m.Engine.ResultCache.Misses, "Outcomes computed from scratch.")
+	counter("engine_model_cache_hits_total", m.Engine.ModelCache.Hits, "Prepared models served from cache.")
+	counter("engine_model_cache_misses_total", m.Engine.ModelCache.Misses, "Prepared models built from scratch.")
+	counter("engine_singleflight_shared_total", m.Engine.Shared, "Jobs that joined an identical in-flight solve.")
+	_ = obs.WritePrometheus(w, s.collector, "secserved")
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"runtime/debug"
 	"strconv"
@@ -68,6 +69,10 @@ type Config struct {
 	// server emits (per-request and per-job) — secserved passes the sinks
 	// of its -trace/-progress session here.
 	ExtraSink obs.Sink
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the service
+	// mux. Off by default: profiling endpoints expose heap contents and
+	// should only be reachable when deliberately enabled.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -183,6 +188,14 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.Handle("GET /v1/metrics/pipeline", obs.MetricsHandler(s.collector, "secserved"))
+	s.mux.HandleFunc("GET /metrics", s.handleProm)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -196,10 +209,16 @@ func (s *Server) Engine() *Engine { return s.engine }
 // Handler returns the instrumented HTTP handler: every request runs under
 // an "http.request" span (method, path, status, duration) emitted to the
 // server's collector and any extra sink — the service's structured request
-// log.
+// log. A request carrying a traceparent header has its trace context
+// adopted: the request span (and the job spans underneath, see runJob)
+// parent to the client's span, stitching client and server traces together.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		ctx, sp := s.tracer.StartSpan(r.Context(), "http.request")
+		rctx := r.Context()
+		if tc, ok := obs.Extract(r.Header); ok {
+			rctx = obs.WithRemote(rctx, tc)
+		}
+		ctx, sp := s.tracer.StartSpan(rctx, "http.request")
 		sp.Str("method", r.Method)
 		sp.Str("path", r.URL.Path)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
@@ -331,10 +350,18 @@ func (s *Server) runJob(job *Job) {
 		sinks = append(sinks, s.cfg.ExtraSink)
 	}
 	tr := obs.NewTracer(sinks, false)
+	if job.trace.Valid() {
+		ctx = obs.WithRemote(ctx, job.trace)
+	}
 	ctx, sp := tr.StartSpan(ctx, "service.job")
 	sp.Str("job", job.id)
 	sp.Int("attempt", int64(attempt))
 	ctx = obs.WithAttempts(ctx, job.recorder)
+	if attempt == 1 {
+		// Queue wait is submission-to-first-execution; retries wait on their
+		// backoff timers, which the attempt history already records.
+		obs.ObserveDuration(ctx, "service.queue.wait", time.Since(job.created))
+	}
 
 	s.running.Add(1)
 	start := time.Now()
@@ -374,6 +401,9 @@ func (s *Server) runJob(job *Job) {
 func (s *Server) finishJob(job *Job, out *Outcome, cache CacheState, err error) {
 	m := job.collector.Manifest("secserved", []string{"job:" + job.id})
 	m.Attempts = job.recorder.Attempts()
+	if job.trace.Valid() {
+		m.TraceID = job.trace.TraceID
+	}
 	if !job.finish(out, cache, err, m) {
 		return // already terminal: a panic raced a normal finish
 	}
@@ -479,6 +509,13 @@ func (s *Server) retire(job *Job) {
 // programmatic equivalent of POST /v1/analyses (the HTTP handler wraps
 // it); tests and embedded uses drive it directly.
 func (s *Server) Submit(req *AnalysisRequest) (*Job, error) {
+	return s.SubmitTrace(req, obs.TraceContext{})
+}
+
+// SubmitTrace is Submit with a client trace context to stitch the job's
+// spans and manifest into (the zero TraceContext means none). The trace is
+// bound at enqueue time so the worker cannot race the submission.
+func (s *Server) SubmitTrace(req *AnalysisRequest, tc obs.TraceContext) (*Job, error) {
 	if err := s.engine.Validate(req); err != nil {
 		return nil, err
 	}
@@ -490,6 +527,9 @@ func (s *Server) Submit(req *AnalysisRequest) (*Job, error) {
 	s.seq++
 	id := fmt.Sprintf("a%06d-%08x", s.seq, time.Now().UnixNano()&0xffffffff)
 	job := newJob(id, req)
+	if tc.Valid() {
+		job.trace = tc
+	}
 	select {
 	case s.queue <- job:
 	default:
@@ -525,7 +565,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	job, err := s.Submit(&req)
+	tc, ok := obs.RemoteFrom(r.Context())
+	if !ok {
+		tc, _ = obs.Extract(r.Header) // direct mux use, no Handler wrapper
+	}
+	job, err := s.SubmitTrace(&req, tc)
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrDraining):
