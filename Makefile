@@ -4,21 +4,32 @@
 
 GO ?= go
 
-.PHONY: all build vet test race chaos explore check cover bench bench-smoke examples experiments serve fuzz clean
+.PHONY: all build vet lint test race chaos explore check cover bench bench-smoke examples experiments serve fuzz clean
 
 all: check
 
-# check is the full local gate: compile, static analysis, unit tests, the
-# race detector over the concurrent paths (parallel grids, sinks), the
-# chaos suite (fault injection, retries, solver fallback) under -race, and
-# a design-space exploration smoke run.
-check: build vet test race chaos explore
+# check is the full local gate: compile, static analysis (vet + staticcheck
+# when installed), unit tests, the race detector over the concurrent paths
+# (parallel grids, sinks), the chaos suite (fault injection, retries, solver
+# fallback) under -race, and a design-space exploration smoke run.
+check: build vet lint test race chaos explore
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs staticcheck when it is on PATH or in GOPATH/bin; otherwise it is
+# a no-op so the gate works on machines without it (CI installs it).
+STATICCHECK ?= $(or $(shell command -v staticcheck 2>/dev/null),$(shell $(GO) env GOPATH)/bin/staticcheck)
+lint:
+	@if [ -x "$(STATICCHECK)" ]; then \
+		echo "$(STATICCHECK) ./..."; \
+		"$(STATICCHECK)" ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 test:
 	$(GO) test ./...

@@ -10,6 +10,7 @@
 //	secbench                        # full suite -> BENCH_<date>.json
 //	secbench -quick                 # CI smoke: one iteration per workload
 //	secbench -run 'fig5|service'    # filter workloads by regexp
+//	secbench -cpu auto              # CPU-scaling sweep (GOMAXPROCS 1,2,N)
 //	secbench -compare old.json      # exit nonzero on >15% wall-time regressions
 //	secbench -compare old.json -threshold 0.25
 //
@@ -29,6 +30,7 @@ import (
 	"regexp"
 	"runtime"
 	"runtime/metrics"
+	"strconv"
 	"strings"
 	"time"
 
@@ -56,14 +58,23 @@ type WorkloadResult struct {
 	P99SolveSeconds float64 `json:"p99_solve_seconds,omitempty"`
 }
 
+// CPUScalingResult is one GOMAXPROCS level of the -cpu scaling workload.
+// Speedup is relative to the first (lowest) level measured in the same run.
+type CPUScalingResult struct {
+	Procs       int     `json:"procs"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Speedup     float64 `json:"speedup"`
+}
+
 // BenchFile is the on-disk record of one secbench run.
 type BenchFile struct {
-	Schema    string           `json:"schema"`
-	Date      string           `json:"date"`
-	GitSHA    string           `json:"git_sha"`
-	GoVersion string           `json:"go_version"`
-	Quick     bool             `json:"quick,omitempty"`
-	Workloads []WorkloadResult `json:"workloads"`
+	Schema     string             `json:"schema"`
+	Date       string             `json:"date"`
+	GitSHA     string             `json:"git_sha"`
+	GoVersion  string             `json:"go_version"`
+	Quick      bool               `json:"quick,omitempty"`
+	Workloads  []WorkloadResult   `json:"workloads"`
+	CPUScaling []CPUScalingResult `json:"cpu_scaling,omitempty"`
 }
 
 // workload is one suite entry. setup builds the per-iteration function
@@ -220,6 +231,100 @@ func suite() []workload {
 	}
 }
 
+// parseCPULevels parses the -cpu spec: a comma-separated list of GOMAXPROCS
+// levels, or "auto" for 1, 2 and every core (deduplicated, ascending).
+func parseCPULevels(spec string, numCPU int) ([]int, error) {
+	if spec == "auto" {
+		levels := []int{1}
+		if numCPU >= 2 {
+			levels = append(levels, 2)
+		}
+		if numCPU > 2 {
+			levels = append(levels, numCPU)
+		}
+		return levels, nil
+	}
+	var levels []int
+	for _, part := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -cpu level %q (want positive integers or \"auto\")", part)
+		}
+		levels = append(levels, n)
+	}
+	return levels, nil
+}
+
+// cpuScalingRequests is the scaling workload: every single-cell analysis
+// across the three case-study architectures and the full CIA × protection
+// grid — 27 independent solves with no shared result-cache entry, so the
+// batch parallelises cleanly.
+func cpuScalingRequests() []*service.AnalysisRequest {
+	var reqs []*service.AnalysisRequest
+	for b := 1; b <= 3; b++ {
+		for _, cat := range []string{"c", "i", "a"} {
+			for _, prot := range []string{"unencrypted", "cmac128", "aes128"} {
+				reqs = append(reqs, &service.AnalysisRequest{
+					Architecture:    fmt.Sprintf("builtin:%d", b),
+					Category:        cat,
+					Protection:      prot,
+					SkipSteadyState: true,
+				})
+			}
+		}
+	}
+	return reqs
+}
+
+// runCPUScaling measures the scaling workload at each GOMAXPROCS level: a
+// fresh engine per level (so no level inherits a warm cache), with as many
+// submitting goroutines as processors.
+func runCPUScaling(levels []int, out io.Writer) ([]CPUScalingResult, error) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	results := make([]CPUScalingResult, 0, len(levels))
+	for _, level := range levels {
+		runtime.GOMAXPROCS(level)
+		e := service.NewEngine(service.EngineOptions{})
+		reqs := cpuScalingRequests()
+		work := make(chan *service.AnalysisRequest, len(reqs))
+		for _, r := range reqs {
+			work <- r
+		}
+		close(work)
+
+		errs := make(chan error, level)
+		start := time.Now()
+		for i := 0; i < level; i++ {
+			go func() {
+				for r := range work {
+					if _, _, err := e.Run(context.Background(), r); err != nil {
+						errs <- err
+						return
+					}
+				}
+				errs <- nil
+			}()
+		}
+		for i := 0; i < level; i++ {
+			if err := <-errs; err != nil {
+				return nil, fmt.Errorf("cpu-scaling (procs=%d): %w", level, err)
+			}
+		}
+		wall := time.Since(start)
+
+		r := CPUScalingResult{Procs: level, WallSeconds: wall.Seconds(), Speedup: 1}
+		if len(results) > 0 && wall.Seconds() > 0 {
+			r.Speedup = results[0].WallSeconds / wall.Seconds()
+		}
+		results = append(results, r)
+		fmt.Fprintf(out, "secbench: cpu-scaling %2d procs  %12.6fs  speedup %.2fx\n",
+			r.Procs, r.WallSeconds, r.Speedup)
+	}
+	return results, nil
+}
+
 func maxStates(out *service.Outcome) int {
 	states := 0
 	for _, r := range out.Results {
@@ -337,6 +442,7 @@ func run(args []string, out io.Writer) error {
 	filter := fs.String("run", "", "regexp selecting workloads by name")
 	comparePath := fs.String("compare", "", "baseline bench file; exit nonzero on regressions")
 	threshold := fs.Float64("threshold", 0.15, "fractional wall-time regression tolerance for -compare")
+	cpuSpec := fs.String("cpu", "", "GOMAXPROCS levels for the CPU-scaling workload, e.g. \"1,2,8\" or \"auto\" (empty = skip)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -373,8 +479,18 @@ func run(args []string, out io.Writer) error {
 			r.Name, r.WallSeconds, r.AllocObjects, r.States, r.P99SolveSeconds)
 		file.Workloads = append(file.Workloads, r)
 	}
-	if len(file.Workloads) == 0 {
+	if len(file.Workloads) == 0 && *cpuSpec == "" {
 		return fmt.Errorf("no workloads matched -run %q", *filter)
+	}
+
+	if *cpuSpec != "" {
+		levels, err := parseCPULevels(*cpuSpec, runtime.NumCPU())
+		if err != nil {
+			return err
+		}
+		if file.CPUScaling, err = runCPUScaling(levels, out); err != nil {
+			return err
+		}
 	}
 
 	path := *outPath

@@ -23,7 +23,11 @@
 //	                                 # gauges, per-stage latency histograms)
 //
 // -pprof-http additionally mounts net/http/pprof under /debug/pprof/ on the
-// service port.
+// service port; -flight-http likewise exposes the flight-recorder ring at
+// GET /debug/flight. -slowlog FILE appends a wide-event JSONL record for
+// every analysis that crossed the slow threshold (-slow-threshold, or
+// auto-derived from the live p99 when unset) or walked the solver fallback
+// chain.
 //
 // SIGINT/SIGTERM drain gracefully: submissions are refused, in-flight jobs
 // finish (up to -drain), then the process exits.
@@ -70,6 +74,10 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	maxAttempts := fs.Int("max-attempts", 0, "execution budget per job incl. retries (0 = default 3)")
 	retryBase := fs.Duration("retry-base", 0, "base retry backoff delay (0 = default 100ms)")
 	pprofHTTP := fs.Bool("pprof-http", false, "mount net/http/pprof under /debug/pprof/ on the service port")
+	flightSize := fs.Int("flight-size", 0, "flight-recorder ring size in events (0 = default 256, negative = disabled)")
+	flightHTTP := fs.Bool("flight-http", false, "mount the flight-recorder dump at GET /debug/flight on the service port")
+	slowLogPath := fs.String("slowlog", "", "append wide-event JSONL records for slow/fallback analyses to this file (empty = disabled)")
+	slowThreshold := fs.Duration("slow-threshold", 0, "slow-analysis latency threshold (0 = auto-derive from live p99)")
 	faults := fs.String("faults", os.Getenv("SECFAULTS"), "fault-injection spec, e.g. \"worker.panic:p=0.1,solve.slow:d=2s\" (default $SECFAULTS)")
 	faultSeed := fs.Int64("fault-seed", 0, "fault-injection RNG seed (default $SECFAULT_SEED or 1)")
 	var ocli obs.CLI
@@ -109,20 +117,34 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		}
 	}()
 
+	var slowLog io.Writer
+	if *slowLogPath != "" {
+		f, ferr := os.OpenFile(*slowLogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if ferr != nil {
+			return fmt.Errorf("slowlog: %w", ferr)
+		}
+		defer f.Close()
+		slowLog = f
+	}
+
 	srv := service.New(service.Config{
-		Addr:            *addr,
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		ModelCacheSize:  *modelCache,
-		ResultCacheSize: *resultCache,
-		ModelsDir:       *models,
-		JobTimeout:      *jobTimeout,
-		MaxStates:       *maxStates,
-		MaxTransitions:  *maxTransitions,
-		MaxAttempts:     *maxAttempts,
-		RetryBaseDelay:  *retryBase,
-		ExtraSink:       orun.Sink(),
-		EnablePprof:     *pprofHTTP,
+		Addr:             *addr,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		ModelCacheSize:   *modelCache,
+		ResultCacheSize:  *resultCache,
+		ModelsDir:        *models,
+		JobTimeout:       *jobTimeout,
+		MaxStates:        *maxStates,
+		MaxTransitions:   *maxTransitions,
+		MaxAttempts:      *maxAttempts,
+		RetryBaseDelay:   *retryBase,
+		ExtraSink:        orun.Sink(),
+		EnablePprof:      *pprofHTTP,
+		FlightSize:       *flightSize,
+		EnableFlightHTTP: *flightHTTP,
+		SlowLog:          slowLog,
+		SlowThreshold:    *slowThreshold,
 	})
 
 	l, err := net.Listen("tcp", *addr)

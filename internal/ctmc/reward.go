@@ -131,6 +131,7 @@ func (c *Chain) reachabilityRewardAll(ctx context.Context, reward linalg.Vector,
 			last := rstats.Attempts[n-1]
 			sp.Int("iterations", int64(last.Iterations))
 			sp.Float("residual", last.Residual)
+			sp.Int("trace_points", int64(len(last.Trace)))
 		}
 		if err != nil {
 			return nil, fmt.Errorf("ctmc: reachability-reward solve: %w", err)

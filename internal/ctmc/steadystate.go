@@ -209,6 +209,7 @@ func (c *Chain) stationaryIterative(ctx context.Context, set []int, idx map[int]
 		last := rstats.Attempts[n-1]
 		sp.Int("iterations", int64(last.Iterations))
 		sp.Float("residual", last.Residual)
+		sp.Int("trace_points", int64(len(last.Trace)))
 	}
 	if err != nil {
 		// On exhausted fallback chains err still unwraps to the final

@@ -92,10 +92,11 @@ func (c *Chain) UnboundedReachabilityVectorContext(ctx context.Context, target [
 		return nil, err
 	}
 	var stats linalg.IterStats
-	out, err := emb.Reachability(target, linalg.IterOpts{Stats: &stats})
+	out, err := emb.Reachability(target, linalg.IterOpts{Stats: &stats, CollectTrace: true})
 	sp.Int("states", int64(c.N()))
 	sp.Int("iterations", int64(stats.Iterations))
 	sp.Float("residual", stats.Residual)
+	sp.Int("trace_points", int64(len(stats.Trace)))
 	return out, err
 }
 

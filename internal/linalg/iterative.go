@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
 )
 
 // ErrNoConvergence is returned when an iterative solver exhausts its
@@ -44,6 +46,10 @@ type IterStats struct {
 	Residual float64
 	// Converged records whether the tolerance was met.
 	Converged bool
+	// Trace is the sampled convergence curve (log-spaced, so a 10k-iteration
+	// solve yields ~50 points), filled when IterOpts.CollectTrace is set.
+	// The final iteration is always included.
+	Trace []obs.ResidualPoint
 }
 
 // IterOpts configures the iterative solvers. The zero value selects the
@@ -58,6 +64,10 @@ type IterOpts struct {
 	// Stats, when non-nil, receives iteration count and final residual —
 	// the instrumentation hook used by internal/ctmc spans.
 	Stats *IterStats
+	// CollectTrace samples the per-iteration residual into Stats.Trace
+	// (requires Stats). Sampling is log-spaced: the interval grows ~25% per
+	// sample, bounding the trace at O(log MaxIter) points.
+	CollectTrace bool
 }
 
 func (o IterOpts) withDefaults() IterOpts {
@@ -84,6 +94,7 @@ func Jacobi(a *CSR, b Vector, opts IterOpts) (Vector, error) {
 	}
 	x := NewVector(n)
 	next := NewVector(n)
+	smp := opts.sampler()
 	var lastDelta float64
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		for i := 0; i < n; i++ {
@@ -99,23 +110,59 @@ func Jacobi(a *CSR, b Vector, opts IterOpts) (Vector, error) {
 		d := x.MaxDiff(next)
 		x, next = next, x
 		lastDelta = d
+		smp.observe(iter+1, d)
 		if d <= opts.Tol*(1+x.NormInf()) {
 			if !x.AllFinite() {
 				return nil, ErrSingular
 			}
-			opts.report(iter+1, d, true)
+			opts.report(iter+1, d, true, smp)
 			return x, nil
 		}
 	}
-	opts.report(opts.MaxIter, lastDelta, false)
+	opts.report(opts.MaxIter, lastDelta, false, smp)
 	return nil, &ConvergenceError{Method: "jacobi", Iterations: opts.MaxIter, Residual: lastDelta, Tol: opts.Tol}
 }
 
-// report fills the caller-provided stats block, if any.
-func (o IterOpts) report(iterations int, residual float64, converged bool) {
-	if o.Stats != nil {
-		*o.Stats = IterStats{Iterations: iterations, Residual: residual, Converged: converged}
+// report fills the caller-provided stats block, if any, attaching the
+// sampled convergence curve (with the final iteration appended if the
+// sampler's stride skipped it).
+func (o IterOpts) report(iterations int, residual float64, converged bool, smp *residualSampler) {
+	if o.Stats == nil {
+		return
 	}
+	st := IterStats{Iterations: iterations, Residual: residual, Converged: converged}
+	if smp != nil {
+		if n := len(smp.pts); n == 0 || smp.pts[n-1].Iteration != iterations {
+			smp.pts = append(smp.pts, obs.ResidualPoint{Iteration: iterations, Residual: residual})
+		}
+		st.Trace = smp.pts
+	}
+	*o.Stats = st
+}
+
+// sampler returns a residual sampler when tracing is requested, else nil (a
+// nil sampler's observe is a no-op, so the solver loops stay branch-cheap).
+func (o IterOpts) sampler() *residualSampler {
+	if !o.CollectTrace || o.Stats == nil {
+		return nil
+	}
+	return &residualSampler{}
+}
+
+// residualSampler records (iteration, residual) pairs at log-spaced
+// intervals: each recorded sample pushes the next sample point ~25% further
+// out, so the trace grows with the log of the iteration count.
+type residualSampler struct {
+	pts  []obs.ResidualPoint
+	next int // next 1-based iteration to record
+}
+
+func (s *residualSampler) observe(iter int, residual float64) {
+	if s == nil || iter < s.next {
+		return
+	}
+	s.pts = append(s.pts, obs.ResidualPoint{Iteration: iter, Residual: residual})
+	s.next = iter + iter/4 + 1
 }
 
 // GaussSeidel solves A·x = b for square CSR A with nonzero diagonal using
@@ -132,6 +179,7 @@ func GaussSeidel(a *CSR, b Vector, opts IterOpts) (Vector, error) {
 		return nil, err
 	}
 	x := NewVector(n)
+	smp := opts.sampler()
 	var lastDelta float64
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		var maxDelta, maxAbs float64
@@ -153,15 +201,16 @@ func GaussSeidel(a *CSR, b Vector, opts IterOpts) (Vector, error) {
 			x[i] = nv
 		}
 		lastDelta = maxDelta
+		smp.observe(iter+1, maxDelta)
 		if maxDelta <= opts.Tol*(1+maxAbs) {
 			if !x.AllFinite() {
 				return nil, ErrSingular
 			}
-			opts.report(iter+1, maxDelta, true)
+			opts.report(iter+1, maxDelta, true, smp)
 			return x, nil
 		}
 	}
-	opts.report(opts.MaxIter, lastDelta, false)
+	opts.report(opts.MaxIter, lastDelta, false, smp)
 	return nil, &ConvergenceError{Method: "gauss-seidel", Iterations: opts.MaxIter, Residual: lastDelta, Tol: opts.Tol}
 }
 
@@ -191,6 +240,7 @@ func PowerStationary(p *CSR, opts IterOpts) (Vector, error) {
 	x := NewVector(n)
 	x.Fill(1 / float64(n))
 	next := NewVector(n)
+	smp := opts.sampler()
 	var lastDelta float64
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		if _, err := p.VecMul(x, next); err != nil {
@@ -200,14 +250,15 @@ func PowerStationary(p *CSR, opts IterOpts) (Vector, error) {
 		d := x.MaxDiff(next)
 		x, next = next, x
 		lastDelta = d
+		smp.observe(iter+1, d)
 		if d < opts.Tol {
 			if !x.AllFinite() {
 				return nil, ErrSingular
 			}
-			opts.report(iter+1, d, true)
+			opts.report(iter+1, d, true, smp)
 			return x, nil
 		}
 	}
-	opts.report(opts.MaxIter, lastDelta, false)
+	opts.report(opts.MaxIter, lastDelta, false, smp)
 	return nil, &ConvergenceError{Method: "power", Iterations: opts.MaxIter, Residual: lastDelta, Tol: opts.Tol}
 }

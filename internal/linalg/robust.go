@@ -67,6 +67,12 @@ type SolveAttempt struct {
 	// for the dense method).
 	Iterations int
 	Residual   float64
+	// Trace is the attempt's sampled convergence curve (empty for the dense
+	// method and for injected failures, which never run a solver).
+	Trace []obs.ResidualPoint
+	// Stagnation is the detected residual plateau, when the attempt failed
+	// and its trace shows one.
+	Stagnation *Stagnation
 	// Err is the step's failure, nil on success.
 	Err error
 	// Injected marks a failure synthesised by fault injection
@@ -123,6 +129,10 @@ func RobustSolve(ctx context.Context, a *CSR, b Vector, opts RobustOpts) (Vector
 		}
 		var stats IterStats
 		stepOpts.Stats = &stats
+		// Convergence curves are always collected here: the chain only runs
+		// once per analysis and the log-spaced trace is O(log MaxIter) points,
+		// so the post-mortem value outweighs the cost.
+		stepOpts.CollectTrace = true
 		start := time.Now()
 		var (
 			x        Vector
@@ -144,14 +154,34 @@ func RobustSolve(ctx context.Context, a *CSR, b Vector, opts RobustOpts) (Vector
 				return nil, fmt.Errorf("linalg: unknown fallback method %q", step.Method)
 			}
 		}
+		attempt := SolveAttempt{
+			Method:     step.Method,
+			Iterations: stats.Iterations,
+			Residual:   stats.Residual,
+			Trace:      stats.Trace,
+			Err:        err,
+			Injected:   injected,
+		}
+		// Diagnose a failed iterative attempt before anything else reacts to
+		// it: a residual plateau (or divergence) in the trace becomes a
+		// structured event ahead of the attempt record and the fallback that
+		// follows, so a trace reader sees "stagnated at 3e-9 from sweep 41"
+		// before "escalated to jacobi".
+		if err != nil && !injected {
+			if sg, ok := DetectStagnation(stats.Trace, 0, 0); ok {
+				attempt.Stagnation = &sg
+				obs.Count(ctx, "solver.stagnation", 1)
+				obs.LogAttrs(ctx, "solver.stagnation",
+					obs.Attr{Key: "method", Kind: obs.KindString, Str: step.Method},
+					obs.Attr{Key: "from_iteration", Kind: obs.KindInt, Int: int64(sg.FromIteration)},
+					obs.Attr{Key: "to_iteration", Kind: obs.KindInt, Int: int64(sg.ToIteration)},
+					obs.Attr{Key: "residual", Kind: obs.KindFloat, Flt: sg.ToResidual},
+					obs.Attr{Key: "improvement", Kind: obs.KindFloat, Flt: sg.Improvement},
+				)
+			}
+		}
 		if opts.Stats != nil {
-			opts.Stats.Attempts = append(opts.Stats.Attempts, SolveAttempt{
-				Method:     step.Method,
-				Iterations: stats.Iterations,
-				Residual:   stats.Residual,
-				Err:        err,
-				Injected:   injected,
-			})
+			opts.Stats.Attempts = append(opts.Stats.Attempts, attempt)
 		}
 		rec := obs.Attempt{
 			Stage:      "solver",
@@ -160,6 +190,8 @@ func RobustSolve(ctx context.Context, a *CSR, b Vector, opts RobustOpts) (Vector
 			Outcome:    obs.AttemptOK,
 			Iterations: stats.Iterations,
 			Seconds:    time.Since(start).Seconds(),
+			Residual:   stats.Residual,
+			Trace:      stats.Trace,
 		}
 		if err != nil {
 			rec.Outcome = obs.AttemptError
@@ -176,6 +208,8 @@ func RobustSolve(ctx context.Context, a *CSR, b Vector, opts RobustOpts) (Vector
 			sp.Str("method", step.Method)
 			sp.Int("attempts", int64(try))
 			sp.Int("iterations", int64(stats.Iterations))
+			sp.Float("residual", stats.Residual)
+			sp.Int("trace_points", int64(len(stats.Trace)))
 			return x, nil
 		}
 		var ce *ConvergenceError

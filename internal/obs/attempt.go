@@ -40,6 +40,21 @@ type Attempt struct {
 	Iterations int `json:"iterations,omitempty"`
 	// Seconds is the attempt's wall time.
 	Seconds float64 `json:"seconds,omitempty"`
+	// Residual is the attempt's final residual, when the stage is a solver.
+	Residual float64 `json:"residual,omitempty"`
+	// Trace is the attempt's sampled convergence curve (log-spaced residual
+	// samples), when the stage is a solver. It is what turns "jacobi failed
+	// after 200000 sweeps" into "jacobi plateaued at 1e-9 from sweep 31000
+	// on" in a post-mortem.
+	Trace []ResidualPoint `json:"trace,omitempty"`
+}
+
+// ResidualPoint is one sampled (iteration, residual) pair of an iterative
+// solve. It lives in obs rather than linalg so the manifest and attempt
+// records can carry convergence curves without an import cycle.
+type ResidualPoint struct {
+	Iteration int     `json:"iteration"`
+	Residual  float64 `json:"residual"`
 }
 
 // AttemptRecorder accumulates attempts across the layers of one job. It is
@@ -87,6 +102,9 @@ func AttemptsFrom(ctx context.Context) *AttemptRecorder {
 }
 
 // RecordAttempt records into the context's recorder, a no-op without one.
+// When the context (or the process default) carries a flight recorder the
+// attempt also lands in the black-box ring.
 func RecordAttempt(ctx context.Context, a Attempt) {
 	AttemptsFrom(ctx).Record(a)
+	FlightFrom(ctx).AppendAttempt(a)
 }

@@ -185,6 +185,13 @@ type Manifest struct {
 	// tries and job retries, including recovered panics with their stacks.
 	// The retry machinery (internal/service) fills it after collection.
 	Attempts []Attempt `json:"attempts,omitempty"`
+	// Flight is the black-box dump: the last events before the run (or job)
+	// ended, included when a flight recorder was active and something went
+	// wrong — panic, injected fault, deadline breach, degraded-health
+	// transition — or when a CLI opted in with -flight.
+	Flight []FlightEvent `json:"flight,omitempty"`
+	// FlightDropped counts ring entries lost to append contention.
+	FlightDropped uint64 `json:"flight_dropped,omitempty"`
 }
 
 // exploreSpan is the span name whose attributes carry model size; the

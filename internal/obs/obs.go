@@ -387,6 +387,17 @@ func Log(ctx context.Context, msg string) {
 	}
 }
 
+// LogAttrs emits a structured annotation: a stable event name plus typed
+// attributes. It is the shape for machine-readable one-off events (solver
+// stagnation detected, fallback fired) that are not metrics — the name stays
+// grep-able while the attributes carry the specifics. Free when
+// observability is disabled.
+func LogAttrs(ctx context.Context, name string, attrs ...Attr) {
+	if tr := resolve(ctx); tr != nil {
+		tr.sink.Emit(&Event{Kind: EventLog, Time: time.Now(), Name: name, Attrs: attrs})
+	}
+}
+
 func resolve(ctx context.Context) *Tracer {
 	if p, ok := ctx.Value(spanKey{}).(*Span); ok && p != nil {
 		return p.tracer

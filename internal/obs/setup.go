@@ -31,6 +31,10 @@ type RunOptions struct {
 	// progress sink is requested, so manifest-only runs still record phase
 	// timings and model size.
 	Collect bool
+	// FlightSize, when positive, keeps a black-box ring of the last N events
+	// (see Flight) and dumps it into the run manifest. The ring is installed
+	// as the process default so solver attempts reach it too.
+	FlightSize int
 }
 
 // Run is a live observability session: it owns the trace file, the
@@ -38,6 +42,7 @@ type RunOptions struct {
 // registration.
 type Run struct {
 	Collector *Collector
+	Flight    *Flight
 	trace     *os.File
 	traceSink *JSONLSink
 	sinks     MultiSink
@@ -72,6 +77,12 @@ func StartRun(opts RunOptions) (*Run, error) {
 		enabled = true
 	}
 	if opts.Collect {
+		enabled = true
+	}
+	if opts.FlightSize > 0 {
+		r.Flight = NewFlight(opts.FlightSize)
+		sinks = append(sinks, r.Flight)
+		SetDefaultFlight(r.Flight)
 		enabled = true
 	}
 	if opts.PprofAddr != "" {
@@ -115,6 +126,10 @@ func (r *Run) Sink() Sink {
 func (r *Run) Manifest(tool string, args []string) *Manifest {
 	m := r.Collector.Manifest(tool, args)
 	m.TraceID = r.tracer.TraceID()
+	if r.Flight != nil {
+		m.Flight = r.Flight.Snapshot()
+		m.FlightDropped = r.Flight.Dropped()
+	}
 	return m
 }
 
@@ -139,6 +154,9 @@ func (r *Run) Close() error {
 		SetDefault(nil)
 		r.active = false
 	}
+	if r.Flight != nil && DefaultFlight() == r.Flight {
+		SetDefaultFlight(nil)
+	}
 	if r.trace != nil {
 		err := r.trace.Close()
 		r.trace = nil
@@ -148,7 +166,7 @@ func (r *Run) Close() error {
 }
 
 // CLI bundles the observability options every cmd/ binary exposes: -trace,
-// -progress, -pprof, -trace-allocs and -manifest.
+// -progress, -pprof, -trace-allocs, -manifest and -flight.
 type CLI struct {
 	RunOptions
 	// ManifestFile, when non-empty, receives the run manifest as indented
@@ -163,6 +181,7 @@ func (c *CLI) Bind(fs *flag.FlagSet) {
 	fs.StringVar(&c.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	fs.BoolVar(&c.CaptureAllocs, "trace-allocs", false, "record per-span heap-allocation deltas in the trace")
 	fs.StringVar(&c.ManifestFile, "manifest", "", "write the run manifest (inputs, model size, per-phase timings) as JSON to this file")
+	fs.IntVar(&c.FlightSize, "flight", 0, "keep a black-box ring of the last N observability events and dump it into the manifest (0 = off)")
 }
 
 // Start opens the observability session described by the parsed flags.

@@ -207,6 +207,20 @@ func (e *Engine) Run(ctx context.Context, req *AnalysisRequest) (*Outcome, Cache
 	}
 }
 
+// Fingerprint returns the request's canonical content address: the hex
+// result-cache key over the canonical encodings of the architecture,
+// message, solver settings and request shape. Two requests with the same
+// fingerprint are the same analysis regardless of field order or defaulted
+// fields — the identity the slow-analysis log records so outliers can be
+// grouped and replayed.
+func (e *Engine) Fingerprint(req *AnalysisRequest) (string, error) {
+	rr, err := e.resolve(req)
+	if err != nil {
+		return "", err
+	}
+	return resultKey(rr.archCanon, rr.msg, rr.an, rr.mode, rr.cat, rr.prot, rr.property), nil
+}
+
 // safeRun wraps the substitutable run hook with the solve-path fault
 // points and panic recovery. Recovering here — inside the single-flight
 // leader — matters twice over: the worker goroutine survives, and a panic

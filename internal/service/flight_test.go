@@ -1,0 +1,149 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestChaosPanicDumpsFlightRecorder is the flight recorder's acceptance
+// test: a worker.panic injection must leave a black-box dump both in the
+// job manifest and at the live GET /debug/flight endpoint.
+func TestChaosPanicDumpsFlightRecorder(t *testing.T) {
+	enableFaults(t, "worker.panic:n=1")
+	srv := New(Config{Workers: 1, MaxAttempts: 2, EnableFlightHTTP: true})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cl := NewClient(ts.URL)
+	view, err := cl.Analyze(context.Background(), &AnalysisRequest{
+		Architecture: "builtin:1", Category: "c", Protection: "unencrypted",
+		SkipSteadyState: true, WaitSeconds: 30,
+	})
+	if err != nil {
+		t.Fatalf("Analyze after recovered panic: %v", err)
+	}
+
+	// The manifest must carry the flight dump even though the retry
+	// ultimately succeeded: the panic attempt is what the black box is for.
+	raw, err := cl.Manifest(context.Background(), view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Flight   []obs.FlightEvent `json:"flight"`
+		Attempts []obs.Attempt     `json:"attempts"`
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Flight) == 0 {
+		t.Fatal("manifest has no flight dump after a recovered panic")
+	}
+	var sawPanicAttempt bool
+	for _, ev := range m.Flight {
+		if ev.Kind == "attempt" && ev.Name == "job" {
+			sawPanicAttempt = true
+		}
+	}
+	if !sawPanicAttempt {
+		t.Fatalf("flight dump misses the job attempt events: %+v", m.Flight)
+	}
+
+	// And the live endpoint serves the same ring.
+	resp, err := http.Get(ts.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /debug/flight status %d", resp.StatusCode)
+	}
+	var dump struct {
+		Size   int               `json:"size"`
+		Events []obs.FlightEvent `json:"events"`
+	}
+	if err := json.Unmarshal(body, &dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Size != obs.DefaultFlightSize || len(dump.Events) == 0 {
+		t.Fatalf("live flight dump size=%d events=%d", dump.Size, len(dump.Events))
+	}
+}
+
+// TestFlightSuccessfulJobDoesNotDump: an uneventful job must not pay for a
+// ring snapshot in its manifest — the dump is a failure artifact.
+func TestFlightSuccessfulJobDoesNotDump(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	defer srv.Close()
+	stubEngine(srv.Engine(), func(ctx context.Context) (*Outcome, error) {
+		return &Outcome{Property: &PropertyResult{Value: 1}}, nil
+	})
+	job, err := srv.Submit(&AnalysisRequest{Architecture: "builtin:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-job.Done()
+	if m := job.Manifest(); m == nil || len(m.Flight) != 0 {
+		t.Fatalf("healthy job manifest carries a flight dump: %+v", m.Flight)
+	}
+}
+
+// TestFlightDumpOnDeadlineBreach: a job killed by its deadline is exactly
+// the case the black box exists for.
+func TestFlightDumpOnDeadlineBreach(t *testing.T) {
+	srv := New(Config{Workers: 1, MaxAttempts: 1})
+	defer srv.Close()
+	stubEngine(srv.Engine(), func(ctx context.Context) (*Outcome, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	job, err := srv.Submit(&AnalysisRequest{Architecture: "builtin:1", TimeoutSeconds: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-job.Done()
+	m := job.Manifest()
+	if m == nil || len(m.Flight) == 0 {
+		t.Fatal("deadline-breached job manifest has no flight dump")
+	}
+}
+
+// TestFlightHTTPGating mirrors TestPprofGating: the endpoint exists only
+// when EnableFlightHTTP is set, and serves 404 when the recorder itself is
+// disabled.
+func TestFlightHTTPGating(t *testing.T) {
+	off := New(Config{Workers: 1})
+	defer off.Close()
+	tsOff := httptest.NewServer(off.Handler())
+	defer tsOff.Close()
+	resp, err := http.Get(tsOff.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("flight endpoint reachable without EnableFlightHTTP: %d", resp.StatusCode)
+	}
+
+	// Enabled endpoint but disabled recorder: mounted, honest 404.
+	noRing := New(Config{Workers: 1, FlightSize: -1, EnableFlightHTTP: true})
+	defer noRing.Close()
+	tsNoRing := httptest.NewServer(noRing.Handler())
+	defer tsNoRing.Close()
+	resp, err = http.Get(tsNoRing.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("flight endpoint with disabled recorder: %d, want 404", resp.StatusCode)
+	}
+}

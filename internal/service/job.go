@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -124,6 +125,11 @@ type Job struct {
 	collector *obs.Collector
 	recorder  *obs.AttemptRecorder
 
+	// slowThreshold (nanoseconds) is the slow-analysis latency bar captured
+	// when the job first starts executing, so an auto-derived threshold is
+	// judged against the histogram as it was *before* this job ran.
+	slowThreshold atomic.Int64
+
 	mu       sync.Mutex
 	status   JobStatus
 	attempt  int
@@ -197,6 +203,18 @@ func (j *Job) finish(out *Outcome, cache CacheState, err error, m *obs.Manifest)
 	}
 	close(j.done)
 	return true
+}
+
+// elapsed is the job's execution wall time — first start to finish,
+// including any retry backoff but excluding queue wait. Zero until the job
+// finishes.
+func (j *Job) elapsed() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.started.IsZero() || j.finished.IsZero() {
+		return 0
+	}
+	return j.finished.Sub(j.started)
 }
 
 // Manifest returns the per-job run manifest (nil until the job finishes).

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -73,6 +74,23 @@ type Config struct {
 	// mux. Off by default: profiling endpoints expose heap contents and
 	// should only be reachable when deliberately enabled.
 	EnablePprof bool
+	// FlightSize sizes the always-on black-box ring of recent events
+	// (spans, counters, solver attempts). 0 selects obs.DefaultFlightSize;
+	// negative disables the recorder. The ring is dumped into a job's
+	// manifest when the job panics, trips a fault-injection point, breaches
+	// its deadline, or pushes the service into its degraded-health state.
+	FlightSize int
+	// EnableFlightHTTP serves the live ring at GET /debug/flight. Gated
+	// like EnablePprof: the ring exposes recent request activity and should
+	// only be reachable when deliberately enabled.
+	EnableFlightHTTP bool
+	// SlowLog, when set, receives one JSONL SlowRecord per analysis that
+	// exceeds the latency threshold or walks the solver fallback chain.
+	SlowLog io.Writer
+	// SlowThreshold is the slow-analysis latency bar. 0 derives it from the
+	// live job-duration histogram (slowAutoMultiplier × p99 once
+	// slowAutoMinSamples jobs have run, DefaultSlowThreshold before that).
+	SlowThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +138,8 @@ type Server struct {
 	engine    *Engine
 	collector *obs.Collector
 	tracer    *obs.Tracer
+	flight    *obs.Flight
+	slow      *slowLog
 	mux       *http.ServeMux
 	httpSrv   *http.Server
 
@@ -175,7 +195,16 @@ func New(cfg Config) *Server {
 		retries:   make(map[string]*pendingRetry),
 		started:   time.Now(),
 	}
+	if cfg.FlightSize >= 0 {
+		s.flight = obs.NewFlight(cfg.FlightSize)
+	}
+	if cfg.SlowLog != nil {
+		s.slow = newSlowLog(cfg.SlowLog)
+	}
 	sinks := obs.MultiSink{s.collector}
+	if s.flight != nil {
+		sinks = append(sinks, s.flight)
+	}
 	if cfg.ExtraSink != nil {
 		sinks = append(sinks, cfg.ExtraSink)
 	}
@@ -195,6 +224,10 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	if cfg.EnableFlightHTTP {
+		// The handler tolerates a disabled (nil) recorder by serving 404.
+		s.mux.Handle("GET /debug/flight", s.flight.Handler())
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -346,6 +379,9 @@ func (s *Server) runJob(job *Job) {
 	// The attempt recorder rides the context so deep solver fallbacks
 	// report into the same history.
 	sinks := obs.MultiSink{s.collector, job.collector}
+	if s.flight != nil {
+		sinks = append(sinks, s.flight)
+	}
 	if s.cfg.ExtraSink != nil {
 		sinks = append(sinks, s.cfg.ExtraSink)
 	}
@@ -357,10 +393,18 @@ func (s *Server) runJob(job *Job) {
 	sp.Str("job", job.id)
 	sp.Int("attempt", int64(attempt))
 	ctx = obs.WithAttempts(ctx, job.recorder)
+	if s.flight != nil {
+		ctx = obs.WithFlight(ctx, s.flight)
+	}
 	if attempt == 1 {
 		// Queue wait is submission-to-first-execution; retries wait on their
 		// backoff timers, which the attempt history already records.
 		obs.ObserveDuration(ctx, "service.queue.wait", time.Since(job.created))
+		// The latency bar is captured before this job's own duration can
+		// land in the histogram it is derived from (see slowThresholdNow).
+		if s.slow != nil {
+			job.slowThreshold.Store(int64(s.slowThresholdNow()))
+		}
 	}
 
 	s.running.Add(1)
@@ -384,7 +428,9 @@ func (s *Server) runJob(job *Job) {
 			rec.Outcome = obs.AttemptInjected
 		}
 	}
-	job.recorder.Record(rec)
+	// RecordAttempt (rather than the recorder directly) so the attempt also
+	// lands in the flight ring the context carries.
+	obs.RecordAttempt(ctx, rec)
 	sp.End()
 
 	if err != nil && retryable(err) && attempt < s.cfg.MaxAttempts && s.baseCtx.Err() == nil {
@@ -404,6 +450,13 @@ func (s *Server) finishJob(job *Job, out *Outcome, cache CacheState, err error) 
 	if job.trace.Valid() {
 		m.TraceID = job.trace.TraceID
 	}
+	if s.flight != nil && s.flightTriggered(err, m.Attempts) {
+		// Dump the black box into the manifest while the failure is fresh:
+		// the ring keeps rolling, so by the time an operator fetches the
+		// manifest the live /debug/flight view may already have moved on.
+		m.Flight = s.flight.Snapshot()
+		m.FlightDropped = s.flight.Dropped()
+	}
 	if !job.finish(out, cache, err, m) {
 		return // already terminal: a panic raced a normal finish
 	}
@@ -414,7 +467,31 @@ func (s *Server) finishJob(job *Job, out *Outcome, cache CacheState, err error) 
 		s.completed.Add(1)
 		s.consecFailures.Store(0)
 	}
+	s.maybeLogSlow(job, m, cache, err)
 	s.retire(job)
+}
+
+// flightTriggered decides whether this job's manifest should carry a flight
+// dump: any recovered panic or injected fault in the attempt history (even
+// if a retry then succeeded), a terminal panic/injection/deadline breach,
+// or a failure that leaves the service at (or beyond) its degraded-health
+// threshold.
+func (s *Server) flightTriggered(err error, attempts []obs.Attempt) bool {
+	for _, at := range attempts {
+		if at.Outcome == obs.AttemptPanic || at.Outcome == obs.AttemptInjected {
+			return true
+		}
+	}
+	if err == nil {
+		return false
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) || errors.Is(err, fault.ErrInjected) || errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	// This failure is about to be counted; +1 anticipates the increment in
+	// finishJob.
+	return s.consecFailures.Load()+1 >= int64(s.cfg.DegradedAfter)
 }
 
 // scheduleRetry arms a backoff timer that re-enqueues the job, reporting

@@ -1,0 +1,203 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the server writes slow-log
+// records from worker goroutines while the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func decodeSlowRecords(t *testing.T, jsonl string) []SlowRecord {
+	t.Helper()
+	var out []SlowRecord
+	sc := bufio.NewScanner(strings.NewReader(jsonl))
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var rec SlowRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad slow-log line %q: %v", sc.Text(), err)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// TestSlowLogEndToEnd is the tentpole's slow-log acceptance test: one fast
+// and one artificially slow (solve.slow fault) request; exactly the slow
+// one must appear in the JSONL log, with a trace ID matching the server's
+// job manifest.
+func TestSlowLogEndToEnd(t *testing.T) {
+	// The first eligible solve passes (skip=1), the second sleeps 300ms —
+	// well past the 100ms bar while the fast stub stays well under it.
+	enableFaults(t, "solve.slow:d=300ms:skip=1")
+	var logBuf syncBuffer
+	srv := New(Config{Workers: 1, SlowLog: &logBuf, SlowThreshold: 100 * time.Millisecond})
+	stubEngine(srv.Engine(), func(ctx context.Context) (*Outcome, error) {
+		return &Outcome{Property: &PropertyResult{Value: 1}}, nil
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := NewClient(ts.URL)
+
+	// Fast request, untraced.
+	if _, err := cl.Analyze(context.Background(), &AnalysisRequest{
+		Architecture: "builtin:1", WaitSeconds: 30,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Slow request, traced — a different architecture so the result cache
+	// cannot short-circuit the solve.
+	tracer := obs.NewTracer(countingSink{}, false)
+	ctx, root := tracer.StartSpan(context.Background(), "client.slow")
+	view, err := cl.Analyze(ctx, &AnalysisRequest{Architecture: "builtin:2", WaitSeconds: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := cl.Manifest(ctx, view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	var manifest struct {
+		TraceID string `json:"trace_id"`
+	}
+	if err := json.Unmarshal(raw, &manifest); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain the workers so every slow-log write has landed.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := decodeSlowRecords(t, logBuf.String())
+	if len(recs) != 1 {
+		t.Fatalf("slow log has %d records, want exactly 1 (the slow job): %+v", len(recs), recs)
+	}
+	rec := recs[0]
+	if rec.JobID != view.ID {
+		t.Errorf("slow record job %q, want the slow job %q", rec.JobID, view.ID)
+	}
+	if rec.TraceID == "" || rec.TraceID != manifest.TraceID || rec.TraceID != tracer.TraceID() {
+		t.Errorf("slow record trace %q, manifest trace %q, client trace %q — must all match",
+			rec.TraceID, manifest.TraceID, tracer.TraceID())
+	}
+	if len(rec.Reasons) != 1 || rec.Reasons[0] != SlowReasonLatency {
+		t.Errorf("reasons = %v, want [latency]", rec.Reasons)
+	}
+	if rec.ElapsedSeconds < 0.1 || rec.ThresholdSeconds != 0.1 {
+		t.Errorf("elapsed %.3fs threshold %.3fs, want elapsed >= threshold = 0.1",
+			rec.ElapsedSeconds, rec.ThresholdSeconds)
+	}
+	if rec.Fingerprint == "" {
+		t.Error("slow record has no request fingerprint")
+	}
+	if len(rec.Stages) == 0 {
+		t.Error("slow record has no per-stage durations")
+	}
+	if len(rec.Attempts) == 0 {
+		t.Error("slow record has no attempt history")
+	}
+}
+
+// TestSlowLogFallbackReason: walking the solver fallback chain lands a job
+// in the log regardless of latency, with its convergence evidence attached.
+func TestSlowLogFallbackReason(t *testing.T) {
+	enableFaults(t, "solver.diverge:n=1")
+	var logBuf syncBuffer
+	srv := New(Config{Workers: 1, SlowLog: &logBuf})
+	if _, err := srv.Submit(&AnalysisRequest{
+		Architecture: "builtin:1", Category: "c", Protection: "unencrypted",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs := decodeSlowRecords(t, logBuf.String())
+	if len(recs) != 1 {
+		t.Fatalf("slow log has %d records, want 1: %+v", len(recs), recs)
+	}
+	rec := recs[0]
+	var hasFallback bool
+	for _, r := range rec.Reasons {
+		hasFallback = hasFallback || r == SlowReasonFallback
+	}
+	if !hasFallback {
+		t.Fatalf("reasons = %v, want fallback", rec.Reasons)
+	}
+	var solverAttempts int
+	for _, at := range rec.Attempts {
+		if at.Stage == "solver" {
+			solverAttempts++
+		}
+	}
+	if solverAttempts < 2 {
+		t.Fatalf("record has %d solver attempts, want the injected failure plus the fallback: %+v",
+			solverAttempts, rec.Attempts)
+	}
+	if rec.FinalResidual <= 0 {
+		t.Errorf("final residual = %v, want the fallback solver's", rec.FinalResidual)
+	}
+}
+
+// TestSlowThresholdAuto pins the auto-derivation: the default bar until the
+// job histogram warms up, then a multiple of its p99 with a floor.
+func TestSlowThresholdAuto(t *testing.T) {
+	srv := New(Config{Workers: 1, SlowLog: &syncBuffer{}})
+	defer srv.Close()
+
+	if got := srv.slowThresholdNow(); got != DefaultSlowThreshold {
+		t.Fatalf("cold threshold = %v, want %v", got, DefaultSlowThreshold)
+	}
+	// Warm the job histogram with fast durations: the p99-derived bar must
+	// clamp to the floor, not chase microsecond noise.
+	for i := 0; i < slowAutoMinSamples; i++ {
+		srv.collector.Emit(&obs.Event{Kind: obs.EventHistogram, Name: "service.job", Value: 0.001})
+	}
+	if got := srv.slowThresholdNow(); got != slowAutoFloor {
+		t.Fatalf("warm-fast threshold = %v, want floor %v", got, slowAutoFloor)
+	}
+	// Genuinely slow traffic raises the bar to a multiple of p99.
+	for i := 0; i < 4*slowAutoMinSamples; i++ {
+		srv.collector.Emit(&obs.Event{Kind: obs.EventHistogram, Name: "service.job", Value: 2.0})
+	}
+	got := srv.slowThresholdNow()
+	if got < 4*time.Second || got >= DefaultSlowThreshold {
+		t.Fatalf("warm-slow threshold = %v, want ~%d×p99 in [4s, %v)", got, slowAutoMultiplier, DefaultSlowThreshold)
+	}
+	// An explicit threshold always wins.
+	srv.cfg.SlowThreshold = 7 * time.Second
+	if got := srv.slowThresholdNow(); got != 7*time.Second {
+		t.Fatalf("explicit threshold = %v, want 7s", got)
+	}
+}
