@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race chaos explore check cover bench bench-smoke examples experiments serve fuzz clean
+.PHONY: all build vet lint test race chaos explore check cover bench bench-smoke shard-smoke examples experiments serve fuzz clean
 
 all: check
 
@@ -71,6 +71,12 @@ BENCH_BASELINE ?= $(firstword $(wildcard BENCH_*.json))
 bench-smoke:
 	$(GO) run ./cmd/secbench -quick -out bench-smoke.json \
 		$(if $(BENCH_BASELINE),-compare $(BENCH_BASELINE) -threshold 3.0)
+
+# shard-smoke boots a three-node consistent-hash ring on loopback, pushes a
+# mixed batch of analyses through one node, and asserts the majority was
+# forwarded to the owning peers (see README "Persistence & sharding").
+shard-smoke:
+	./scripts/shard_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

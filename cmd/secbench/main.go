@@ -1,8 +1,10 @@
 // Command secbench is the repo's performance-regression harness: it runs a
 // canonical workload suite — the paper's Eq-15 chain, the three Figure-5
 // case-study grids, a large synthetic architecture, and the service engine
-// warm vs cold — and writes one BENCH_<date>.json with per-workload wall
-// time, heap allocations, model size and p99 solve latency (from the obs
+// cold vs warm vs disk-warm (a fresh engine answering from a populated
+// persistent store, the warm-restart path) — and writes one
+// BENCH_<date>.json with per-workload wall time, per-iteration p50/p99,
+// heap allocations, model size and p99 solve latency (from the obs
 // histogram layer), stamped with the git SHA.
 //
 // Usage:
@@ -30,6 +32,7 @@ import (
 	"regexp"
 	"runtime"
 	"runtime/metrics"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -40,6 +43,7 @@ import (
 	"repro/internal/modular"
 	"repro/internal/obs"
 	"repro/internal/service"
+	"repro/internal/store"
 	"repro/internal/transform"
 )
 
@@ -50,11 +54,16 @@ const benchSchema = "secbench/v1"
 // WorkloadResult is one measured workload in a bench file. WallSeconds and
 // AllocObjects are per iteration.
 type WorkloadResult struct {
-	Name            string  `json:"name"`
-	Iterations      int     `json:"iterations"`
-	WallSeconds     float64 `json:"wall_seconds"`
-	AllocObjects    uint64  `json:"alloc_objects"`
-	States          int     `json:"states,omitempty"`
+	Name         string  `json:"name"`
+	Iterations   int     `json:"iterations"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	AllocObjects uint64  `json:"alloc_objects"`
+	States       int     `json:"states,omitempty"`
+	// P50IterSeconds / P99IterSeconds are per-iteration wall-time
+	// percentiles, separating steady cost from tail outliers (GC pauses,
+	// first-touch page faults, cold disk reads).
+	P50IterSeconds  float64 `json:"p50_iter_seconds,omitempty"`
+	P99IterSeconds  float64 `json:"p99_iter_seconds,omitempty"`
 	P99SolveSeconds float64 `json:"p99_solve_seconds,omitempty"`
 }
 
@@ -78,15 +87,16 @@ type BenchFile struct {
 }
 
 // workload is one suite entry. setup builds the per-iteration function
-// (creating any state shared across iterations, e.g. a warmed cache);
-// measurement starts after setup returns. solveSpan names the obs span
-// whose latency histogram provides the p99 ("" = no solve stage).
+// (creating any state shared across iterations, e.g. a warmed cache) and an
+// optional cleanup run after the last iteration (nil = nothing to tear
+// down); measurement starts after setup returns. solveSpan names the obs
+// span whose latency histogram provides the p99 ("" = no solve stage).
 type workload struct {
 	name       string
 	solveSpan  string
 	quickIters int
 	fullIters  int
-	setup      func() (func(ctx context.Context) (states int, err error), error)
+	setup      func() (iter func(ctx context.Context) (states int, err error), cleanup func(), err error)
 }
 
 // fig5Grid runs the full CIA × protection grid for one case-study
@@ -122,7 +132,7 @@ func suite() []workload {
 			// tiny, so it isolates solver overhead rather than model size.
 			name: "eq15-steadystate", solveSpan: "ctmc.steadystate",
 			quickIters: 50, fullIters: 2000,
-			setup: func() (func(ctx context.Context) (int, error), error) {
+			setup: func() (func(ctx context.Context) (int, error), func(), error) {
 				bd := ctmc.NewBuilder(3)
 				bd.Add(0, 1, 2)
 				bd.Add(1, 0, 52)
@@ -131,35 +141,35 @@ func suite() []workload {
 				bd.Add(2, 0, 52)
 				c, err := bd.Build()
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				return func(ctx context.Context) (int, error) {
 					if _, err := c.SteadyStateContext(ctx, c.DiracInit(0)); err != nil {
 						return 0, err
 					}
 					return c.N(), nil
-				}, nil
+				}, nil, nil
 			},
 		},
 		{
 			name: "fig5-arch1", solveSpan: "ctmc.cumulative_reward",
 			quickIters: 1, fullIters: 5,
-			setup: func() (func(ctx context.Context) (int, error), error) {
-				return fig5Grid(arch.Architecture1()), nil
+			setup: func() (func(ctx context.Context) (int, error), func(), error) {
+				return fig5Grid(arch.Architecture1()), nil, nil
 			},
 		},
 		{
 			name: "fig5-arch2", solveSpan: "ctmc.cumulative_reward",
 			quickIters: 1, fullIters: 5,
-			setup: func() (func(ctx context.Context) (int, error), error) {
-				return fig5Grid(arch.Architecture2()), nil
+			setup: func() (func(ctx context.Context) (int, error), func(), error) {
+				return fig5Grid(arch.Architecture2()), nil, nil
 			},
 		},
 		{
 			name: "fig5-arch3", solveSpan: "ctmc.cumulative_reward",
 			quickIters: 1, fullIters: 5,
-			setup: func() (func(ctx context.Context) (int, error), error) {
-				return fig5Grid(arch.Architecture3()), nil
+			setup: func() (func(ctx context.Context) (int, error), func(), error) {
+				return fig5Grid(arch.Architecture3()), nil, nil
 			},
 		},
 		{
@@ -167,12 +177,12 @@ func suite() []workload {
 			// exploration-dominated, so it tracks the transform/explore path.
 			name: "archgen-synthetic", solveSpan: "modular.explore",
 			quickIters: 1, fullIters: 3,
-			setup: func() (func(ctx context.Context) (int, error), error) {
+			setup: func() (func(ctx context.Context) (int, error), func(), error) {
 				// ECUs 9 over two buses is the largest synthetic that fits the
 				// default exploration budgets — well past the case studies.
 				a, err := arch.Synthetic(arch.SyntheticSpec{ECUs: 9, Buses: 2})
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				return func(ctx context.Context) (int, error) {
 					res, err := transform.Build(a, arch.MessageM, transform.Options{
@@ -186,14 +196,14 @@ func suite() []workload {
 						return 0, err
 					}
 					return ex.N(), nil
-				}, nil
+				}, nil, nil
 			},
 		},
 		{
 			// A fresh engine per iteration: the price a one-shot CLI pays.
 			name: "service-cold", solveSpan: "ctmc.cumulative_reward",
 			quickIters: 1, fullIters: 3,
-			setup: func() (func(ctx context.Context) (int, error), error) {
+			setup: func() (func(ctx context.Context) (int, error), func(), error) {
 				return func(ctx context.Context) (int, error) {
 					e := service.NewEngine(service.EngineOptions{})
 					out, _, err := e.Run(ctx, gridRequest())
@@ -201,7 +211,7 @@ func suite() []workload {
 						return 0, err
 					}
 					return maxStates(out), nil
-				}, nil
+				}, nil, nil
 			},
 		},
 		{
@@ -209,11 +219,11 @@ func suite() []workload {
 			// speedup a resident secserved gives repeated traffic.
 			name: "service-warm", solveSpan: "",
 			quickIters: 10, fullIters: 200,
-			setup: func() (func(ctx context.Context) (int, error), error) {
+			setup: func() (func(ctx context.Context) (int, error), func(), error) {
 				e := service.NewEngine(service.EngineOptions{})
 				out, _, err := e.Run(context.Background(), gridRequest())
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				states := maxStates(out)
 				return func(ctx context.Context) (int, error) {
@@ -225,7 +235,49 @@ func suite() []workload {
 						return 0, fmt.Errorf("warm run missed the cache: %q", state)
 					}
 					return states, nil
-				}, nil
+				}, nil, nil
+			},
+		},
+		{
+			// A fresh engine over a previously-populated store directory per
+			// iteration: the warm-restart price with persistence (index walk,
+			// disk read, checksum, decode) against service-cold's full
+			// recompute and service-warm's in-memory hit.
+			name: "service-disk-warm", solveSpan: "",
+			quickIters: 5, fullIters: 100,
+			setup: func() (func(ctx context.Context) (int, error), func(), error) {
+				dir, err := os.MkdirTemp("", "secbench-store-*")
+				if err != nil {
+					return nil, nil, err
+				}
+				cleanup := func() { os.RemoveAll(dir) }
+				st, err := store.Open(store.Options{Dir: dir})
+				if err != nil {
+					cleanup()
+					return nil, nil, err
+				}
+				seed := service.NewEngine(service.EngineOptions{Store: st})
+				out, _, err := seed.Run(context.Background(), gridRequest())
+				if err != nil {
+					cleanup()
+					return nil, nil, err
+				}
+				states := maxStates(out)
+				return func(ctx context.Context) (int, error) {
+					st, err := store.Open(store.Options{Dir: dir})
+					if err != nil {
+						return 0, err
+					}
+					e := service.NewEngine(service.EngineOptions{Store: st})
+					_, state, err := e.Run(ctx, gridRequest())
+					if err != nil {
+						return 0, err
+					}
+					if state != service.CacheDisk {
+						return 0, fmt.Errorf("disk-warm run not served from disk: %q", state)
+					}
+					return states, nil
+				}, cleanup, nil
 			},
 		},
 	}
@@ -335,6 +387,19 @@ func maxStates(out *service.Outcome) int {
 	return states
 }
 
+// percentile returns the q-quantile (0..1) of samples by nearest-rank over
+// a sorted copy; 0 for an empty slice.
+func percentile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	idx := int(q*float64(len(sorted)-1) + 0.5)
+	return sorted[idx]
+}
+
 // heapAllocs reads the cumulative heap-allocation object count without
 // stopping the world (same channel the obs layer uses for span deltas).
 func heapAllocs() uint64 {
@@ -353,28 +418,36 @@ func runWorkload(w workload, iters int) (WorkloadResult, error) {
 	obs.SetDefault(obs.NewTracer(col, false))
 	defer obs.SetDefault(nil)
 
-	iter, err := w.setup()
+	iter, cleanup, err := w.setup()
 	if err != nil {
 		return WorkloadResult{}, fmt.Errorf("%s: setup: %w", w.name, err)
 	}
+	if cleanup != nil {
+		defer cleanup()
+	}
 	ctx := context.Background()
 	states := 0
+	durs := make([]float64, iters)
 	alloc0 := heapAllocs()
 	start := time.Now()
 	for i := 0; i < iters; i++ {
+		iterStart := time.Now()
 		if states, err = iter(ctx); err != nil {
 			return WorkloadResult{}, fmt.Errorf("%s: %w", w.name, err)
 		}
+		durs[i] = time.Since(iterStart).Seconds()
 	}
 	wall := time.Since(start)
 	allocs := heapAllocs() - alloc0
 
 	r := WorkloadResult{
-		Name:         w.name,
-		Iterations:   iters,
-		WallSeconds:  wall.Seconds() / float64(iters),
-		AllocObjects: allocs / uint64(iters),
-		States:       states,
+		Name:           w.name,
+		Iterations:     iters,
+		WallSeconds:    wall.Seconds() / float64(iters),
+		AllocObjects:   allocs / uint64(iters),
+		States:         states,
+		P50IterSeconds: percentile(durs, 0.50),
+		P99IterSeconds: percentile(durs, 0.99),
 	}
 	if w.solveSpan != "" {
 		if s, ok := col.Histogram(w.solveSpan); ok {

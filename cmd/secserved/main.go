@@ -29,6 +29,20 @@
 // auto-derived from the live p99 when unset) or walked the solver fallback
 // chain.
 //
+// -store-dir mounts a disk-backed content-addressed result store beneath
+// the in-memory caches (size-bounded by -store-max-bytes, LRU-evicted, with
+// corrupt entries quarantined rather than served), so a restarted server
+// answers previously-solved requests without recomputing them. -journal
+// appends every accepted job to a durable log and replays the unfinished
+// ones on startup. -peers with -node-id joins a consistent-hash shard ring:
+//
+//	secserved -addr :8601 -node-id n1 \
+//	    -peers "n1=http://127.0.0.1:8601,n2=http://127.0.0.1:8602"
+//
+// Each analysis key has exactly one owning node; a non-owner forwards the
+// submission there (preserving single-flight dedup on the owner) and falls
+// back to local compute when the owner is unreachable.
+//
 // SIGINT/SIGTERM drain gracefully: submissions are refused, in-flight jobs
 // finish (up to -drain), then the process exits.
 package main
@@ -48,6 +62,8 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/service"
+	"repro/internal/shard"
+	"repro/internal/store"
 )
 
 func main() {
@@ -78,6 +94,11 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	flightHTTP := fs.Bool("flight-http", false, "mount the flight-recorder dump at GET /debug/flight on the service port")
 	slowLogPath := fs.String("slowlog", "", "append wide-event JSONL records for slow/fallback analyses to this file (empty = disabled)")
 	slowThreshold := fs.Duration("slow-threshold", 0, "slow-analysis latency threshold (0 = auto-derive from live p99)")
+	storeDir := fs.String("store-dir", "", "disk-backed result store directory (empty = no persistence)")
+	storeMaxBytes := fs.Int64("store-max-bytes", 1<<30, "result-store size bound in bytes before LRU eviction (0 = unbounded)")
+	journalPath := fs.String("journal", "", "append-only job journal file; pending jobs are replayed on startup (empty = disabled)")
+	peersSpec := fs.String("peers", "", "shard peer set as \"name=url,name2=url2\" incl. this node; empty = standalone")
+	nodeID := fs.String("node-id", "", "this node's name in -peers (required with -peers)")
 	faults := fs.String("faults", os.Getenv("SECFAULTS"), "fault-injection spec, e.g. \"worker.panic:p=0.1,solve.slow:d=2s\" (default $SECFAULTS)")
 	faultSeed := fs.Int64("fault-seed", 0, "fault-injection RNG seed (default $SECFAULT_SEED or 1)")
 	var ocli obs.CLI
@@ -127,6 +148,35 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		slowLog = f
 	}
 
+	var st *store.Store
+	if *storeDir != "" {
+		if st, err = store.Open(store.Options{Dir: *storeDir, MaxBytes: *storeMaxBytes}); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "secserved: result store at %s (%d entries)\n", *storeDir, st.Len())
+	}
+	var journal *store.Journal
+	if *journalPath != "" {
+		if journal, err = store.OpenJournal(*journalPath); err != nil {
+			return err
+		}
+		defer journal.Close()
+	}
+	var router *shard.Router
+	if *peersSpec != "" {
+		if *nodeID == "" {
+			return fmt.Errorf("-peers requires -node-id")
+		}
+		peers, perr := shard.ParsePeers(*peersSpec)
+		if perr != nil {
+			return perr
+		}
+		if router, err = shard.NewRouter(*nodeID, peers, 0); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "secserved: shard node %s in ring %v\n", *nodeID, router.Nodes())
+	}
+
 	srv := service.New(service.Config{
 		Addr:             *addr,
 		Workers:          *workers,
@@ -145,7 +195,16 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		EnableFlightHTTP: *flightHTTP,
 		SlowLog:          slowLog,
 		SlowThreshold:    *slowThreshold,
+		Store:            st,
+		Journal:          journal,
+		Shard:            router,
+		NodeID:           *nodeID,
 	})
+	if journal != nil {
+		if n := srv.ReplayJournal(); n > 0 {
+			fmt.Fprintf(out, "secserved: replayed %d journaled job(s)\n", n)
+		}
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

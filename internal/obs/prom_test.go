@@ -23,8 +23,10 @@ func promCollector(t *testing.T) *Collector {
 	sctx, root := tr.StartSpan(ctx, "service.job")
 	Count(sctx, "service.cache.result.hit", 3)
 	Count(sctx, "service.cache.result.miss", 2)
+	Count(sctx, "service.cache.result.evict", 4)
 	Count(sctx, "service.cache.model.hit", 5)
 	Count(sctx, "service.cache.model.miss", 1)
+	Count(sctx, "service.cache.model.evict", 2)
 	Gauge(sctx, "service.queue.depth", 2)
 	ObserveDuration(sctx, "service.queue.wait", 250*time.Microsecond)
 	root.End()
@@ -42,8 +44,11 @@ func TestWritePrometheusFormat(t *testing.T) {
 		"# TYPE secserved_service_cache_result_hit_total counter\n",
 		"secserved_service_cache_result_hit_total 3\n",
 		"secserved_service_cache_result_miss_total 2\n",
+		"# TYPE secserved_service_cache_result_evict_total counter\n",
+		"secserved_service_cache_result_evict_total 4\n",
 		"secserved_service_cache_model_hit_total 5\n",
 		"secserved_service_cache_model_miss_total 1\n",
+		"secserved_service_cache_model_evict_total 2\n",
 		"# TYPE secserved_service_queue_depth gauge\n",
 		"secserved_service_queue_depth 2\n",
 		"# TYPE secserved_stage_duration_seconds histogram\n",

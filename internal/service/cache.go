@@ -46,23 +46,27 @@ func (c *lruCache) Get(key string) (any, bool) {
 	return e.Value.(*lruEntry).val, true
 }
 
-// Put stores the value, evicting the least recently used entry when the
-// bound is exceeded.
-func (c *lruCache) Put(key string, v any) {
+// Put stores the value, evicting the least recently used entries when the
+// bound is exceeded, and returns how many entries were evicted (so callers
+// can emit per-level eviction counters).
+func (c *lruCache) Put(key string, v any) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.items[key]; ok {
 		e.Value.(*lruEntry).val = v
 		c.ll.MoveToFront(e)
-		return
+		return 0
 	}
 	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: v})
+	evicted := 0
 	for c.ll.Len() > c.max {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*lruEntry).key)
 		c.evictions++
+		evicted++
 	}
+	return evicted
 }
 
 // Purge drops every entry, keeping the hit/miss/eviction history — the

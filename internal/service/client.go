@@ -28,6 +28,13 @@ type Client struct {
 	// 429 when the server sent a Retry-After hint (queue-full backpressure).
 	// Negative disables retries; 0 means the default of 3.
 	MaxRetries int
+	// Peers are alternate server base URLs tried in order when the server at
+	// BaseURL never answers (connection refused or reset). In a sharded
+	// deployment any node serves any request — non-owners forward to the
+	// owner or compute locally — so transport-level failover to a peer
+	// preserves availability. A request the server answered, even with an
+	// error status, is never replayed against a peer.
+	Peers []string
 }
 
 // NewClient returns a client for the server at baseURL.
@@ -84,7 +91,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 	var err error
 	for attempt := 1; ; attempt++ {
-		if err = c.doOnce(ctx, method, path, data, out); err == nil {
+		if err = c.doFailover(ctx, method, path, data, out); err == nil {
 			return nil
 		}
 		hint, ok := retryAfter(err)
@@ -105,7 +112,28 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 }
 
-func (c *Client) doOnce(ctx context.Context, method, path string, data []byte, out any) error {
+// transportError wraps a failure to reach the server at all — the only
+// failure class doFailover replays against a peer.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
+// doFailover issues the request against BaseURL, failing over to each peer
+// in order while the server under trial never answers.
+func (c *Client) doFailover(ctx context.Context, method, path string, data []byte, out any) error {
+	err := c.doOnce(ctx, c.BaseURL, method, path, data, out)
+	for _, peer := range c.Peers {
+		var te *transportError
+		if err == nil || !errors.As(err, &te) || ctx.Err() != nil {
+			return err
+		}
+		err = c.doOnce(ctx, peer, method, path, data, out)
+	}
+	return err
+}
+
+func (c *Client) doOnce(ctx context.Context, base, method, path string, data []byte, out any) error {
 	var rd io.Reader
 	if data != nil {
 		rd = bytes.NewReader(data)
@@ -118,7 +146,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, data []byte, o
 	sp.Str("method", method)
 	sp.Str("path", path)
 	defer sp.End()
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
 	if err != nil {
 		return err
 	}
@@ -128,7 +156,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, data []byte, o
 	obs.Inject(ctx, req.Header)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return err
+		return &transportError{err: err}
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))

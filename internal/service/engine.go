@@ -12,6 +12,7 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/csl"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/internal/transform"
 )
 
@@ -74,6 +76,12 @@ type EngineOptions struct {
 	// modular.ErrBudgetExceeded, which the HTTP layer maps to 422.
 	MaxStates      int
 	MaxTransitions int
+	// Store, when non-nil, is the disk-backed content-addressed result
+	// store mounted write-through beneath the in-memory result cache:
+	// every solved outcome is persisted, and a result-cache miss consults
+	// the disk before invoking the solver — so a restarted engine answers
+	// previously-seen requests without recomputing them.
+	Store *store.Store
 }
 
 // Engine executes analysis requests against the core pipeline with
@@ -88,13 +96,16 @@ type Engine struct {
 	modelsDir      string
 	maxStates      int
 	maxTransitions int
+	store          *store.Store // nil = no persistence tier
 
-	// solves counts pipeline executions; hits and shared count requests
-	// served without one. solves+misses in the result cache differ only
-	// when single-flight collapses concurrent identical requests.
-	solves int64
-	hits   int64
-	shared int64
+	// solves counts pipeline executions; hits, diskHits and shared count
+	// requests served without one. solves+misses in the result cache
+	// differ only when single-flight collapses concurrent identical
+	// requests or the disk tier answers a miss.
+	solves   int64
+	hits     int64
+	diskHits int64
+	shared   int64
 
 	// run executes one resolved request; tests substitute it to model slow
 	// or blocking jobs without heavy computation.
@@ -115,6 +126,7 @@ func NewEngine(opts EngineOptions) *Engine {
 		modelsDir:      opts.ModelsDir,
 		maxStates:      opts.MaxStates,
 		maxTransitions: opts.MaxTransitions,
+		store:          opts.Store,
 	}
 	e.run = e.analyze
 	return e
@@ -123,23 +135,33 @@ func NewEngine(opts EngineOptions) *Engine {
 // EngineStats is the engine's /v1/metrics contribution.
 type EngineStats struct {
 	// Solves is the number of full pipeline executions; Hits were served
-	// from the result cache and Shared joined an in-flight identical solve.
+	// from the result cache, DiskHits from the persistent store, and
+	// Shared joined an in-flight identical solve.
 	Solves      int64      `json:"solves"`
 	Hits        int64      `json:"hits"`
+	DiskHits    int64      `json:"disk_hits,omitempty"`
 	Shared      int64      `json:"shared"`
 	ModelCache  CacheStats `json:"model_cache"`
 	ResultCache CacheStats `json:"result_cache"`
+	// Store reports the persistent tier (nil when no store is mounted).
+	Store *store.Stats `json:"store,omitempty"`
 }
 
 // Stats snapshots the engine counters.
 func (e *Engine) Stats() EngineStats {
-	return EngineStats{
+	s := EngineStats{
 		Solves:      atomic.LoadInt64(&e.solves),
 		Hits:        atomic.LoadInt64(&e.hits),
+		DiskHits:    atomic.LoadInt64(&e.diskHits),
 		Shared:      atomic.LoadInt64(&e.shared),
 		ModelCache:  e.models.Stats(),
 		ResultCache: e.results.Stats(),
 	}
+	if e.store != nil {
+		st := e.store.Stats()
+		s.Store = &st
+	}
+	return s
 }
 
 // Validate resolves the request without executing it, returning
@@ -154,9 +176,17 @@ func isContextErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
+// leaderOutcome is what a single-flight leader publishes: the outcome plus
+// whether the persistent store (rather than a solve) produced it, so Run
+// can report CacheDisk vs CacheMiss.
+type leaderOutcome struct {
+	out  *Outcome
+	disk bool
+}
+
 // Run resolves and executes one request: result-cache lookup first, then a
-// single-flight solve. The returned CacheState reports which path served
-// the outcome.
+// single-flight disk-store probe, then the solve. The returned CacheState
+// reports which path served the outcome.
 //
 // A single-flight leader executes under its own job's context, so its
 // deadline or cancellation is not a waiter's failure: a waiter whose own
@@ -181,13 +211,22 @@ func (e *Engine) Run(ctx context.Context, req *AnalysisRequest) (*Outcome, Cache
 		}
 		v, err, leader := e.resultSF.Do(rkey, func() (any, error) {
 			obs.Count(ctx, "service.cache.result.miss", 1)
+			// The disk probe happens inside the flight so concurrent
+			// identical requests share one read — and one solve if it
+			// misses.
+			if out, ok := e.storeGet(ctx, rkey); ok {
+				atomic.AddInt64(&e.diskHits, 1)
+				e.putResult(ctx, rkey, out)
+				return &leaderOutcome{out: out, disk: true}, nil
+			}
 			atomic.AddInt64(&e.solves, 1)
 			out, err := e.safeRun(ctx, rr)
 			if err != nil {
 				return nil, err
 			}
-			e.results.Put(rkey, out)
-			return out, nil
+			e.putResult(ctx, rkey, out)
+			e.storePut(ctx, rkey, out)
+			return &leaderOutcome{out: out}, nil
 		})
 		if !leader {
 			if err != nil && isContextErr(err) && ctx.Err() == nil {
@@ -198,13 +237,68 @@ func (e *Engine) Run(ctx context.Context, req *AnalysisRequest) (*Outcome, Cache
 			if err != nil {
 				return nil, CacheShared, err
 			}
-			return v.(*Outcome), CacheShared, nil
+			return v.(*leaderOutcome).out, CacheShared, nil
 		}
 		if err != nil {
 			return nil, CacheMiss, err
 		}
-		return v.(*Outcome), CacheMiss, nil
+		lo := v.(*leaderOutcome)
+		if lo.disk {
+			return lo.out, CacheDisk, nil
+		}
+		return lo.out, CacheMiss, nil
 	}
+}
+
+// putResult stores an outcome in the in-memory result cache, emitting the
+// per-level eviction counter when the bound pushes entries out.
+func (e *Engine) putResult(ctx context.Context, key string, out *Outcome) {
+	if n := e.results.Put(key, out); n > 0 {
+		obs.Count(ctx, "service.cache.result.evict", int64(n))
+	}
+}
+
+// storeGet consults the persistent tier for a previously-solved outcome. A
+// checksum-valid envelope whose payload no longer decodes as an Outcome
+// (schema drift between releases) is quarantined and treated as a miss.
+func (e *Engine) storeGet(ctx context.Context, key string) (*Outcome, bool) {
+	if e.store == nil {
+		return nil, false
+	}
+	payload, ok := e.store.Get(key)
+	if !ok {
+		obs.Count(ctx, "service.store.miss", 1)
+		return nil, false
+	}
+	var out Outcome
+	if err := json.Unmarshal(payload, &out); err != nil {
+		e.store.Quarantine(key, "payload does not decode as service.Outcome: "+err.Error())
+		obs.Count(ctx, "service.store.miss", 1)
+		return nil, false
+	}
+	obs.Count(ctx, "service.store.hit", 1)
+	return &out, true
+}
+
+// storePut writes a solved outcome through to the persistent tier. Disk
+// trouble degrades persistence, never the request: the outcome was already
+// published to the in-memory cache.
+func (e *Engine) storePut(ctx context.Context, key string, out *Outcome) {
+	if e.store == nil {
+		return
+	}
+	payload, err := json.Marshal(out)
+	if err != nil {
+		obs.Count(ctx, "service.store.put_error", 1)
+		return
+	}
+	if err := e.store.Put(key, payload); err != nil {
+		obs.Count(ctx, "service.store.put_error", 1)
+		obs.LogAttrs(ctx, "store.put.failed",
+			obs.Attr{Key: "error", Kind: obs.KindString, Str: err.Error()})
+		return
+	}
+	obs.Count(ctx, "service.store.put", 1)
 }
 
 // Fingerprint returns the request's canonical content address: the hex
@@ -289,7 +383,9 @@ func (e *Engine) prepared(ctx context.Context, rr *resolvedRequest, cat transfor
 			if err != nil {
 				return nil, err
 			}
-			e.models.Put(mkey, p)
+			if n := e.models.Put(mkey, p); n > 0 {
+				obs.Count(ctx, "service.cache.model.evict", int64(n))
+			}
 			return p, nil
 		})
 		if err != nil {

@@ -1,0 +1,118 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/shard"
+)
+
+// maybeForward routes a submission to the node that owns its canonical key,
+// reporting true when it wrote the response (the request was proxied and
+// the owner answered). False means the caller runs the request locally:
+// sharding is off, this node owns the key, the request already arrived
+// forwarded (one hop reaches the owner; the mark breaks routing loops when
+// membership views diverge), the fingerprint cannot be computed (the local
+// submission path then reports the proper validation error), or the owner
+// was unreachable — availability beats placement, so an unreachable owner
+// degrades to local compute instead of failing the client.
+func (s *Server) maybeForward(w http.ResponseWriter, r *http.Request, req *AnalysisRequest, body []byte) bool {
+	rt := s.cfg.Shard
+	if rt == nil {
+		return false
+	}
+	ctx := r.Context()
+	if from := r.Header.Get(shard.ForwardedHeader); from != "" {
+		s.shardReceivedFwd.Add(1)
+		obs.Count(ctx, "service.shard.received_forwarded", 1)
+		return false
+	}
+	key, err := s.engine.Fingerprint(req)
+	if err != nil {
+		return false
+	}
+	owner, self := rt.Owner(key)
+	if self {
+		s.shardOwned.Add(1)
+		obs.Count(ctx, "service.shard.owned", 1)
+		return false
+	}
+	resp, err := rt.Forward(ctx, owner, http.MethodPost, "/v1/analyses", body, "application/json")
+	if err == nil && resp.StatusCode >= http.StatusInternalServerError {
+		// The owner answered but cannot take the work (draining, full
+		// queue, internal failure). The analysis is deterministic and
+		// idempotent, so computing it here is always safe.
+		err = fmt.Errorf("owner %s returned %s", owner, resp.Status)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if err != nil {
+		s.shardForwardFail.Add(1)
+		obs.Count(ctx, "service.shard.forward_failed", 1)
+		// The log event lands in the flight ring (the request context's
+		// tracer sinks include it), so the black box records the failover.
+		obs.LogAttrs(ctx, "shard.forward.failed",
+			obs.Attr{Key: "owner", Kind: obs.KindString, Str: owner},
+			obs.Attr{Key: "key", Kind: obs.KindString, Str: key},
+			obs.Attr{Key: "error", Kind: obs.KindString, Str: err.Error()})
+		return false
+	}
+	defer resp.Body.Close()
+	s.shardForwarded.Add(1)
+	obs.Count(ctx, "service.shard.forwarded", 1)
+	relayResponse(w, resp, owner)
+	return true
+}
+
+// proxyJobGet proxies a job or manifest poll to the node named by the job
+// ID's "<node>:" prefix, reporting true when it wrote the response. IDs
+// without a prefix, IDs this node owns, already-forwarded polls and unknown
+// node names all fall through to the local lookup (which answers 404 for
+// jobs that are genuinely elsewhere and unreachable).
+func (s *Server) proxyJobGet(w http.ResponseWriter, r *http.Request, id string) bool {
+	rt := s.cfg.Shard
+	if rt == nil {
+		return false
+	}
+	node, _, ok := strings.Cut(id, ":")
+	if !ok || node == rt.Self() {
+		return false
+	}
+	if r.Header.Get(shard.ForwardedHeader) != "" {
+		return false
+	}
+	if _, known := rt.URL(node); !known {
+		return false
+	}
+	resp, err := rt.Forward(r.Context(), node, http.MethodGet, r.URL.Path, nil, "")
+	if err != nil {
+		s.shardForwardFail.Add(1)
+		obs.Count(r.Context(), "service.shard.forward_failed", 1)
+		writeError(w, http.StatusBadGateway,
+			fmt.Errorf("job %s lives on node %s, which is unreachable: %v", id, node, err))
+		return true
+	}
+	defer resp.Body.Close()
+	relayResponse(w, resp, node)
+	return true
+}
+
+// relayResponse copies a peer's response — status, body and the headers the
+// API contract uses — to the client, stamping which node actually served it.
+func relayResponse(w http.ResponseWriter, resp *http.Response, node string) {
+	for _, h := range []string{"Content-Type", "Location", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	served := resp.Header.Get(shard.ServedByHeader)
+	if served == "" {
+		served = node
+	}
+	w.Header().Set(shard.ServedByHeader, served)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}

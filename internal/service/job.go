@@ -30,8 +30,12 @@ type CacheState string
 const (
 	// CacheMiss: this job executed the full pipeline.
 	CacheMiss CacheState = "miss"
-	// CacheHit: the outcome was served from the result cache.
+	// CacheHit: the outcome was served from the in-memory result cache.
 	CacheHit CacheState = "hit"
+	// CacheDisk: the outcome was read back from the persistent
+	// content-addressed store (a previously-solved request answered after
+	// a restart or memory eviction, without invoking the solver).
+	CacheDisk CacheState = "disk"
 	// CacheShared: the job joined a concurrent identical in-flight solve.
 	CacheShared CacheState = "shared"
 )
@@ -232,8 +236,12 @@ type JobView struct {
 	Created  time.Time  `json:"created"`
 	Started  *time.Time `json:"started,omitempty"`
 	Finished *time.Time `json:"finished,omitempty"`
-	// Cache reports how the outcome was obtained: "hit", "miss" or
-	// "shared" (joined a concurrent identical solve).
+	// Node names the server that executed the job (set when the server has
+	// a shard identity; forwarded submissions carry the owner's name).
+	Node string `json:"node,omitempty"`
+	// Cache reports how the outcome was obtained: "hit", "miss", "disk"
+	// (read back from the persistent store) or "shared" (joined a
+	// concurrent identical solve).
 	Cache          CacheState `json:"cache,omitempty"`
 	ElapsedSeconds float64    `json:"elapsed_seconds,omitempty"`
 	// Attempts counts executions of the job (> 1 after transient-failure

@@ -1,0 +1,309 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// stubOutcome is a recognisable payload for persistence round-trips.
+func stubOutcome() *Outcome {
+	return &Outcome{Results: []AnalysisResult{{
+		Architecture:    "architecture1",
+		Message:         "m",
+		Category:        "confidentiality",
+		Protection:      "unencrypted",
+		ExploitableTime: 0.25,
+		States:          42,
+		Transitions:     99,
+	}}}
+}
+
+// stubStoreEngine returns an engine over st whose run hook counts
+// invocations instead of solving.
+func stubStoreEngine(st *store.Store, runs *atomic.Int64) *Engine {
+	e := NewEngine(EngineOptions{Store: st})
+	e.run = func(ctx context.Context, rr *resolvedRequest) (*Outcome, error) {
+		runs.Add(1)
+		return stubOutcome(), nil
+	}
+	return e
+}
+
+// TestColdEngineAnswersFromStore is the tentpole acceptance path: a fresh
+// engine over a previously-populated store directory answers a seen request
+// without invoking the solver.
+func TestColdEngineAnswersFromStore(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs1 atomic.Int64
+	e1 := stubStoreEngine(st1, &runs1)
+	req := &AnalysisRequest{Architecture: "builtin:1", SkipSteadyState: true}
+
+	out, cache, err := e1.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache != CacheMiss || runs1.Load() != 1 {
+		t.Fatalf("first run: cache=%s runs=%d, want miss/1", cache, runs1.Load())
+	}
+
+	// A brand-new engine over a reopened store: the in-memory caches are
+	// cold, so only the disk can answer without a solve.
+	st2, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs2 atomic.Int64
+	e2 := stubStoreEngine(st2, &runs2)
+	out2, cache2, err := e2.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache2 != CacheDisk {
+		t.Fatalf("cold-engine cache = %s, want disk", cache2)
+	}
+	if runs2.Load() != 0 {
+		t.Fatalf("cold engine invoked the solver %d times, want 0", runs2.Load())
+	}
+	stats := e2.Stats()
+	if stats.Solves != 0 || stats.DiskHits != 1 {
+		t.Fatalf("stats solves=%d disk_hits=%d, want 0/1", stats.Solves, stats.DiskHits)
+	}
+	b1, _ := json.Marshal(out)
+	b2, _ := json.Marshal(out2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("disk outcome %s != original %s", b2, b1)
+	}
+
+	// The disk hit repopulates the in-memory cache: the next identical
+	// request is a plain hit.
+	_, cache3, err := e2.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache3 != CacheHit {
+		t.Fatalf("post-disk cache = %s, want hit", cache3)
+	}
+}
+
+// storeObjectFiles lists the object files under a store directory.
+func storeObjectFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var files []string
+	err := filepath.WalkDir(filepath.Join(dir, "objects"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(d.Name(), ".json") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+// TestStoreCorruptionFallsThroughToRecompute corrupts the persisted entry
+// three ways — truncation, a checksum-breaking payload flip, a wrong schema
+// version — and checks each is quarantined and transparently recomputed:
+// the client sees a normal miss, never an error.
+func TestStoreCorruptionFallsThroughToRecompute(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, path string)
+	}{
+		{"truncated-file", func(t *testing.T, path string) {
+			info, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(path, info.Size()/2); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"bad-checksum", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Flip the payload without touching the envelope checksum.
+			tampered := bytes.Replace(data, []byte("0.25"), []byte("0.75"), 1)
+			if bytes.Equal(tampered, data) {
+				t.Fatal("payload marker not found")
+			}
+			if err := os.WriteFile(path, tampered, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"wrong-schema", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tampered := bytes.Replace(data, []byte(store.Schema), []byte("secstore/v999"), 1)
+			if bytes.Equal(tampered, data) {
+				t.Fatal("schema marker not found")
+			}
+			if err := os.WriteFile(path, tampered, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			st1, err := store.Open(store.Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var runs1 atomic.Int64
+			e1 := stubStoreEngine(st1, &runs1)
+			req := &AnalysisRequest{Architecture: "builtin:1", SkipSteadyState: true}
+			if _, _, err := e1.Run(context.Background(), req); err != nil {
+				t.Fatal(err)
+			}
+
+			files := storeObjectFiles(t, dir)
+			if len(files) != 1 {
+				t.Fatalf("store has %d objects, want 1", len(files))
+			}
+			tc.corrupt(t, files[0])
+
+			st2, err := store.Open(store.Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var runs2 atomic.Int64
+			e2 := stubStoreEngine(st2, &runs2)
+			out, cache, err := e2.Run(context.Background(), req)
+			if err != nil {
+				t.Fatalf("corrupted entry surfaced an error: %v", err)
+			}
+			if cache != CacheMiss {
+				t.Fatalf("cache = %s, want miss (recomputed)", cache)
+			}
+			if runs2.Load() != 1 {
+				t.Fatalf("solver ran %d times, want 1", runs2.Load())
+			}
+			if len(out.Results) != 1 || out.Results[0].ExploitableTime != 0.25 {
+				t.Fatalf("recomputed outcome corrupted: %+v", out)
+			}
+			if q := st2.Stats().Quarantined; q != 1 {
+				t.Fatalf("quarantined = %d, want 1", q)
+			}
+			qdir, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+			if err != nil || len(qdir) == 0 {
+				t.Fatalf("quarantine dir empty (err=%v)", err)
+			}
+			// The fresh recompute was written back: a third engine reads it
+			// from disk again.
+			st3, err := store.Open(store.Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var runs3 atomic.Int64
+			e3 := stubStoreEngine(st3, &runs3)
+			if _, cache, err := e3.Run(context.Background(), req); err != nil || cache != CacheDisk {
+				t.Fatalf("after recompute: cache=%s err=%v, want disk/nil", cache, err)
+			}
+		})
+	}
+}
+
+// TestJournalReplay hand-crafts a journal with two pending jobs — one valid,
+// one whose architecture no longer resolves — plus one finished job, and
+// checks ReplayJournal re-runs exactly the valid pending work under its
+// original ID, and that completion retires the entries durably.
+func TestJournalReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	j, err := store.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := json.RawMessage(`{"architecture":"builtin:1","skip_steady_state":true}`)
+	if err := j.Submit("n1:a000007-00000001", good); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Submit("n1:a000008-00000002", json.RawMessage(`{"architecture":"no-such-model"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Submit("n1:a000003-00000003", good); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Done("n1:a000003-00000003"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := store.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Workers: 1, NodeID: "n1", Journal: j2})
+	defer srv.Close()
+	var runs atomic.Int64
+	srv.engine.run = func(ctx context.Context, rr *resolvedRequest) (*Outcome, error) {
+		runs.Add(1)
+		return stubOutcome(), nil
+	}
+	if n := srv.ReplayJournal(); n != 1 {
+		t.Fatalf("ReplayJournal = %d, want 1 (invalid entry dropped, done entry gone)", n)
+	}
+	job, ok := srv.Job("n1:a000007-00000001")
+	if !ok {
+		t.Fatal("replayed job not queryable under its original ID")
+	}
+	<-job.Done()
+	if v := job.View(); v.Status != StatusDone {
+		t.Fatalf("replayed job status = %s (%s)", v.Status, v.Error)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("replay ran the solver %d times, want 1", runs.Load())
+	}
+	m := srv.Metrics()
+	if m.Journal == nil || m.Journal.Replayed != 1 || m.Journal.PendingAtOpen != 2 {
+		t.Fatalf("journal metrics = %+v, want replayed=1 pending_at_open=2", m.Journal)
+	}
+
+	// New submissions must not collide with replayed sequence numbers.
+	job2, err := srv.Submit(&AnalysisRequest{Architecture: "builtin:1", SkipSteadyState: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(job2.id, "n1:a000008-") {
+		t.Fatalf("post-replay job ID %s, want sequence bumped past replayed max (n1:a000008-...)", job2.id)
+	}
+	<-job2.Done()
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything finished, so a reopened journal has no backlog.
+	j3, err := store.OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if p := j3.Pending(); len(p) != 0 {
+		t.Fatalf("journal still pending after clean finish: %+v", p)
+	}
+}

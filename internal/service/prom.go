@@ -38,8 +38,34 @@ func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
 	counter("engine_solves_total", m.Engine.Solves, "Full pipeline executions.")
 	counter("engine_result_cache_hits_total", m.Engine.ResultCache.Hits, "Outcomes served from the result cache.")
 	counter("engine_result_cache_misses_total", m.Engine.ResultCache.Misses, "Outcomes computed from scratch.")
+	counter("engine_result_cache_evictions_total", m.Engine.ResultCache.Evictions, "Outcomes pushed out of the result cache by its bound.")
 	counter("engine_model_cache_hits_total", m.Engine.ModelCache.Hits, "Prepared models served from cache.")
 	counter("engine_model_cache_misses_total", m.Engine.ModelCache.Misses, "Prepared models built from scratch.")
+	counter("engine_model_cache_evictions_total", m.Engine.ModelCache.Evictions, "Prepared models pushed out of the model cache by its bound.")
 	counter("engine_singleflight_shared_total", m.Engine.Shared, "Jobs that joined an identical in-flight solve.")
+	counter("engine_disk_hits_total", m.Engine.DiskHits, "Outcomes served from the persistent store.")
+	if st := m.Engine.Store; st != nil {
+		counter("store_hits_total", st.Hits, "Persistent-store reads that found a valid entry.")
+		counter("store_misses_total", st.Misses, "Persistent-store reads that found nothing.")
+		counter("store_puts_total", st.Puts, "Outcomes written through to the persistent store.")
+		counter("store_evictions_total", st.Evictions, "Entries evicted to hold the store size bound.")
+		counter("store_quarantined_total", st.Quarantined, "Corrupt entries moved to quarantine.")
+		gauge("store_entries", float64(st.Entries), "Entries resident in the persistent store.")
+		gauge("store_bytes", float64(st.Bytes), "Bytes resident in the persistent store.")
+		gauge("store_max_bytes", float64(st.MaxBytes), "Configured persistent-store size bound (0 = unbounded).")
+	}
+	if sh := m.Shard; sh != nil {
+		gauge("shard_nodes", float64(len(sh.Nodes)), "Nodes in the consistent-hash ring.")
+		counter("shard_owned_total", sh.Owned, "Submissions this node owned and ran.")
+		counter("shard_forwarded_total", sh.Forwarded, "Submissions proxied to their owning node.")
+		counter("shard_received_forwarded_total", sh.ReceivedForwarded, "Submissions received pre-routed from a peer.")
+		counter("shard_forward_failed_total", sh.ForwardFailed, "Forwards that fell back to local compute.")
+	}
+	if jn := m.Journal; jn != nil {
+		gauge("journal_pending_at_open", float64(jn.PendingAtOpen), "Replay backlog found when the journal opened.")
+		counter("journal_replayed_total", jn.Replayed, "Jobs re-enqueued from the journal at startup.")
+		counter("journal_appends_total", jn.Appends, "Journal entries written since open.")
+		counter("journal_errors_total", jn.Errors, "Journal appends that failed (persistence degraded).")
+	}
 	_ = obs.WritePrometheus(w, s.collector, "secserved")
 }

@@ -12,12 +12,15 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/shard"
+	"repro/internal/store"
 )
 
 // Config configures a Server. The zero value is usable: GOMAXPROCS
@@ -91,6 +94,23 @@ type Config struct {
 	// live job-duration histogram (slowAutoMultiplier × p99 once
 	// slowAutoMinSamples jobs have run, DefaultSlowThreshold before that).
 	SlowThreshold time.Duration
+	// Store, when non-nil, is the disk-backed content-addressed result
+	// store mounted write-through beneath the engine's in-memory caches
+	// (see EngineOptions.Store).
+	Store *store.Store
+	// Journal, when non-nil, records every accepted job and its terminal
+	// state; after a crash, ReplayJournal re-enqueues the jobs that were
+	// accepted but never finished.
+	Journal *store.Journal
+	// Shard, when non-nil, is the consistent-hash peer router: a request
+	// whose canonical key is owned by another node is forwarded there
+	// (single-flight dedup then happens on the owner), falling back to
+	// local compute when the owner is unreachable.
+	Shard *shard.Router
+	// NodeID names this node. Job IDs are prefixed "<node>:" so any peer
+	// can route a job poll to the node that owns it. Defaults to
+	// Shard.Self() when sharding is configured.
+	NodeID string
 }
 
 func (c Config) withDefaults() Config {
@@ -126,6 +146,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DegradedAfter <= 0 {
 		c.DegradedAfter = 5
+	}
+	if c.NodeID == "" && c.Shard != nil {
+		c.NodeID = c.Shard.Self()
 	}
 	return c
 }
@@ -165,6 +188,14 @@ type Server struct {
 	retried        atomic.Int64
 	panics         atomic.Int64
 	consecFailures atomic.Int64
+
+	// Shard-tier counters (zero when Config.Shard is nil).
+	shardOwned       atomic.Int64 // requests this node owned and ran
+	shardForwarded   atomic.Int64 // requests proxied to their owner
+	shardReceivedFwd atomic.Int64 // forwarded requests received from peers
+	shardForwardFail atomic.Int64 // forward attempts that fell back to local compute
+	journalErrors    atomic.Int64 // journal appends that failed (persistence degraded)
+	journalReplayed  atomic.Int64 // jobs re-enqueued from the journal at startup
 }
 
 // pendingRetry is a job waiting out its backoff. Ownership protocol:
@@ -188,6 +219,7 @@ func New(cfg Config) *Server {
 			ModelsDir:       cfg.ModelsDir,
 			MaxStates:       cfg.MaxStates,
 			MaxTransitions:  cfg.MaxTransitions,
+			Store:           cfg.Store,
 		}),
 		collector: obs.NewCollector(),
 		jobs:      make(map[string]*Job),
@@ -467,6 +499,13 @@ func (s *Server) finishJob(job *Job, out *Outcome, cache CacheState, err error) 
 		s.completed.Add(1)
 		s.consecFailures.Store(0)
 	}
+	if s.cfg.Journal != nil {
+		// Any terminal state — success, failure, cancellation — retires the
+		// journal entry; replay is for work that never finished.
+		if jerr := s.cfg.Journal.Done(job.id); jerr != nil {
+			s.journalErrors.Add(1)
+		}
+	}
 	s.maybeLogSlow(job, m, cache, err)
 	s.retire(job)
 }
@@ -603,6 +642,10 @@ func (s *Server) SubmitTrace(req *AnalysisRequest, tc obs.TraceContext) (*Job, e
 	}
 	s.seq++
 	id := fmt.Sprintf("a%06d-%08x", s.seq, time.Now().UnixNano()&0xffffffff)
+	if s.cfg.NodeID != "" {
+		// Node-prefixed IDs let any peer route a poll to the owning node.
+		id = s.cfg.NodeID + ":" + id
+	}
 	job := newJob(id, req)
 	if tc.Valid() {
 		job.trace = tc
@@ -617,7 +660,118 @@ func (s *Server) SubmitTrace(req *AnalysisRequest, tc obs.TraceContext) (*Job, e
 	s.jobs[id] = job
 	s.mu.Unlock()
 	s.accepted.Add(1)
+	s.journalSubmit(job)
 	return job, nil
+}
+
+// journalSubmit durably records an accepted job. Journal trouble degrades
+// crash recovery, never the submission: the job is already queued.
+func (s *Server) journalSubmit(job *Job) {
+	if s.cfg.Journal == nil {
+		return
+	}
+	body, err := json.Marshal(job.req)
+	if err == nil {
+		err = s.cfg.Journal.Submit(job.id, body)
+	}
+	if err != nil {
+		s.journalErrors.Add(1)
+	}
+}
+
+// ReplayJournal re-enqueues every job the journal recorded as accepted but
+// not finished — the crash-recovery path. Call it once, after New and
+// before serving traffic. Replayed jobs keep their original IDs (the
+// sequence counter is advanced past them so fresh IDs cannot collide);
+// entries whose requests no longer validate (for example a stored model
+// that was deleted) are retired instead of replayed. Returns the number of
+// jobs re-enqueued.
+func (s *Server) ReplayJournal() int {
+	j := s.cfg.Journal
+	if j == nil {
+		return 0
+	}
+	pending := j.Pending()
+	if len(pending) == 0 {
+		return 0
+	}
+	ctx, sp := s.tracer.StartSpan(s.baseCtx, "service.journal.replay")
+	defer sp.End()
+	replayed := 0
+	var maxSeq uint64
+	for _, ent := range pending {
+		var req AnalysisRequest
+		if err := json.Unmarshal(ent.Request, &req); err != nil {
+			obs.LogAttrs(ctx, "journal.replay.dropped",
+				obs.Attr{Key: "id", Kind: obs.KindString, Str: ent.ID},
+				obs.Attr{Key: "error", Kind: obs.KindString, Str: err.Error()})
+			_ = j.Done(ent.ID)
+			continue
+		}
+		if err := s.engine.Validate(&req); err != nil {
+			obs.LogAttrs(ctx, "journal.replay.dropped",
+				obs.Attr{Key: "id", Kind: obs.KindString, Str: ent.ID},
+				obs.Attr{Key: "error", Kind: obs.KindString, Str: err.Error()})
+			_ = j.Done(ent.ID)
+			continue
+		}
+		if seq, ok := seqOfID(ent.ID); ok && seq > maxSeq {
+			maxSeq = seq
+		}
+		job := newJob(ent.ID, &req)
+		if !s.enqueueReplayed(job) {
+			break // draining: remaining entries stay pending for next start
+		}
+		replayed++
+	}
+	s.mu.Lock()
+	if maxSeq > s.seq {
+		s.seq = maxSeq
+	}
+	s.mu.Unlock()
+	s.accepted.Add(int64(replayed))
+	s.journalReplayed.Add(int64(replayed))
+	sp.Int("replayed", int64(replayed))
+	obs.Count(ctx, "service.journal.replayed", int64(replayed))
+	return replayed
+}
+
+// seqOfID recovers the sequence number from a job ID of the form
+// "[node:]a%06d-%08x".
+func seqOfID(id string) (uint64, bool) {
+	if i := strings.LastIndexByte(id, ':'); i >= 0 {
+		id = id[i+1:]
+	}
+	if len(id) < 7 || id[0] != 'a' {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(id[1:7], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// enqueueReplayed registers and queues one replayed job, waiting for queue
+// space if the backlog exceeds the queue depth (the workers are already
+// draining it). Reports false when the server started draining.
+func (s *Server) enqueueReplayed(job *Job) bool {
+	for {
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			return false
+		}
+		select {
+		case s.queue <- job:
+			s.jobs[job.id] = job
+			s.mu.Unlock()
+			return true
+		default:
+		}
+		s.mu.Unlock()
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 // Job returns a queryable job by ID.
@@ -636,10 +790,19 @@ var (
 )
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// The body is read up front (rather than streamed into the decoder) so a
+	// shard forward can relay the exact bytes the client sent.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		return
+	}
 	var req AnalysisRequest
-	body := http.MaxBytesReader(w, r.Body, 4<<20)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
+	if err := json.Unmarshal(body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if s.maybeForward(w, r, &req, body) {
 		return
 	}
 	tc, ok := obs.RemoteFrom(r.Context())
@@ -676,6 +839,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	view := job.View()
+	view.Node = s.cfg.NodeID
+	s.stampNode(w)
 	w.Header().Set("Location", "/v1/analyses/"+job.id)
 	status := http.StatusOK
 	switch {
@@ -689,18 +854,36 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, view)
 }
 
+// stampNode marks a locally-served response with this node's shard name.
+func (s *Server) stampNode(w http.ResponseWriter) {
+	if s.cfg.NodeID != "" {
+		w.Header().Set(shard.ServedByHeader, s.cfg.NodeID)
+	}
+}
+
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.Job(r.PathValue("id"))
+	id := r.PathValue("id")
+	job, ok := s.Job(id)
 	if !ok {
+		if s.proxyJobGet(w, r, id) {
+			return
+		}
 		writeError(w, http.StatusNotFound, errors.New("unknown job"))
 		return
 	}
-	writeJSON(w, http.StatusOK, job.View())
+	view := job.View()
+	view.Node = s.cfg.NodeID
+	s.stampNode(w)
+	writeJSON(w, http.StatusOK, view)
 }
 
 func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
-	job, ok := s.Job(r.PathValue("id"))
+	id := r.PathValue("id")
+	job, ok := s.Job(id)
 	if !ok {
+		if s.proxyJobGet(w, r, id) {
+			return
+		}
 		writeError(w, http.StatusNotFound, errors.New("unknown job"))
 		return
 	}
@@ -781,6 +964,36 @@ type Metrics struct {
 	PanicsRecovered int64       `json:"panics_recovered"`
 	RetriesPending  int         `json:"retries_pending"`
 	Engine          EngineStats `json:"engine"`
+	// Shard reports the peer-routing tier (nil when sharding is off).
+	Shard *ShardMetrics `json:"shard,omitempty"`
+	// Journal reports the crash-recovery journal (nil when none is mounted).
+	Journal *JournalMetrics `json:"journal,omitempty"`
+}
+
+// ShardMetrics is the /v1/metrics view of the consistent-hash peer tier.
+type ShardMetrics struct {
+	Node  string   `json:"node"`
+	Nodes []string `json:"nodes"`
+	// Owned counts submissions this node owned and ran; Forwarded counts
+	// submissions proxied to their owner; ReceivedForwarded counts
+	// submissions that arrived pre-routed from a peer; ForwardFailed counts
+	// forwards that fell back to local compute.
+	Owned             int64 `json:"owned"`
+	Forwarded         int64 `json:"forwarded"`
+	ReceivedForwarded int64 `json:"received_forwarded"`
+	ForwardFailed     int64 `json:"forward_failed"`
+}
+
+// JournalMetrics is the /v1/metrics view of the job journal.
+type JournalMetrics struct {
+	// PendingAtOpen is the replay backlog found when the journal opened;
+	// Replayed is how many of those were re-enqueued.
+	PendingAtOpen int   `json:"pending_at_open"`
+	Replayed      int64 `json:"replayed"`
+	Appends       int64 `json:"appends"`
+	// Errors counts failed journal appends (persistence degraded; requests
+	// unaffected).
+	Errors int64 `json:"errors"`
 }
 
 // Metrics snapshots the server counters.
@@ -788,7 +1001,7 @@ func (s *Server) Metrics() Metrics {
 	s.mu.Lock()
 	pending := len(s.retries)
 	s.mu.Unlock()
-	return Metrics{
+	m := Metrics{
 		UptimeSeconds:   time.Since(s.started).Seconds(),
 		Workers:         s.cfg.Workers,
 		QueueDepth:      len(s.queue),
@@ -803,6 +1016,26 @@ func (s *Server) Metrics() Metrics {
 		RetriesPending:  pending,
 		Engine:          s.engine.Stats(),
 	}
+	if s.cfg.Shard != nil {
+		m.Shard = &ShardMetrics{
+			Node:              s.cfg.NodeID,
+			Nodes:             s.cfg.Shard.Nodes(),
+			Owned:             s.shardOwned.Load(),
+			Forwarded:         s.shardForwarded.Load(),
+			ReceivedForwarded: s.shardReceivedFwd.Load(),
+			ForwardFailed:     s.shardForwardFail.Load(),
+		}
+	}
+	if s.cfg.Journal != nil {
+		js := s.cfg.Journal.Stats()
+		m.Journal = &JournalMetrics{
+			PendingAtOpen: js.PendingAtOpen,
+			Replayed:      s.journalReplayed.Load(),
+			Appends:       js.Appends,
+			Errors:        s.journalErrors.Load(),
+		}
+	}
+	return m
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

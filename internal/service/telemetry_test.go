@@ -54,6 +54,8 @@ func TestPrometheusEndpoint(t *testing.T) {
 		`secserved_stage_duration_seconds_bucket{stage="ctmc.cumulative_reward",le=`,
 		`secserved_stage_duration_seconds_count{stage="service.queue.wait"} 1`,
 		"secserved_engine_result_cache_misses_total 1",
+		"secserved_engine_result_cache_evictions_total 0",
+		"secserved_engine_model_cache_evictions_total 0",
 		"secserved_service_cache_result_miss_total 1",
 		"secserved_service_cache_model_miss_total 1",
 	} {

@@ -1,0 +1,116 @@
+// Package shard partitions secserved's content-addressed keyspace across a
+// set of peer nodes: a consistent-hash ring with virtual nodes decides
+// which node owns each canonical key, and an HTTP router forwards requests
+// to their owner, propagating W3C trace context so cross-node hops stitch
+// into one distributed trace.
+//
+// Consistent hashing keeps the partition stable under membership change:
+// removing one node reassigns only the keys it owned, and every node
+// computes the same assignment independently — no coordinator, no shared
+// state, just the same peer list on every node.
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultVirtualNodes is the per-node virtual point count. 128 points per
+// node keeps the expected ownership imbalance within a few percent for
+// small clusters while the ring stays tiny (N×128 16-byte points).
+const DefaultVirtualNodes = 128
+
+// point is one virtual node on the ring.
+type point struct {
+	hash uint64
+	node string
+}
+
+// Ring is an immutable consistent-hash ring. Build one with NewRing; all
+// methods are safe for concurrent use.
+type Ring struct {
+	points []point // sorted by hash
+	nodes  []string
+	vnodes int
+}
+
+// NewRing builds a ring over nodes (order-insensitive — every peer builds
+// the identical ring from the same membership set). vnodes ≤ 0 selects
+// DefaultVirtualNodes.
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	uniq := make([]string, 0, len(nodes))
+	seen := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{nodes: uniq, vnodes: vnodes}
+	r.points = make([]point, 0, len(uniq)*vnodes)
+	for _, n := range uniq {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, point{hash: pointHash(n, i), node: n})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Hash ties (vanishingly rare) break on node name so every peer
+		// still agrees on ownership.
+		return r.points[a].node < r.points[b].node
+	})
+	return r
+}
+
+// pointHash places virtual node i of a node on the ring.
+func pointHash(node string, i int) uint64 {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s#%d", node, i)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// keyHash places a key on the ring.
+func keyHash(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owner returns the node owning key: the first virtual point at or after
+// the key's hash, wrapping at the top of the ring. An empty ring owns
+// nothing ("").
+func (r *Ring) Owner(key string) string {
+	if r == nil || len(r.points) == 0 {
+		return ""
+	}
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Nodes returns the ring's membership, sorted. The slice is a copy.
+func (r *Ring) Nodes() []string {
+	if r == nil {
+		return nil
+	}
+	out := make([]string, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
+// Size returns the number of nodes.
+func (r *Ring) Size() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.nodes)
+}

@@ -1,0 +1,79 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestOwnerDeterministic(t *testing.T) {
+	a := NewRing([]string{"n1", "n2", "n3"}, 0)
+	b := NewRing([]string{"n3", "n1", "n2"}, 0) // order-insensitive
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("rings disagree on %q: %s vs %s", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestOwnershipIsSpread(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3"}, 0)
+	counts := make(map[string]int)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d nodes own keys: %v", len(counts), counts)
+	}
+	for node, c := range counts {
+		frac := float64(c) / n
+		// With 128 vnodes the imbalance stays well inside [0.2, 0.5].
+		if frac < 0.2 || frac > 0.5 {
+			t.Fatalf("node %s owns %.1f%% of keys: %v", node, 100*frac, counts)
+		}
+	}
+}
+
+func TestMembershipChangeIsStable(t *testing.T) {
+	before := NewRing([]string{"n1", "n2", "n3", "n4"}, 0)
+	after := NewRing([]string{"n1", "n2", "n3"}, 0) // n4 left
+
+	const n = 10000
+	moved := 0
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		was, is := before.Owner(key), after.Owner(key)
+		if was != "n4" && was != is {
+			t.Fatalf("key %q moved from surviving node %s to %s", key, was, is)
+		}
+		if was != is {
+			moved++
+		}
+	}
+	// Only n4's ~1/4 share may move.
+	if frac := float64(moved) / n; frac > 0.35 {
+		t.Fatalf("%.1f%% of keys moved after one node left", 100*frac)
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	var nilRing *Ring
+	if nilRing.Owner("k") != "" || nilRing.Size() != 0 || nilRing.Nodes() != nil {
+		t.Fatal("nil ring not inert")
+	}
+	empty := NewRing(nil, 0)
+	if empty.Owner("k") != "" {
+		t.Fatal("empty ring owns a key")
+	}
+	single := NewRing([]string{"only"}, 4)
+	for i := 0; i < 100; i++ {
+		if got := single.Owner(fmt.Sprintf("k%d", i)); got != "only" {
+			t.Fatalf("single-node ring owner = %q", got)
+		}
+	}
+	dedup := NewRing([]string{"a", "a", "b", ""}, 4)
+	if dedup.Size() != 2 {
+		t.Fatalf("dedup size = %d", dedup.Size())
+	}
+}

@@ -1,0 +1,130 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJournalReplayCycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Pending(); len(got) != 0 {
+		t.Fatalf("fresh journal pending = %d", len(got))
+	}
+	if err := j.Submit("a1", json.RawMessage(`{"architecture":"builtin:1"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Submit("a2", json.RawMessage(`{"architecture":"builtin:2"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Done("a1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: only a2 is pending, and the file is compacted to it.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	pending := j2.Pending()
+	if len(pending) != 1 || pending[0].ID != "a2" {
+		t.Fatalf("pending = %+v, want [a2]", pending)
+	}
+	if !strings.Contains(string(pending[0].Request), "builtin:2") {
+		t.Fatalf("pending request = %s", pending[0].Request)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "a1") {
+		t.Fatal("compaction kept a finished job")
+	}
+	if st := j2.Stats(); st.PendingAtOpen != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestJournalToleratesTruncatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Submit("a1", json.RawMessage(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	// Simulate a crash mid-append: a partial JSON line at the tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"op":"submit","id":"a2","requ`)
+	f.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	pending := j2.Pending()
+	if len(pending) != 1 || pending[0].ID != "a1" {
+		t.Fatalf("pending = %+v, want the one intact submission", pending)
+	}
+}
+
+func TestJournalIgnoresDoneWithoutSubmit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Done("ghost"); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := j2.Pending(); len(got) != 0 {
+		t.Fatalf("pending = %+v", got)
+	}
+}
+
+func TestJournalAppendAfterCloseFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if err := j.Submit("a1", nil); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+}
+
+func TestNilJournalIsSafe(t *testing.T) {
+	var j *Journal
+	if err := j.Submit("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Done("a"); err != nil {
+		t.Fatal(err)
+	}
+	if j.Pending() != nil || j.Close() != nil || j.Stats() != (JournalStats{}) {
+		t.Fatal("nil journal not zero")
+	}
+}

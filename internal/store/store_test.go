@@ -1,0 +1,318 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func openTemp(t *testing.T, maxBytes int64) *Store {
+	t.Helper()
+	s, err := Open(Options{Dir: t.TempDir(), MaxBytes: maxBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := openTemp(t, 0)
+	key := "some-canonical-key"
+	payload := []byte(`{"answer":42}`)
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok {
+		t.Fatal("Get missed after Put")
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload = %s, want %s", got, payload)
+	}
+	if _, ok := s.Get("other-key"); ok {
+		t.Fatal("Get hit an absent key")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Bytes <= 0 {
+		t.Fatalf("bytes accounting = %d", st.Bytes)
+	}
+}
+
+func TestPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put("k", []byte(`"v"`)); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get("k")
+	if !ok || string(got) != `"v"` {
+		t.Fatalf("reopened Get = %q, %v", got, ok)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("reopened Len = %d", s2.Len())
+	}
+}
+
+func TestOverwriteReplaces(t *testing.T) {
+	s := openTemp(t, 0)
+	if err := s.Put("k", []byte(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte(`2`)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("k")
+	if !ok || string(got) != "2" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite", s.Len())
+	}
+}
+
+func TestNoTempLeftovers(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte(`{}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tmps, err := os.ReadDir(filepath.Join(dir, tmpDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmps) != 0 {
+		t.Fatalf("%d temp files left behind", len(tmps))
+	}
+}
+
+func TestEvictionByAccessTime(t *testing.T) {
+	// Budget fits roughly two entries; the least recently *accessed* one
+	// must go, not the least recently written.
+	s := openTemp(t, 0)
+	if err := s.Put("a", []byte(`"aaaa"`)); err != nil {
+		t.Fatal(err)
+	}
+	entrySize := s.Stats().Bytes
+	s.maxBytes = 2*entrySize + entrySize/2
+
+	if err := s.Put("b", []byte(`"bbbb"`)); err != nil {
+		t.Fatal(err)
+	}
+	// Touch "a" so "b" becomes the eviction candidate.
+	time.Sleep(2 * time.Millisecond)
+	if _, ok := s.Get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	time.Sleep(2 * time.Millisecond)
+	if err := s.Put("c", []byte(`"cccc"`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("b"); ok {
+		t.Fatal("b survived eviction despite being least recently accessed")
+	}
+	if _, ok := s.Get("a"); !ok {
+		t.Fatal("a was evicted despite recent access")
+	}
+	if _, ok := s.Get("c"); !ok {
+		t.Fatal("c (newest) was evicted")
+	}
+	if ev := s.Stats().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+}
+
+// corruptionCase mutates the single stored object file and names the
+// failure mode it simulates.
+type corruptionCase struct {
+	name   string
+	mutate func(t *testing.T, path string)
+}
+
+func corruptionCases() []corruptionCase {
+	return []corruptionCase{
+		{
+			name: "truncated-file",
+			mutate: func(t *testing.T, path string) {
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name: "bad-checksum",
+			mutate: func(t *testing.T, path string) {
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Flip a payload byte while keeping the JSON valid: the stored
+				// payload is {"n":1}; corrupt the value.
+				mutated := strings.Replace(string(data), `{"n":1}`, `{"n":7}`, 1)
+				if mutated == string(data) {
+					t.Fatal("payload not found in envelope")
+				}
+				if err := os.WriteFile(path, []byte(mutated), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+		{
+			name: "wrong-schema",
+			mutate: func(t *testing.T, path string) {
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mutated := strings.Replace(string(data), Schema, "secstore/v999", 1)
+				if mutated == string(data) {
+					t.Fatal("schema marker not found in envelope")
+				}
+				if err := os.WriteFile(path, []byte(mutated), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+	}
+}
+
+func TestCorruptEntriesQuarantine(t *testing.T) {
+	for _, tc := range corruptionCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(Options{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := "the-key"
+			if err := s.Put(key, []byte(`{"n":1}`)); err != nil {
+				t.Fatal(err)
+			}
+			tc.mutate(t, s.objectPath(hashOf(key)))
+
+			if _, ok := s.Get(key); ok {
+				t.Fatal("Get served a corrupt entry")
+			}
+			st := s.Stats()
+			if st.Quarantined != 1 {
+				t.Fatalf("quarantined = %d, want 1", st.Quarantined)
+			}
+			if st.Entries != 0 {
+				t.Fatalf("entries = %d after quarantine", st.Entries)
+			}
+			// The specimen must be preserved in the quarantine directory.
+			q, err := os.ReadDir(filepath.Join(dir, quarantineDir))
+			if err != nil {
+				t.Fatal(err)
+			}
+			files := 0
+			for _, e := range q {
+				if strings.HasSuffix(e.Name(), ".json") {
+					files++
+				}
+			}
+			if files != 1 {
+				t.Fatalf("quarantine holds %d objects, want 1", files)
+			}
+			// A second Get is a plain miss, not a second quarantine.
+			if _, ok := s.Get(key); ok {
+				t.Fatal("Get hit after quarantine")
+			}
+			if st := s.Stats(); st.Quarantined != 1 {
+				t.Fatalf("quarantined = %d after second Get", st.Quarantined)
+			}
+			// The slot is reusable: a fresh Put serves again.
+			if err := s.Put(key, []byte(`{"n":1}`)); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := s.Get(key); !ok {
+				t.Fatal("Get missed after re-Put of quarantined key")
+			}
+		})
+	}
+}
+
+func TestExplicitQuarantine(t *testing.T) {
+	s := openTemp(t, 0)
+	if err := s.Put("k", []byte(`{"old":"shape"}`)); err != nil {
+		t.Fatal(err)
+	}
+	s.Quarantine("k", "payload does not decode as Outcome")
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("Get hit a quarantined key")
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("quarantined = %d", st.Quarantined)
+	}
+}
+
+func TestNilStoreIsSafe(t *testing.T) {
+	var s *Store
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("nil Get hit")
+	}
+	if err := s.Put("k", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	s.Quarantine("k", "x")
+	if s.Len() != 0 || s.Stats() != (Stats{}) || s.Dir() != "" {
+		t.Fatal("nil store not zero")
+	}
+}
+
+func TestOpenRequiresDir(t *testing.T) {
+	if _, err := Open(Options{}); err == nil {
+		t.Fatal("Open accepted an empty directory")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := openTemp(t, 0)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 20; i++ {
+				key := fmt.Sprintf("k%d", i%5)
+				if err := s.Put(key, []byte(fmt.Sprintf(`{"g":%d}`, g))); err != nil {
+					done <- err
+					return
+				}
+				if payload, ok := s.Get(key); ok {
+					var v map[string]int
+					if err := json.Unmarshal(payload, &v); err != nil {
+						done <- fmt.Errorf("torn read: %w", err)
+						return
+					}
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

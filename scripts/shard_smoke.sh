@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# shard_smoke.sh boots a three-node secserved shard ring on loopback,
+# submits 30 distinct analyses through a single node, and asserts the ring
+# actually spread the work: every job must finish, and more than half of
+# the submissions must have been forwarded to a peer (each canonical key
+# has exactly one owner, so with three nodes roughly two thirds of a mixed
+# batch belongs elsewhere). The node names, virtual-node count and request
+# set are all fixed, so the forwarded count is deterministic.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+WORKDIR="$(mktemp -d)"
+BIN="$WORKDIR/secserved"
+go build -o "$BIN" ./cmd/secserved
+
+P1=18601
+P2=18602
+P3=18603
+PEERS="n1=http://127.0.0.1:$P1,n2=http://127.0.0.1:$P2,n3=http://127.0.0.1:$P3"
+
+pids=()
+cleanup() {
+    kill "${pids[@]}" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+for i in 1 2 3; do
+    port=$((18600 + i))
+    "$BIN" -addr "127.0.0.1:$port" -node-id "n$i" -peers "$PEERS" -workers 2 \
+        -store-dir "$WORKDIR/store$i" -journal "$WORKDIR/journal$i.jsonl" \
+        >"$WORKDIR/n$i.log" 2>&1 &
+    pids+=($!)
+done
+
+for i in 1 2 3; do
+    port=$((18600 + i))
+    up=0
+    for _ in $(seq 1 50); do
+        if curl -fsS "http://127.0.0.1:$port/v1/healthz" >/dev/null 2>&1; then
+            up=1
+            break
+        fi
+        sleep 0.2
+    done
+    if [ "$up" -ne 1 ]; then
+        echo "shard-smoke: node n$i never became healthy" >&2
+        cat "$WORKDIR/n$i.log" >&2 || true
+        exit 1
+    fi
+done
+
+# 30 distinct single-cell analyses (3 architectures x 10 horizons), all
+# submitted synchronously through n1.
+done_count=0
+for b in 1 2 3; do
+    for h in 1 2 3 4 5 6 7 8 9 10; do
+        body=$(printf '{"architecture":"builtin:%d","category":"c","protection":"unencrypted","nmax":1,"horizon":%d,"skip_steady_state":true,"wait_seconds":30}' "$b" "$h")
+        resp=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$body" \
+            "http://127.0.0.1:$P1/v1/analyses")
+        case "$resp" in
+        *'"status": "done"'*) done_count=$((done_count + 1)) ;;
+        *)
+            echo "shard-smoke: job did not finish: $resp" >&2
+            exit 1
+            ;;
+        esac
+    done
+done
+echo "shard-smoke: $done_count/30 analyses done"
+
+metrics=$(curl -fsS "http://127.0.0.1:$P1/v1/metrics")
+owned=$(printf '%s' "$metrics" | grep -o '"owned": [0-9]*' | head -1 | grep -o '[0-9]*$')
+forwarded=$(printf '%s' "$metrics" | grep -o '"forwarded": [0-9]*' | head -1 | grep -o '[0-9]*$')
+echo "shard-smoke: n1 owned=$owned forwarded=$forwarded of 30"
+
+if [ "$((owned + forwarded))" -ne 30 ]; then
+    echo "shard-smoke: FAIL: owned+forwarded = $((owned + forwarded)), want 30" >&2
+    exit 1
+fi
+if [ "$forwarded" -le 15 ]; then
+    echo "shard-smoke: FAIL: only $forwarded/30 submissions were forwarded (want >15)" >&2
+    exit 1
+fi
+echo "shard-smoke: PASS"
