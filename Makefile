@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race chaos explore check cover bench bench-smoke shard-smoke examples experiments serve fuzz clean
+.PHONY: all build vet lint test race fleet-race chaos explore check cover bench bench-smoke shard-smoke fleet-chaos examples experiments serve fuzz clean
 
 all: check
 
@@ -36,6 +36,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# fleet-race hammers the fleet-resilience paths — circuit breakers, the
+# health prober, replication/hinted handoff and tenant admission — under
+# the race detector with fresh (uncached) runs.
+fleet-race:
+	$(GO) test -race -count=1 ./internal/shard/ ./internal/service/
 
 # chaos drives the fault-injection stack end to end under the race detector:
 # injected worker panics, solver divergence, slow solves, exploration-budget
@@ -77,6 +83,13 @@ bench-smoke:
 # forwarded to the owning peers (see README "Persistence & sharding").
 shard-smoke:
 	./scripts/shard_smoke.sh
+
+# fleet-chaos kills and restarts a node of a three-node replicated ring
+# mid-workload: zero client-visible failures, breaker-driven failover with
+# dedup on the successor, hinted handoff drained after the restart (see
+# README "Fleet resilience").
+fleet-chaos:
+	./scripts/fleet_chaos.sh
 
 examples:
 	$(GO) run ./examples/quickstart

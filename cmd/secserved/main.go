@@ -43,6 +43,17 @@
 // submission there (preserving single-flight dedup on the owner) and falls
 // back to local compute when the owner is unreachable.
 //
+// In sharded mode each peer carries a circuit breaker (-breaker-threshold,
+// -breaker-open, -breaker-open-max) driven by an active health prober
+// (-probe-interval); ownership of a key whose owner's breaker is open fails
+// over to the next healthy ring successor. -replication keeps that many
+// copies of each result across the ring, and results owed to an unreachable
+// node queue as hinted handoffs (-hints for a durable queue) delivered once
+// the node's breaker closes. -tenants FILE enables per-tenant admission
+// control: token-bucket rates, in-flight quotas and priority-aware load
+// shedding keyed on the X-Secserved-Tenant header, rejected with 429 +
+// Retry-After.
+//
 // SIGINT/SIGTERM drain gracefully: submissions are refused, in-flight jobs
 // finish (up to -drain), then the process exits.
 package main
@@ -99,6 +110,13 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	journalPath := fs.String("journal", "", "append-only job journal file; pending jobs are replayed on startup (empty = disabled)")
 	peersSpec := fs.String("peers", "", "shard peer set as \"name=url,name2=url2\" incl. this node; empty = standalone")
 	nodeID := fs.String("node-id", "", "this node's name in -peers (required with -peers)")
+	replication := fs.Int("replication", 2, "result copies kept across the ring (sharded mode; <2 = owner only)")
+	hintsPath := fs.String("hints", "", "durable hinted-handoff queue file (sharded mode; empty = in-memory)")
+	probeInterval := fs.Duration("probe-interval", 2*time.Second, "active peer health-probe interval (sharded mode; 0 = disabled)")
+	breakerThreshold := fs.Int("breaker-threshold", 3, "consecutive peer failures that open its circuit breaker")
+	breakerOpen := fs.Duration("breaker-open", time.Second, "first open period of a tripped breaker (doubles per re-open)")
+	breakerOpenMax := fs.Duration("breaker-open-max", 30*time.Second, "cap on the breaker open-period backoff")
+	tenantsPath := fs.String("tenants", "", "per-tenant admission policy JSON file (empty = admit everything)")
 	faults := fs.String("faults", os.Getenv("SECFAULTS"), "fault-injection spec, e.g. \"worker.panic:p=0.1,solve.slow:d=2s\" (default $SECFAULTS)")
 	faultSeed := fs.Int64("fault-seed", 0, "fault-injection RNG seed (default $SECFAULT_SEED or 1)")
 	var ocli obs.CLI
@@ -174,7 +192,30 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		if router, err = shard.NewRouter(*nodeID, peers, 0); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "secserved: shard node %s in ring %v\n", *nodeID, router.Nodes())
+		router.Breakers = shard.NewBreakerSet(shard.BreakerOptions{
+			FailureThreshold: *breakerThreshold,
+			OpenBase:         *breakerOpen,
+			OpenMax:          *breakerOpenMax,
+		})
+		fmt.Fprintf(out, "secserved: shard node %s in ring %v (replication %d, probe %s)\n",
+			*nodeID, router.Nodes(), *replication, *probeInterval)
+	}
+	var hints *store.HintQueue
+	if router != nil && *replication > 1 {
+		if hints, err = store.OpenHints(*hintsPath, 0); err != nil {
+			return err
+		}
+		defer hints.Close()
+		if *hintsPath != "" {
+			fmt.Fprintf(out, "secserved: hinted-handoff queue at %s (%d pending)\n", *hintsPath, hints.Depth())
+		}
+	}
+	var tenants *service.TenantPolicy
+	if *tenantsPath != "" {
+		if tenants, err = service.LoadTenants(*tenantsPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "secserved: admission control over %d tenant(s)\n", len(tenants.Tenants))
 	}
 
 	srv := service.New(service.Config{
@@ -199,6 +240,10 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		Journal:          journal,
 		Shard:            router,
 		NodeID:           *nodeID,
+		Replication:      *replication,
+		Hints:            hints,
+		ProbeInterval:    *probeInterval,
+		Tenants:          tenants,
 	})
 	if journal != nil {
 		if n := srv.ReplayJournal(); n > 0 {

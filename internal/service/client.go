@@ -54,6 +54,7 @@ func (c *Client) httpClient() *http.Client {
 type apiError struct {
 	Status     int
 	Msg        string
+	Kind       string
 	RetryAfter int
 }
 
@@ -120,17 +121,36 @@ func (e *transportError) Error() string { return e.err.Error() }
 func (e *transportError) Unwrap() error { return e.err }
 
 // doFailover issues the request against BaseURL, failing over to each peer
-// in order while the server under trial never answers.
+// in order while the server under trial is effectively unavailable to this
+// caller: it never answered (connection refused or reset), or it answered
+// 503 with a Retry-After the caller cannot afford to wait out before its
+// own deadline — waiting would time the request out anyway, while a peer
+// can serve it now (any node serves any request in a sharded deployment).
+// A response the caller could usefully retry or consume is never replayed.
 func (c *Client) doFailover(ctx context.Context, method, path string, data []byte, out any) error {
 	err := c.doOnce(ctx, c.BaseURL, method, path, data, out)
 	for _, peer := range c.Peers {
-		var te *transportError
-		if err == nil || !errors.As(err, &te) || ctx.Err() != nil {
+		if err == nil || !c.failoverEligible(ctx, err) || ctx.Err() != nil {
 			return err
 		}
 		err = c.doOnce(ctx, peer, method, path, data, out)
 	}
 	return err
+}
+
+// failoverEligible reports whether err should be replayed against a peer.
+func (c *Client) failoverEligible(ctx context.Context, err error) bool {
+	var te *transportError
+	if errors.As(err, &te) {
+		return true
+	}
+	var ae *apiError
+	if errors.As(err, &ae) && ae.Status == http.StatusServiceUnavailable && ae.RetryAfter > 0 {
+		if deadline, ok := ctx.Deadline(); ok {
+			return time.Duration(ae.RetryAfter)*time.Second > time.Until(deadline)
+		}
+	}
+	return false
 }
 
 func (c *Client) doOnce(ctx context.Context, base, method, path string, data []byte, out any) error {
@@ -168,6 +188,7 @@ func (c *Client) doOnce(ctx context.Context, base, method, path string, data []b
 		var eb errorBody
 		if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
 			ae.Msg = eb.Error
+			ae.Kind = eb.Kind
 		}
 		if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
 			ae.RetryAfter = secs

@@ -129,6 +129,21 @@ type Job struct {
 	collector *obs.Collector
 	recorder  *obs.AttemptRecorder
 
+	// tenant is the admission-control identity the job was charged to
+	// (empty when admission is off or the job arrived pre-routed from a
+	// peer — the entry node already charged it).
+	tenant string
+	// key is the request's canonical content address, computed at submit
+	// when replication is on — the address replica writes go out under.
+	key string
+	// handoffOwner names the down primary owner this node computed on
+	// behalf of (empty normally), so the result replicates to it —
+	// immediately if it answers, via a hinted-handoff record otherwise.
+	handoffOwner string
+	// release returns the job's admission slot; finishJob invokes it once
+	// when the job reaches a terminal state (nil when nothing was charged).
+	release func()
+
 	// slowThreshold (nanoseconds) is the slow-analysis latency bar captured
 	// when the job first starts executing, so an auto-derived threshold is
 	// judged against the histogram as it was *before* this job ran.

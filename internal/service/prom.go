@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"net/http"
+	"sort"
 
 	"repro/internal/obs"
 )
@@ -60,6 +61,45 @@ func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
 		counter("shard_forwarded_total", sh.Forwarded, "Submissions proxied to their owning node.")
 		counter("shard_received_forwarded_total", sh.ReceivedForwarded, "Submissions received pre-routed from a peer.")
 		counter("shard_forward_failed_total", sh.ForwardFailed, "Forwards that fell back to local compute.")
+		counter("shard_failover_total", sh.Failovers, "Submissions routed past an open-breaker owner to a ring successor.")
+		counter("shard_breaker_transitions_total", sh.BreakerTransitions, "Peer circuit-breaker state changes.")
+		counter("shard_probes_total", sh.Probes, "Active peer health probes issued.")
+		counter("shard_probe_failures_total", sh.ProbeFailures, "Active peer health probes that failed.")
+		if len(sh.Breakers) > 0 {
+			fmt.Fprintf(w, "# HELP secserved_shard_breaker_state Peer circuit-breaker state (0=closed, 1=half-open, 2=open).\n# TYPE secserved_shard_breaker_state gauge\n")
+			for _, peer := range sortedKeys(sh.Breakers) {
+				fmt.Fprintf(w, "secserved_shard_breaker_state{peer=%q} %d\n",
+					peer, breakerStateValue(sh.Breakers[peer]))
+			}
+		}
+	}
+	if rp := m.Replication; rp != nil {
+		gauge("replication_factor", float64(rp.Factor), "Effective result replication factor.")
+		counter("replica_pushed_total", rp.Pushed, "Replica writes delivered to peers.")
+		counter("replica_push_failed_total", rp.Failed, "Replica writes that fell back to a hinted-handoff record.")
+		counter("replica_received_total", rp.Received, "Replica writes accepted from peers.")
+		gauge("handoff_pending", float64(rp.HandoffPending), "Hinted-handoff records awaiting delivery.")
+		counter("handoff_queued_total", rp.HandoffQueued, "Hinted-handoff records queued for unreachable replicas.")
+		counter("handoff_delivered_total", rp.HandoffDelivered, "Hinted-handoff records replayed to recovered nodes.")
+		counter("handoff_dropped_total", rp.HandoffDropped, "Hinted-handoff records displaced by the per-node bound.")
+	}
+	if len(m.Tenants) > 0 {
+		fmt.Fprintf(w, "# HELP secserved_tenant_admitted_total Submissions admitted per tenant.\n# TYPE secserved_tenant_admitted_total counter\n")
+		names := tenantNames(m.Tenants)
+		for _, name := range names {
+			fmt.Fprintf(w, "secserved_tenant_admitted_total{tenant=%q} %d\n", name, m.Tenants[name].Admitted)
+		}
+		fmt.Fprintf(w, "# HELP secserved_tenant_in_flight Accepted-but-unfinished jobs per tenant.\n# TYPE secserved_tenant_in_flight gauge\n")
+		for _, name := range names {
+			fmt.Fprintf(w, "secserved_tenant_in_flight{tenant=%q} %d\n", name, m.Tenants[name].InFlight)
+		}
+		fmt.Fprintf(w, "# HELP secserved_tenant_shed_total Submissions shed per tenant and reason.\n# TYPE secserved_tenant_shed_total counter\n")
+		for _, name := range names {
+			shed := m.Tenants[name].Shed
+			for _, reason := range sortedKeysInt(shed) {
+				fmt.Fprintf(w, "secserved_tenant_shed_total{tenant=%q,reason=%q} %d\n", name, reason, shed[reason])
+			}
+		}
 	}
 	if jn := m.Journal; jn != nil {
 		gauge("journal_pending_at_open", float64(jn.PendingAtOpen), "Replay backlog found when the journal opened.")
@@ -68,4 +108,34 @@ func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
 		counter("journal_errors_total", jn.Errors, "Journal appends that failed (persistence degraded).")
 	}
 	_ = obs.WritePrometheus(w, s.collector, "secserved")
+}
+
+// breakerStateValue maps a breaker state name to its numeric gauge value.
+func breakerStateValue(state string) int {
+	switch state {
+	case "half-open":
+		return 1
+	case "open":
+		return 2
+	default:
+		return 0
+	}
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedKeysInt(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -111,6 +111,29 @@ type Config struct {
 	// can route a job poll to the node that owns it. Defaults to
 	// Shard.Self() when sharding is configured.
 	NodeID string
+	// Replication is the result replication factor: freshly-computed
+	// outcomes are pushed asynchronously to the key's first Replication
+	// ring nodes (owner included), so one node's loss doesn't cold-start
+	// its whole keyspace. < 2 disables replication.
+	Replication int
+	// Hints is the hinted-handoff queue holding results owed to
+	// unreachable replicas, replayed when their breaker closes. New
+	// installs a memory-only queue when replication is on and none is
+	// given; mount a durable one (store.OpenHints with a path) to survive
+	// restarts.
+	Hints *store.HintQueue
+	// HandoffInterval paces the hint delivery loop (default 1s); the
+	// prober's recovery signal also triggers delivery immediately.
+	HandoffInterval time.Duration
+	// ProbeInterval enables the active peer health prober at the given
+	// period. 0 disables probing: breakers are then driven only by live
+	// forwarding traffic.
+	ProbeInterval time.Duration
+	// Tenants enables per-tenant admission control on POST /v1/analyses:
+	// token-bucket rates, in-flight quotas and priority-aware load
+	// shedding, keyed by the X-Secserved-Tenant header. nil admits
+	// everything.
+	Tenants *TenantPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -149,6 +172,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.NodeID == "" && c.Shard != nil {
 		c.NodeID = c.Shard.Self()
+	}
+	if c.HandoffInterval <= 0 {
+		c.HandoffInterval = time.Second
+	}
+	if c.Shard != nil && c.Replication > 1 && c.Hints == nil {
+		// Replication without a configured hint queue still gets handoff
+		// semantics; the hints just don't survive a restart.
+		c.Hints, _ = store.OpenHints("", 0)
 	}
 	return c
 }
@@ -196,6 +227,22 @@ type Server struct {
 	shardForwardFail atomic.Int64 // forward attempts that fell back to local compute
 	journalErrors    atomic.Int64 // journal appends that failed (persistence degraded)
 	journalReplayed  atomic.Int64 // jobs re-enqueued from the journal at startup
+
+	// Fleet-resilience machinery (see replicate.go; zero when Shard is nil).
+	admission   *admission
+	prober      *shard.Prober
+	fleetCtx    context.Context
+	fleetCancel context.CancelFunc
+	fleetSpan   *obs.Span
+	fleetWG     sync.WaitGroup
+	handoffKick chan struct{}
+
+	shardFailover      atomic.Int64 // submissions routed past an open-breaker owner
+	breakerTransitions atomic.Int64 // peer breaker state changes observed
+	replicaPushed      atomic.Int64 // replica writes delivered to peers
+	replicaFailed      atomic.Int64 // replica writes that fell back to a hint
+	replicaReceived    atomic.Int64 // replica writes accepted from peers
+	hintsDelivered     atomic.Int64 // hinted-handoff records replayed successfully
 }
 
 // pendingRetry is a job waiting out its backoff. Ownership protocol:
@@ -244,6 +291,7 @@ func New(cfg Config) *Server {
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/analyses", s.handleSubmit)
+	s.mux.HandleFunc("PUT /v1/replica/{key}", s.handleReplicaPut)
 	s.mux.HandleFunc("GET /v1/analyses/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/analyses/{id}/manifest", s.handleManifest)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
@@ -261,6 +309,8 @@ func New(cfg Config) *Server {
 		// The handler tolerates a disabled (nil) recorder by serving 404.
 		s.mux.Handle("GET /debug/flight", s.flight.Handler())
 	}
+	s.admission = newAdmission(cfg.Tenants)
+	s.startFleet()
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -360,6 +410,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.baseCancel() // abort in-flight solves; solvers poll their ctx
 		<-drained
 	}
+	// After the job drain so results finished during it still replicate.
+	s.stopFleet()
 	s.baseCancel()
 	if httpSrv != nil {
 		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -492,12 +544,16 @@ func (s *Server) finishJob(job *Job, out *Outcome, cache CacheState, err error) 
 	if !job.finish(out, cache, err, m) {
 		return // already terminal: a panic raced a normal finish
 	}
+	if job.release != nil {
+		job.release()
+	}
 	if err != nil {
 		s.failed.Add(1)
 		s.consecFailures.Add(1)
 	} else {
 		s.completed.Add(1)
 		s.consecFailures.Store(0)
+		s.replicateOutcome(job, out, cache)
 	}
 	if s.cfg.Journal != nil {
 		// Any terminal state — success, failure, cancellation — retires the
@@ -632,8 +688,27 @@ func (s *Server) Submit(req *AnalysisRequest) (*Job, error) {
 // spans and manifest into (the zero TraceContext means none). The trace is
 // bound at enqueue time so the worker cannot race the submission.
 func (s *Server) SubmitTrace(req *AnalysisRequest, tc obs.TraceContext) (*Job, error) {
+	return s.submitMeta(req, tc, submitMeta{})
+}
+
+// submitMeta carries the submission-path context the HTTP handler binds to
+// a job: admission identity and release, and the replication key/handoff
+// target the routing layer determined.
+type submitMeta struct {
+	tenant       string
+	key          string
+	handoffOwner string
+	release      func()
+}
+
+func (s *Server) submitMeta(req *AnalysisRequest, tc obs.TraceContext, meta submitMeta) (*Job, error) {
 	if err := s.engine.Validate(req); err != nil {
 		return nil, err
+	}
+	if meta.key == "" && s.replication() > 1 {
+		// The routing layer skips the fingerprint for forwarded-in requests;
+		// the owner still needs it to address its replica writes.
+		meta.key, _ = s.engine.Fingerprint(req)
 	}
 	s.mu.Lock()
 	if s.draining {
@@ -647,6 +722,10 @@ func (s *Server) SubmitTrace(req *AnalysisRequest, tc obs.TraceContext) (*Job, e
 		id = s.cfg.NodeID + ":" + id
 	}
 	job := newJob(id, req)
+	job.tenant = meta.tenant
+	job.key = meta.key
+	job.handoffOwner = meta.handoffOwner
+	job.release = meta.release
 	if tc.Valid() {
 		job.trace = tc
 	}
@@ -802,15 +881,49 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	if s.maybeForward(w, r, &req, body) {
+	// Admission control charges the entry node only: a request that arrives
+	// pre-routed from a peer was already admitted there. Health and metrics
+	// endpoints never pass through here, so they are never shed.
+	tenant := tenantOf(r)
+	var release func()
+	if s.admission != nil && r.Header.Get(shard.ForwardedHeader) == "" {
+		rel, retryIn, reason := s.admission.admit(tenant, s.queuePressure())
+		if rel == nil {
+			s.rejected.Add(1)
+			obs.Count(r.Context(), "service.tenant.shed", 1)
+			obs.LogAttrs(r.Context(), "tenant.shed",
+				obs.Attr{Key: "tenant", Kind: obs.KindString, Str: tenant},
+				obs.Attr{Key: "reason", Kind: obs.KindString, Str: reason})
+			s.stampNode(w)
+			w.Header().Set("Retry-After", strconv.Itoa(int(retryIn/time.Second)))
+			writeErrorKind(w, http.StatusTooManyRequests, "tenant_"+reason,
+				fmt.Errorf("tenant %q over budget (%s); retry after %s", tenant, reason, retryIn))
+			return
+		}
+		release = rel
+	}
+	handled, key, handoffOwner := s.maybeForward(w, r, &req, body)
+	if handled {
+		if release != nil {
+			// The owner answered; the work has left this node.
+			release()
+		}
 		return
 	}
 	tc, ok := obs.RemoteFrom(r.Context())
 	if !ok {
 		tc, _ = obs.Extract(r.Header) // direct mux use, no Handler wrapper
 	}
-	job, err := s.SubmitTrace(&req, tc)
+	job, err := s.submitMeta(&req, tc, submitMeta{
+		tenant:       tenant,
+		key:          key,
+		handoffOwner: handoffOwner,
+		release:      release,
+	})
 	if err != nil {
+		if release != nil {
+			release()
+		}
 		switch {
 		case errors.Is(err, ErrDraining):
 			writeError(w, http.StatusServiceUnavailable, err)
@@ -852,6 +965,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusUnprocessableEntity
 	}
 	writeJSON(w, status, view)
+}
+
+// queuePressure is the admission controller's load signal: queue depth
+// over capacity.
+func (s *Server) queuePressure() float64 {
+	if s.cfg.QueueDepth <= 0 {
+		return 0
+	}
+	return float64(len(s.queue)) / float64(s.cfg.QueueDepth)
 }
 
 // stampNode marks a locally-served response with this node's shard name.
@@ -968,6 +1090,12 @@ type Metrics struct {
 	Shard *ShardMetrics `json:"shard,omitempty"`
 	// Journal reports the crash-recovery journal (nil when none is mounted).
 	Journal *JournalMetrics `json:"journal,omitempty"`
+	// Replication reports the result-replication and hinted-handoff tier
+	// (nil when replication is off).
+	Replication *ReplicationMetrics `json:"replication,omitempty"`
+	// Tenants reports per-tenant admission counters (nil when admission
+	// control is off).
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
 }
 
 // ShardMetrics is the /v1/metrics view of the consistent-hash peer tier.
@@ -982,6 +1110,36 @@ type ShardMetrics struct {
 	Forwarded         int64 `json:"forwarded"`
 	ReceivedForwarded int64 `json:"received_forwarded"`
 	ForwardFailed     int64 `json:"forward_failed"`
+	// Failovers counts submissions routed past an open-breaker owner to
+	// the next healthy ring successor.
+	Failovers int64 `json:"failovers"`
+	// Breakers maps peer → circuit state ("closed", "half-open", "open");
+	// BreakerTransitions counts state changes observed.
+	Breakers           map[string]string `json:"breakers,omitempty"`
+	BreakerTransitions int64             `json:"breaker_transitions"`
+	// Probes / ProbeFailures count active health checks (zero when the
+	// prober is off).
+	Probes        int64 `json:"probes"`
+	ProbeFailures int64 `json:"probe_failures"`
+}
+
+// ReplicationMetrics is the /v1/metrics view of result replication and
+// hinted handoff.
+type ReplicationMetrics struct {
+	// Factor is the effective replication factor.
+	Factor int `json:"factor"`
+	// Pushed / Failed count replica writes delivered to peers and writes
+	// that fell back to a hint; Received counts replica writes accepted
+	// from peers.
+	Pushed   int64 `json:"pushed"`
+	Failed   int64 `json:"failed"`
+	Received int64 `json:"received"`
+	// HandoffPending is the current hint backlog; HandoffQueued /
+	// HandoffDelivered / HandoffDropped are lifetime hint-queue counters.
+	HandoffPending   int   `json:"handoff_pending"`
+	HandoffQueued    int64 `json:"handoff_queued"`
+	HandoffDelivered int64 `json:"handoff_delivered"`
+	HandoffDropped   int64 `json:"handoff_dropped"`
 }
 
 // JournalMetrics is the /v1/metrics view of the job journal.
@@ -1018,14 +1176,38 @@ func (s *Server) Metrics() Metrics {
 	}
 	if s.cfg.Shard != nil {
 		m.Shard = &ShardMetrics{
-			Node:              s.cfg.NodeID,
-			Nodes:             s.cfg.Shard.Nodes(),
-			Owned:             s.shardOwned.Load(),
-			Forwarded:         s.shardForwarded.Load(),
-			ReceivedForwarded: s.shardReceivedFwd.Load(),
-			ForwardFailed:     s.shardForwardFail.Load(),
+			Node:               s.cfg.NodeID,
+			Nodes:              s.cfg.Shard.Nodes(),
+			Owned:              s.shardOwned.Load(),
+			Forwarded:          s.shardForwarded.Load(),
+			ReceivedForwarded:  s.shardReceivedFwd.Load(),
+			ForwardFailed:      s.shardForwardFail.Load(),
+			Failovers:          s.shardFailover.Load(),
+			BreakerTransitions: s.breakerTransitions.Load(),
+		}
+		if s.cfg.Shard.Breakers != nil {
+			states := s.cfg.Shard.Breakers.States()
+			m.Shard.Breakers = make(map[string]string, len(states))
+			for node, st := range states {
+				m.Shard.Breakers[node] = st.String()
+			}
+		}
+		m.Shard.Probes, m.Shard.ProbeFailures = s.prober.Stats()
+		if f := s.replication(); f > 1 {
+			hs := s.cfg.Hints.Stats()
+			m.Replication = &ReplicationMetrics{
+				Factor:           f,
+				Pushed:           s.replicaPushed.Load(),
+				Failed:           s.replicaFailed.Load(),
+				Received:         s.replicaReceived.Load(),
+				HandoffPending:   hs.Pending,
+				HandoffQueued:    hs.Queued,
+				HandoffDelivered: hs.Delivered,
+				HandoffDropped:   hs.Dropped,
+			}
 		}
 	}
+	m.Tenants = s.admission.stats()
 	if s.cfg.Journal != nil {
 		js := s.cfg.Journal.Stats()
 		m.Journal = &JournalMetrics{
@@ -1052,8 +1234,16 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 type errorBody struct {
 	Error string `json:"error"`
+	// Kind is a machine-readable classification for errors a client routes
+	// on (e.g. "owner_unavailable" for polls whose owning node is down, or
+	// "tenant_rate" for admission rejections).
+	Kind string `json:"kind,omitempty"`
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func writeErrorKind(w http.ResponseWriter, status int, kind string, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error(), Kind: kind})
 }

@@ -1,0 +1,305 @@
+package shard
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// BreakerState is the lifecycle state of one peer's circuit breaker.
+type BreakerState int32
+
+// Breaker states. The zero value is Closed so an untouched peer is assumed
+// healthy.
+const (
+	// BreakerClosed: the peer is healthy; requests flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerHalfOpen: the open period elapsed; exactly one trial request
+	// (a forwarded submission or an active health probe) is allowed through
+	// to decide whether the peer recovered.
+	BreakerHalfOpen
+	// BreakerOpen: consecutive failures tripped the breaker; requests are
+	// refused locally until the backoff deadline passes.
+	BreakerOpen
+)
+
+// String returns the state's metrics-stable name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerOptions tunes a BreakerSet.
+type BreakerOptions struct {
+	// FailureThreshold is the consecutive-failure count that opens a closed
+	// breaker (default 3).
+	FailureThreshold int
+	// OpenBase is the first open period; each consecutive re-open (a failed
+	// half-open trial) doubles it up to OpenMax (defaults 1s / 30s).
+	OpenBase time.Duration
+	OpenMax  time.Duration
+
+	// now substitutes the clock in tests.
+	now func() time.Time
+}
+
+func (o BreakerOptions) withDefaults() BreakerOptions {
+	if o.FailureThreshold <= 0 {
+		o.FailureThreshold = 3
+	}
+	if o.OpenBase <= 0 {
+		o.OpenBase = time.Second
+	}
+	if o.OpenMax <= 0 {
+		o.OpenMax = 30 * time.Second
+	}
+	if o.now == nil {
+		o.now = time.Now
+	}
+	return o
+}
+
+// Breaker is one peer's circuit breaker: closed while the peer behaves,
+// open (refusing requests locally, so callers fail over without paying a
+// transport timeout) after FailureThreshold consecutive failures, and
+// half-open — admitting a single trial — once the capped-backoff open
+// period elapses. Safe for concurrent use.
+type Breaker struct {
+	opts BreakerOptions
+
+	mu          sync.Mutex
+	state       BreakerState
+	consecFails int       // consecutive failures while closed
+	opens       int       // consecutive open periods (drives backoff doubling)
+	until       time.Time // end of the current open period
+	probing     bool      // the half-open trial slot is taken
+}
+
+func newBreaker(opts BreakerOptions) *Breaker {
+	return &Breaker{opts: opts}
+}
+
+// Allow reports whether a request to the peer may proceed, moving an
+// expired open breaker to half-open. In half-open exactly one caller wins
+// the trial slot; everyone else is refused until the trial reports OK or
+// Fail. A nil breaker allows everything.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.opts.now().Before(b.until) {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // BreakerHalfOpen
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// OK records a successful request: the breaker closes and all failure
+// history resets.
+func (b *Breaker) OK() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.consecFails = 0
+	b.opens = 0
+	b.probing = false
+}
+
+// Release returns an unused half-open trial slot without judging the peer.
+// Callers whose request was aborted for reasons unrelated to the peer's
+// health (the client canceled mid-forward) must call this instead of OK or
+// Fail: leaving the slot taken would wedge the breaker half-open forever,
+// since every later Allow — including the health prober's — is refused
+// while a trial is nominally in flight.
+func (b *Breaker) Release() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+	}
+}
+
+// Fail records a failed request (transport error or 5xx). A closed breaker
+// opens after FailureThreshold consecutive failures; a half-open trial
+// failure re-opens with doubled backoff.
+func (b *Breaker) Fail() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.consecFails++
+		if b.consecFails >= b.opts.FailureThreshold {
+			b.openLocked()
+		}
+	case BreakerHalfOpen:
+		b.openLocked()
+	case BreakerOpen:
+		// Failures while open (a racing request that was already in flight
+		// when the breaker tripped) neither extend nor escalate the backoff.
+	}
+}
+
+// openLocked starts an open period with capped exponential backoff.
+func (b *Breaker) openLocked() {
+	b.opens++
+	d := b.opts.OpenBase
+	if shift := b.opens - 1; shift > 0 {
+		if shift > 30 || float64(d)*math.Pow(2, float64(shift)) > float64(b.opts.OpenMax) {
+			d = b.opts.OpenMax
+		} else {
+			d <<= shift
+		}
+	}
+	if d > b.opts.OpenMax {
+		d = b.opts.OpenMax
+	}
+	b.state = BreakerOpen
+	b.until = b.opts.now().Add(d)
+	b.consecFails = 0
+	b.probing = false
+}
+
+// State returns the breaker's current state without side effects (an
+// expired open period still reads as open until someone calls Allow).
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// BreakerSet holds one breaker per peer node, creating them on first use.
+// OnTransition, when set before traffic starts, observes every state
+// change (breaker trip, half-open trial, recovery) for logging and the
+// flight recorder.
+type BreakerSet struct {
+	opts BreakerOptions
+
+	// OnTransition is invoked (outside the per-breaker lock) whenever a
+	// node's breaker changes state. Set before concurrent use.
+	OnTransition func(node string, from, to BreakerState)
+
+	mu sync.Mutex
+	m  map[string]*Breaker
+}
+
+// NewBreakerSet builds a set with the given options.
+func NewBreakerSet(opts BreakerOptions) *BreakerSet {
+	return &BreakerSet{opts: opts.withDefaults(), m: make(map[string]*Breaker)}
+}
+
+// breaker returns (creating if needed) the breaker for node. Nil-safe.
+func (s *BreakerSet) breaker(node string) *Breaker {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[node]
+	if !ok {
+		b = newBreaker(s.opts)
+		s.m[node] = b
+	}
+	return b
+}
+
+// Allow reports whether a request to node may proceed (see Breaker.Allow).
+func (s *BreakerSet) Allow(node string) bool {
+	if s == nil {
+		return true
+	}
+	b := s.breaker(node)
+	before := b.State()
+	ok := b.Allow()
+	s.notify(node, before, b.State())
+	return ok
+}
+
+// OK records a successful request to node.
+func (s *BreakerSet) OK(node string) {
+	if s == nil {
+		return
+	}
+	b := s.breaker(node)
+	before := b.State()
+	b.OK()
+	s.notify(node, before, b.State())
+}
+
+// Release returns node's unused half-open trial slot (see Breaker.Release).
+func (s *BreakerSet) Release(node string) {
+	if s == nil {
+		return
+	}
+	s.breaker(node).Release()
+}
+
+// Fail records a failed request to node.
+func (s *BreakerSet) Fail(node string) {
+	if s == nil {
+		return
+	}
+	b := s.breaker(node)
+	before := b.State()
+	b.Fail()
+	s.notify(node, before, b.State())
+}
+
+func (s *BreakerSet) notify(node string, from, to BreakerState) {
+	if from != to && s.OnTransition != nil {
+		s.OnTransition(node, from, to)
+	}
+}
+
+// State returns node's breaker state without side effects.
+func (s *BreakerSet) State(node string) BreakerState {
+	if s == nil {
+		return BreakerClosed
+	}
+	return s.breaker(node).State()
+}
+
+// States snapshots every known breaker, keyed by node.
+func (s *BreakerSet) States() map[string]BreakerState {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]BreakerState, len(s.m))
+	for n, b := range s.m {
+		out[n] = b.State()
+	}
+	return out
+}

@@ -1,0 +1,294 @@
+package shard
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced clock for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func testBreaker(threshold int, base, max time.Duration) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newBreaker(BreakerOptions{
+		FailureThreshold: threshold,
+		OpenBase:         base,
+		OpenMax:          max,
+		now:              clk.now,
+	}.withDefaults())
+	return b, clk
+}
+
+// TestBreakerLifecycle walks closed → open → half-open → closed: the
+// breaker trips on consecutive failures, refuses while open, admits a
+// single trial after the backoff, and closes on trial success.
+func TestBreakerLifecycle(t *testing.T) {
+	b, clk := testBreaker(3, time.Second, 30*time.Second)
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("new breaker should be closed and allowing")
+	}
+	b.Fail()
+	b.Fail()
+	if b.State() != BreakerClosed {
+		t.Fatalf("tripped below threshold: %v", b.State())
+	}
+	b.Fail()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after %d failures = %v, want open", 3, b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker inside backoff admitted a request")
+	}
+	clk.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("expired open breaker refused the half-open trial")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent trial")
+	}
+	b.OK()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("successful trial did not close the breaker")
+	}
+}
+
+// TestBreakerBackoffDoubles: each failed half-open trial doubles the open
+// period, capped at OpenMax.
+func TestBreakerBackoffDoubles(t *testing.T) {
+	b, clk := testBreaker(1, time.Second, 4*time.Second)
+	wantOpen := []time.Duration{time.Second, 2 * time.Second, 4 * time.Second, 4 * time.Second}
+	b.Fail() // trips immediately (threshold 1)
+	for i, d := range wantOpen {
+		if b.State() != BreakerOpen {
+			t.Fatalf("round %d: state %v, want open", i, b.State())
+		}
+		clk.advance(d - time.Millisecond)
+		if b.Allow() {
+			t.Fatalf("round %d: admitted before %v backoff elapsed", i, d)
+		}
+		clk.advance(2 * time.Millisecond)
+		if !b.Allow() {
+			t.Fatalf("round %d: trial refused after %v backoff", i, d)
+		}
+		b.Fail() // trial fails: re-open with doubled backoff
+	}
+	// Recovery resets the backoff ladder.
+	clk.advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("trial refused after cap backoff")
+	}
+	b.OK()
+	b.Fail()
+	if b.State() != BreakerOpen {
+		t.Fatal("post-recovery failure did not trip (threshold 1)")
+	}
+	clk.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("backoff ladder did not reset after recovery: first open period should be base again")
+	}
+}
+
+// TestBreakerSetTransitions checks the set-level creation-on-demand,
+// snapshot, and transition callback.
+func TestBreakerSetTransitions(t *testing.T) {
+	s := NewBreakerSet(BreakerOptions{FailureThreshold: 2})
+	var transitions atomic.Int64
+	var lastFrom, lastTo BreakerState
+	s.OnTransition = func(node string, from, to BreakerState) {
+		transitions.Add(1)
+		lastFrom, lastTo = from, to
+	}
+	if st := s.State("n2"); st != BreakerClosed {
+		t.Fatalf("fresh node state = %v", st)
+	}
+	s.Fail("n2")
+	s.Fail("n2")
+	if got := s.State("n2"); got != BreakerOpen {
+		t.Fatalf("n2 state = %v, want open", got)
+	}
+	if transitions.Load() != 1 || lastFrom != BreakerClosed || lastTo != BreakerOpen {
+		t.Fatalf("transition callback: n=%d %v→%v", transitions.Load(), lastFrom, lastTo)
+	}
+	s.OK("n2")
+	if transitions.Load() != 2 || lastTo != BreakerClosed {
+		t.Fatalf("recovery transition not observed: n=%d →%v", transitions.Load(), lastTo)
+	}
+	states := s.States()
+	if len(states) != 1 || states["n2"] != BreakerClosed {
+		t.Fatalf("States() = %v", states)
+	}
+	// Nil set is inert and allows everything.
+	var nilSet *BreakerSet
+	if !nilSet.Allow("x") {
+		t.Fatal("nil set refused")
+	}
+	nilSet.Fail("x")
+	nilSet.OK("x")
+}
+
+// TestRingSuccessors: the successor list starts at the owner, contains
+// distinct nodes, and is consistent across the membership.
+func TestRingSuccessors(t *testing.T) {
+	r := NewRing([]string{"n1", "n2", "n3"}, 0)
+	for _, key := range []string{"a", "b", "c", "d", "e"} {
+		succ := r.Successors(key, 3)
+		if len(succ) != 3 {
+			t.Fatalf("key %q: %d successors, want 3", key, len(succ))
+		}
+		if succ[0] != r.Owner(key) {
+			t.Fatalf("key %q: successors[0] = %s, owner = %s", key, succ[0], r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, n := range succ {
+			if seen[n] {
+				t.Fatalf("key %q: duplicate successor %s in %v", key, n, succ)
+			}
+			seen[n] = true
+		}
+		if got := r.Successors(key, 10); len(got) != 3 {
+			t.Fatalf("over-asking yielded %v", got)
+		}
+		if got := r.Successors(key, 1); len(got) != 1 || got[0] != r.Owner(key) {
+			t.Fatalf("Successors(key,1) = %v", got)
+		}
+	}
+	var nilRing *Ring
+	if nilRing.Successors("x", 2) != nil {
+		t.Fatal("nil ring returned successors")
+	}
+}
+
+// TestHealthyOwnerFailsOver: with the owner's breaker open, HealthyOwner
+// deterministically picks the next successor; when it recovers, ownership
+// snaps back.
+func TestHealthyOwnerFailsOver(t *testing.T) {
+	peers := map[string]string{
+		"n1": "http://127.0.0.1:1", "n2": "http://127.0.0.1:2", "n3": "http://127.0.0.1:3",
+	}
+	rt, err := NewRouter("n1", peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a key owned by a remote node.
+	var key, owner string
+	for _, k := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		if o := rt.Ring().Owner(k); o != "n1" {
+			key, owner = k, o
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no remote-owned key found")
+	}
+	if n, _, failover := rt.HealthyOwner(key); n != owner || failover {
+		t.Fatalf("healthy ring: owner=%s failover=%v, want %s/false", n, failover, owner)
+	}
+	// Trip the owner's breaker: ownership moves to the next successor.
+	for i := 0; i < 3; i++ {
+		rt.Breakers.Fail(owner)
+	}
+	wantNext := rt.Ring().Successors(key, 3)[1]
+	n, self, failover := rt.HealthyOwner(key)
+	if n != wantNext || !failover {
+		t.Fatalf("failover owner = %s (failover=%v), want %s/true", n, failover, wantNext)
+	}
+	if self != (n == "n1") {
+		t.Fatalf("self flag inconsistent: node=%s self=%v", n, self)
+	}
+	// Recovery restores the primary owner.
+	rt.Breakers.OK(owner)
+	if n, _, failover := rt.HealthyOwner(key); n != owner || failover {
+		t.Fatalf("post-recovery owner = %s failover=%v", n, failover)
+	}
+}
+
+// TestProberDrivesBreaker boots a flappable health endpoint and checks the
+// prober opens the breaker while the peer is down and closes it (firing
+// OnHealthy) when it recovers.
+func TestProberDrivesBreaker(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if healthy.Load() {
+			w.WriteHeader(http.StatusOK)
+		} else {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+	}))
+	defer ts.Close()
+
+	peers := map[string]string{"self": "http://127.0.0.1:1", "peer": ts.URL}
+	rt, err := NewRouter("self", peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Breakers = NewBreakerSet(BreakerOptions{FailureThreshold: 2, OpenBase: 50 * time.Millisecond, OpenMax: 100 * time.Millisecond})
+	var recoveries atomic.Int64
+	p := NewProber(rt, 20*time.Millisecond)
+	p.OnHealthy = func(node string) {
+		if node == "peer" {
+			recoveries.Add(1)
+		}
+	}
+	p.Start()
+	defer p.Stop()
+
+	waitFor := func(desc string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s (state=%v)", desc, rt.Breakers.State("peer"))
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitFor("initial healthy probe", func() bool { return recoveries.Load() > 0 })
+	healthy.Store(false)
+	waitFor("breaker to open", func() bool { return rt.Breakers.State("peer") == BreakerOpen })
+	healthy.Store(true)
+	waitFor("breaker to close", func() bool { return rt.Breakers.State("peer") == BreakerClosed })
+	if probes, failed := p.Stats(); probes == 0 || failed == 0 {
+		t.Fatalf("probe stats: probes=%d failed=%d", probes, failed)
+	}
+}
+
+// TestBreakerReleaseReturnsTrialSlot: a half-open trial abandoned without a
+// verdict (the forwarding request was canceled client-side) must return the
+// slot, or the breaker wedges half-open and no probe can ever close it.
+func TestBreakerReleaseReturnsTrialSlot(t *testing.T) {
+	b, clk := testBreaker(1, time.Second, time.Second)
+	b.Fail()
+	clk.advance(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("expired open breaker refused the half-open trial")
+	}
+	if b.Allow() {
+		t.Fatal("second caller won an already-taken trial slot")
+	}
+	b.Release()
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after release = %v, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("released trial slot was not reusable")
+	}
+	b.OK()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful retrial = %v, want closed", b.State())
+	}
+	// Release on a closed breaker is a no-op.
+	b.Release()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("release disturbed a closed breaker")
+	}
+}

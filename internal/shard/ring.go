@@ -97,6 +97,31 @@ func (r *Ring) Owner(key string) string {
 	return r.points[i].node
 }
 
+// Successors returns up to n distinct nodes in ring order starting at the
+// key's owner — the key's deterministic preference list. Successors(key, 1)
+// is the owner; Successors(key, 2) adds the replication successor; walking
+// the full list yields the failover order every peer agrees on.
+func (r *Ring) Successors(key string, n int) []string {
+	if r == nil || len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := keyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for j := 0; j < len(r.points) && len(out) < n; j++ {
+		p := r.points[(i+j)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
 // Nodes returns the ring's membership, sorted. The slice is a copy.
 func (r *Ring) Nodes() []string {
 	if r == nil {

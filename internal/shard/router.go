@@ -72,6 +72,11 @@ type Router struct {
 	// forwarded analysis may legitimately hold the connection for its
 	// synchronous wait).
 	HTTP *http.Client
+
+	// Breakers holds the per-peer circuit breakers Forward reports into and
+	// HealthyOwner consults. NewRouter installs a default set; replace it
+	// (before traffic starts) to tune thresholds and backoff.
+	Breakers *BreakerSet
 }
 
 // defaultTransport fails fast on dead peers without capping response time.
@@ -99,7 +104,12 @@ func NewRouter(self string, peers map[string]string, vnodes int) (*Router, error
 		urls[n] = strings.TrimRight(u, "/")
 	}
 	sort.Strings(names)
-	return &Router{self: self, ring: NewRing(names, vnodes), urls: urls}, nil
+	return &Router{
+		self:     self,
+		ring:     NewRing(names, vnodes),
+		urls:     urls,
+		Breakers: NewBreakerSet(BreakerOptions{}),
+	}, nil
 }
 
 // Self returns this node's name ("" for a nil router).
@@ -136,6 +146,43 @@ func (r *Router) Owner(key string) (node string, self bool) {
 	return node, node == r.self
 }
 
+// HealthyOwner returns the first node in the key's ring-successor order
+// whose circuit breaker admits a request (this node always admits itself),
+// and whether that node is this one. failover reports that the primary
+// owner was skipped over an open breaker — ownership has failed over to a
+// successor, and every peer with a converged breaker view picks the same
+// one, so single-flight dedup reassembles on the failover owner. When every
+// breaker is open the primary owner is returned anyway (the caller's
+// transport error then falls back to local compute). A nil router owns
+// everything itself.
+//
+// Note that Allow on a half-open breaker consumes its single trial slot:
+// the request the caller is about to forward IS the trial.
+func (r *Router) HealthyOwner(key string) (node string, self, failover bool) {
+	if r == nil {
+		return "", true, false
+	}
+	order := r.ring.Successors(key, r.ring.Size())
+	for i, n := range order {
+		if n == r.self || r.Breakers.Allow(n) {
+			return n, n == r.self, i > 0
+		}
+	}
+	if len(order) == 0 {
+		return "", true, false
+	}
+	return order[0], order[0] == r.self, false
+}
+
+// Replicas returns the first n nodes of the key's ring-successor order —
+// the nodes a result written under key should live on.
+func (r *Router) Replicas(key string, n int) []string {
+	if r == nil {
+		return nil
+	}
+	return r.ring.Successors(key, n)
+}
+
 // URL returns a peer's base URL.
 func (r *Router) URL(node string) (string, bool) {
 	if r == nil {
@@ -155,8 +202,16 @@ func (r *Router) httpClient() *http.Client {
 // Forward sends an HTTP request to a peer node, marked with the forwarding
 // node's name and carrying the caller's trace context as a traceparent
 // header (so the peer's request and job spans stitch into the originating
-// trace). The caller owns the returned response body.
+// trace). The peer's circuit breaker records the outcome: a transport
+// error or 5xx response counts as a failure, anything else as a success.
+// The caller owns the returned response body.
 func (r *Router) Forward(ctx context.Context, node, method, path string, body []byte, contentType string) (*http.Response, error) {
+	return r.ForwardHeaders(ctx, node, method, path, body, contentType, nil)
+}
+
+// ForwardHeaders is Forward with extra request headers (tenant identity,
+// replica metadata) copied onto the peer call.
+func (r *Router) ForwardHeaders(ctx context.Context, node, method, path string, body []byte, contentType string, extra http.Header) (*http.Response, error) {
 	if r == nil {
 		return nil, fmt.Errorf("shard: no router")
 	}
@@ -179,11 +234,30 @@ func (r *Router) Forward(ctx context.Context, node, method, path string, body []
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
+	for k, vs := range extra {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
 	req.Header.Set(ForwardedHeader, r.self)
 	obs.Inject(ctx, req.Header)
 	resp, err := r.httpClient().Do(req)
 	if err != nil {
+		// A caller-side cancellation says nothing about the peer's health;
+		// only count failures the peer (or the network to it) caused. The
+		// trial slot this call may hold is returned either way so a canceled
+		// forward cannot wedge the breaker half-open.
+		if ctx.Err() == nil {
+			r.Breakers.Fail(node)
+		} else {
+			r.Breakers.Release(node)
+		}
 		return nil, fmt.Errorf("shard: forwarding to %s: %w", node, err)
+	}
+	if resp.StatusCode >= http.StatusInternalServerError {
+		r.Breakers.Fail(node)
+	} else {
+		r.Breakers.OK(node)
 	}
 	return resp, nil
 }

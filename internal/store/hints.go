@@ -1,0 +1,327 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Hint queue entry operations.
+const (
+	// hintOpAdd records a result owed to a peer that was down when it was
+	// computed.
+	hintOpAdd = "add"
+	// hintOpDel records a hint delivered to (or dropped for) its target.
+	hintOpDel = "del"
+)
+
+// Hint is one hinted-handoff record: a result payload owed to Node, which
+// was unreachable when the result was computed on its behalf. Once the
+// node's circuit breaker closes, the holder replays the payload to it so
+// the owner's store catches up with work done in its absence.
+type Hint struct {
+	Node string `json:"node"`
+	Key  string `json:"key"`
+	// Payload is the stored object (the JSON-encoded outcome), verbatim.
+	Payload json.RawMessage `json:"payload,omitempty"`
+	// TimeUnixNano stamps when the hint was queued.
+	TimeUnixNano int64 `json:"time_unix_nano,omitempty"`
+}
+
+// hintLine is the on-disk JSONL shape.
+type hintLine struct {
+	Op string `json:"op"`
+	Hint
+}
+
+// DefaultMaxHintsPerNode bounds the queue per target node; beyond it the
+// oldest hints are dropped (the owner will simply recompute those keys).
+const DefaultMaxHintsPerNode = 1024
+
+// HintStats is a point-in-time snapshot of the hint queue.
+type HintStats struct {
+	// Pending is the number of undelivered hints across all nodes.
+	Pending int `json:"pending"`
+	// Queued / Delivered / Dropped are lifetime counters (Dropped counts
+	// hints displaced by the per-node bound).
+	Queued    int64 `json:"queued"`
+	Delivered int64 `json:"delivered"`
+	Dropped   int64 `json:"dropped"`
+}
+
+// HintQueue is a durable queue of hinted-handoff records, one JSONL line
+// per add/delete, compacted on open like the job journal. Opening with an
+// empty path yields a memory-only queue (hints then die with the process —
+// acceptable, since the owner merely recomputes on demand). All methods
+// are safe for concurrent use and safe on a nil receiver.
+type HintQueue struct {
+	mu      sync.Mutex
+	f       *os.File // nil for a memory-only queue
+	path    string
+	pending map[string][]Hint // target node → FIFO of undelivered hints
+	maxPer  int
+
+	queued    int64
+	delivered int64
+	dropped   int64
+}
+
+// OpenHints opens (creating if absent) the hint queue at path, replaying
+// undelivered hints, and compacts it. An empty path yields a memory-only
+// queue. maxPerNode ≤ 0 selects DefaultMaxHintsPerNode.
+func OpenHints(path string, maxPerNode int) (*HintQueue, error) {
+	if maxPerNode <= 0 {
+		maxPerNode = DefaultMaxHintsPerNode
+	}
+	q := &HintQueue{pending: make(map[string][]Hint), maxPer: maxPerNode}
+	if path == "" {
+		return q, nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("hints: %w", err)
+	}
+	pending, err := scanHints(path)
+	if err != nil {
+		return nil, err
+	}
+	// Compact: rewrite only the undelivered hints, atomically.
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".compact.*")
+	if err != nil {
+		return nil, fmt.Errorf("hints: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	for _, h := range pending {
+		line, merr := json.Marshal(hintLine{Op: hintOpAdd, Hint: h})
+		if merr != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return nil, fmt.Errorf("hints: %w", merr)
+		}
+		w.Write(line)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("hints: compacting: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("hints: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("hints: %w", err)
+	}
+	q.f = f
+	q.path = path
+	for _, h := range pending {
+		q.pending[h.Node] = append(q.pending[h.Node], h)
+	}
+	return q, nil
+}
+
+// scanHints reads every parseable line and returns the hints with no
+// matching delete, in queue order. A truncated trailing line (crash
+// mid-append) is dropped.
+func scanHints(path string) ([]Hint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("hints: %w", err)
+	}
+	defer f.Close()
+	var order []string
+	live := make(map[string]Hint)
+	keyOf := func(h Hint) string { return h.Node + "\x00" + h.Key }
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var hl hintLine
+		if err := json.Unmarshal(line, &hl); err != nil {
+			continue // torn trailing write or garbage: skip
+		}
+		k := keyOf(hl.Hint)
+		switch hl.Op {
+		case hintOpAdd:
+			if _, ok := live[k]; !ok {
+				order = append(order, k)
+			}
+			live[k] = hl.Hint
+		case hintOpDel:
+			delete(live, k)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("hints: scanning %s: %w", path, err)
+	}
+	var pending []Hint
+	for _, k := range order {
+		if h, ok := live[k]; ok {
+			pending = append(pending, h)
+		}
+	}
+	return pending, nil
+}
+
+// append writes one line to the backing file (no-op for a memory-only
+// queue). Durability is best-effort: a hint lost to a crash just means the
+// recovered owner recomputes that key.
+func (q *HintQueue) appendLocked(hl hintLine) error {
+	if q.f == nil {
+		return nil
+	}
+	line, err := json.Marshal(hl)
+	if err != nil {
+		return fmt.Errorf("hints: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := q.f.Write(line); err != nil {
+		return fmt.Errorf("hints: appending: %w", err)
+	}
+	return nil
+}
+
+// Add queues a hint: payload under key is owed to node. A hint for the
+// same (node, key) replaces the older one in place; exceeding the per-node
+// bound drops the oldest hint for that node.
+func (q *HintQueue) Add(node, key string, payload json.RawMessage) error {
+	if q == nil {
+		return nil
+	}
+	h := Hint{Node: node, Key: key, Payload: payload, TimeUnixNano: time.Now().UnixNano()}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	list := q.pending[node]
+	replaced := false
+	for i := range list {
+		if list[i].Key == key {
+			list[i] = h
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		list = append(list, h)
+		q.queued++
+		if len(list) > q.maxPer {
+			dropped := list[0]
+			list = list[1:]
+			q.dropped++
+			_ = q.appendLocked(hintLine{Op: hintOpDel, Hint: Hint{Node: dropped.Node, Key: dropped.Key}})
+		}
+	} else {
+		q.queued++
+	}
+	q.pending[node] = list
+	return q.appendLocked(hintLine{Op: hintOpAdd, Hint: h})
+}
+
+// PendingFor returns the undelivered hints for node, oldest first. The
+// slice is a copy.
+func (q *HintQueue) PendingFor(node string) []Hint {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Hint, len(q.pending[node]))
+	copy(out, q.pending[node])
+	return out
+}
+
+// Nodes returns the nodes with undelivered hints.
+func (q *HintQueue) Nodes() []string {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]string, 0, len(q.pending))
+	for n, hints := range q.pending {
+		if len(hints) > 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Delivered retires the hint for (node, key) after a successful replay.
+func (q *HintQueue) Delivered(node, key string) error {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	list := q.pending[node]
+	for i := range list {
+		if list[i].Key == key {
+			q.pending[node] = append(list[:i], list[i+1:]...)
+			q.delivered++
+			break
+		}
+	}
+	if len(q.pending[node]) == 0 {
+		delete(q.pending, node)
+	}
+	return q.appendLocked(hintLine{Op: hintOpDel, Hint: Hint{Node: node, Key: key}})
+}
+
+// Depth returns the number of undelivered hints across all nodes.
+func (q *HintQueue) Depth() int {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, hints := range q.pending {
+		n += len(hints)
+	}
+	return n
+}
+
+// Stats snapshots the hint-queue counters.
+func (q *HintQueue) Stats() HintStats {
+	if q == nil {
+		return HintStats{}
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, hints := range q.pending {
+		n += len(hints)
+	}
+	return HintStats{Pending: n, Queued: q.queued, Delivered: q.delivered, Dropped: q.dropped}
+}
+
+// Close closes the backing file (memory-only queues have none). Further
+// appends become memory-only.
+func (q *HintQueue) Close() error {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.f == nil {
+		return nil
+	}
+	err := q.f.Close()
+	q.f = nil
+	return err
+}

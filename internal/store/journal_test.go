@@ -116,6 +116,74 @@ func TestJournalAppendAfterCloseFails(t *testing.T) {
 	}
 }
 
+// TestJournalDoneDurableWithoutClose: every append — including the done
+// record — is fsynced before Append returns, so a crash immediately after
+// Done (no Close, no buffered-writer flush) must not resurrect the job on
+// replay. We verify the done record is on disk while the journal is still
+// open, then replay the same path as a recovering process would.
+func TestJournalDoneDurableWithoutClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Submit("a1", json.RawMessage(`{"architecture":"builtin:1"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Done("a1"); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: the process "crashes" here. The done record must already
+	// be durable on disk.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"op":"done"`) {
+		t.Fatalf("done record not on disk before Close: %s", data)
+	}
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := j2.Pending(); len(got) != 0 {
+		t.Fatalf("completed job resurrected after unclean shutdown: %+v", got)
+	}
+}
+
+// TestJournalTornDoneKeepsJobPending: a done record torn mid-write (crash
+// between the write and reaching durable storage) must leave the job
+// pending — replaying a completed job is safe (idempotent, content-
+// addressed), dropping an incomplete one is not.
+func TestJournalTornDoneKeepsJobPending(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Submit("a1", json.RawMessage(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"op":"done","id":"a`) // torn mid-record
+	f.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	pending := j2.Pending()
+	if len(pending) != 1 || pending[0].ID != "a1" {
+		t.Fatalf("pending = %+v; a torn done record must not retire the job", pending)
+	}
+}
+
 func TestNilJournalIsSafe(t *testing.T) {
 	var j *Journal
 	if err := j.Submit("a", nil); err != nil {

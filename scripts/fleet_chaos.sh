@@ -1,0 +1,220 @@
+#!/usr/bin/env bash
+# fleet_chaos.sh boots a three-node secserved ring with replication,
+# aggressive breaker/probe tuning and durable hinted-handoff queues, then
+# kills one node mid-workload and restarts it. The harness asserts the
+# fleet-resilience contract:
+#
+#   1. zero client-visible failures — every submission through a surviving
+#      node answers "done", before, during and after the outage;
+#   2. the outage is absorbed by the breaker, not by transport timeouts:
+#      the surviving entry node records failovers for keys the dead node
+#      owned, and duplicate submissions of one such key still dedup
+#      (single-flight) on the failover owner;
+#   3. results computed on the dead node's behalf queue as hinted handoffs
+#      and drain to it after the restart (replica_received on the restarted
+#      node, handoff_pending back to zero on the survivor).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+WORKDIR="$(mktemp -d)"
+BIN="$WORKDIR/secserved"
+go build -o "$BIN" ./cmd/secserved
+
+P1=18611
+P2=18612
+P3=18613
+PEERS="n1=http://127.0.0.1:$P1,n2=http://127.0.0.1:$P2,n3=http://127.0.0.1:$P3"
+
+declare -A pids
+cleanup() {
+    kill "${pids[@]}" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+start_node() {
+    local i=$1 port=$((18610 + $1))
+    "$BIN" -addr "127.0.0.1:$port" -node-id "n$i" -peers "$PEERS" -workers 2 \
+        -replication 2 -hints "$WORKDIR/hints$i.jsonl" \
+        -probe-interval 150ms -breaker-threshold 2 \
+        -breaker-open 200ms -breaker-open-max 500ms \
+        -store-dir "$WORKDIR/store$i" \
+        >>"$WORKDIR/n$i.log" 2>&1 &
+    pids[$i]=$!
+}
+
+wait_healthy() {
+    local i=$1 port=$((18610 + $1))
+    for _ in $(seq 1 50); do
+        if curl -fsS "http://127.0.0.1:$port/v1/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.2
+    done
+    echo "fleet-chaos: node n$i never became healthy" >&2
+    cat "$WORKDIR/n$i.log" >&2 || true
+    exit 1
+}
+
+for i in 1 2 3; do start_node "$i"; done
+for i in 1 2 3; do wait_healthy "$i"; done
+
+metric() { # metric <port> <json-key> -> first integer value
+    curl -fsS "http://127.0.0.1:$1/v1/metrics" |
+        grep -o "\"$2\": [0-9]*" | head -1 | grep -o '[0-9]*$'
+}
+
+# submit <port> <nmax> <horizon>: one synchronous analysis; echoes the
+# X-Secserved-Node that served it and fails the harness unless "done".
+submit() {
+    local port=$1 nmax=$2 horizon=$3
+    local body
+    body=$(printf '{"architecture":"builtin:1","category":"c","protection":"unencrypted","nmax":%d,"horizon":%d,"skip_steady_state":true,"wait_seconds":30}' "$nmax" "$horizon")
+    local out
+    out=$(curl -fsS -D "$WORKDIR/hdr" -X POST -H 'Content-Type: application/json' \
+        -d "$body" "http://127.0.0.1:$port/v1/analyses")
+    case "$out" in
+    *'"status": "done"'*) ;;
+    *)
+        echo "fleet-chaos: FAIL: request (nmax=$nmax horizon=$horizon via :$port) not done: $out" >&2
+        exit 1
+        ;;
+    esac
+    tr -d '\r' <"$WORKDIR/hdr" | awk -F': ' 'tolower($1)=="x-secserved-node"{print $2}'
+}
+
+# Phase 1: healthy baseline — 20 distinct keys through n1.
+for h in 1 2 3 4 5 6 7 8 9 10; do
+    submit "$P1" 1 "$h" >/dev/null
+    submit "$P1" 2 "$h" >/dev/null
+done
+echo "fleet-chaos: phase 1: 20/20 done on the healthy ring"
+
+# Find a key owned by n3 while it is still up: submit fresh keys through n1
+# until one is served by n3 (the forward reached it), remembering its
+# coordinates so we can re-submit the same key during the outage.
+victim_nmax="" victim_horizon=""
+for h in 11 12 13 14 15 16 17 18 19 20; do
+    for n in 1 2 3; do
+        served=$(submit "$P1" "$n" "$h")
+        if [ "$served" = "n3" ]; then
+            victim_nmax=$n
+            victim_horizon=$h
+            break 2
+        fi
+    done
+done
+if [ -z "$victim_nmax" ]; then
+    echo "fleet-chaos: FAIL: no key owned by n3 in the probe batch" >&2
+    exit 1
+fi
+echo "fleet-chaos: victim key (nmax=$victim_nmax horizon=$victim_horizon) owned by n3"
+
+# Phase 2: kill n3 mid-workload.
+kill -9 "${pids[3]}" 2>/dev/null
+wait "${pids[3]}" 2>/dev/null || true
+unset 'pids[3]'
+echo "fleet-chaos: n3 killed"
+
+failovers_before=$(metric "$P1" failovers)
+
+# The workload keeps flowing through n1 and n2; every request must still
+# answer done. Fresh keys + a duplicate pair of a key n3 owned (computed
+# during the outage, so the failover owner must dedup the second copy).
+for h in 21 22 23 24 25 26 27 28 29 30 31 32 33 34 35; do
+    served=$(submit "$P1" 1 "$h")
+    if [ "$served" = "n3" ]; then
+        echo "fleet-chaos: FAIL: dead node n3 reported as serving (h=$h)" >&2
+        exit 1
+    fi
+done
+# The victim key n3 owned, twice through different entry nodes: both must
+# succeed and land on the same failover owner.
+o1=$(submit "$P1" "$victim_nmax" $((victim_horizon + 20)))
+o2=$(submit "$P2" "$victim_nmax" $((victim_horizon + 20)))
+echo "fleet-chaos: phase 2: 17/17 done during outage (dup served by $o1/$o2)"
+if [ "$o1" = "n3" ] || [ "$o2" = "n3" ]; then
+    echo "fleet-chaos: FAIL: dead node served the victim key" >&2
+    exit 1
+fi
+if [ "$o1" != "$o2" ]; then
+    echo "fleet-chaos: FAIL: duplicate submissions landed on different failover owners ($o1 vs $o2)" >&2
+    exit 1
+fi
+
+failovers_after=$(metric "$P1" failovers)
+if [ "$failovers_after" -le "$failovers_before" ]; then
+    echo "fleet-chaos: FAIL: no breaker-driven failovers recorded on n1 during the outage" >&2
+    exit 1
+fi
+echo "fleet-chaos: n1 failovers during outage: $((failovers_after - failovers_before))"
+
+pending=$(metric "$P1" handoff_pending)
+pending2=$(metric "$P2" handoff_pending)
+if [ "$((pending + pending2))" -eq 0 ]; then
+    echo "fleet-chaos: FAIL: no hinted handoffs queued for the dead node" >&2
+    exit 1
+fi
+echo "fleet-chaos: handoffs queued for n3: n1=$pending n2=$pending2"
+
+# Phase 3: restart n3; the probers close its breaker and the queued
+# handoffs drain to it without any client traffic.
+start_node 3
+wait_healthy 3
+drained=0
+for _ in $(seq 1 50); do
+    pending=$(metric "$P1" handoff_pending)
+    pending2=$(metric "$P2" handoff_pending)
+    received=$(metric "$P3" received)
+    if [ "$((pending + pending2))" -eq 0 ] && [ "$received" -gt 0 ]; then
+        drained=1
+        break
+    fi
+    sleep 0.2
+done
+if [ "$drained" -ne 1 ]; then
+    echo "fleet-chaos: FAIL: handoffs never drained (n1=$pending n2=$pending2 n3 received=$received)" >&2
+    exit 1
+fi
+echo "fleet-chaos: phase 3: handoffs drained, n3 received $received replica write(s)"
+
+# The key computed on n3's behalf during the outage must now be served BY
+# n3 FROM the handed-off copy — no recompute: the replica write warmed its
+# result cache and store, so the submission answers as a cache hit.
+out=$(curl -fsS -D "$WORKDIR/hdr" -X POST -H 'Content-Type: application/json' \
+    -d "$(printf '{"architecture":"builtin:1","category":"c","protection":"unencrypted","nmax":%d,"horizon":%d,"skip_steady_state":true,"wait_seconds":30}' "$victim_nmax" $((victim_horizon + 20)))" \
+    "http://127.0.0.1:$P3/v1/analyses")
+served=$(tr -d '\r' <"$WORKDIR/hdr" | awk -F': ' 'tolower($1)=="x-secserved-node"{print $2}')
+case "$out" in
+*'"status": "done"'*) ;;
+*)
+    echo "fleet-chaos: FAIL: victim key not done on the restarted owner: $out" >&2
+    exit 1
+    ;;
+esac
+if [ "$served" != "n3" ]; then
+    echo "fleet-chaos: FAIL: victim key served by $served after restart, want n3" >&2
+    exit 1
+fi
+case "$out" in
+*'"cache": "hit"'* | *'"cache": "disk"'*) ;;
+*)
+    echo "fleet-chaos: FAIL: restarted owner recomputed the handed-off key: $out" >&2
+    exit 1
+    ;;
+esac
+puts=$(metric "$P3" puts)
+if [ "${puts:-0}" -eq 0 ]; then
+    echo "fleet-chaos: FAIL: restarted owner's store took no writes from the handoff" >&2
+    exit 1
+fi
+echo "fleet-chaos: phase 3: restarted owner served the handed-off key from cache (store puts=$puts)"
+
+# The restarted node serves fresh post-recovery traffic again.
+for h in 41 42 43 44 45 46 47 48 49 50; do
+    submit "$P3" 1 "$h" >/dev/null
+done
+echo "fleet-chaos: phase 3: 11/11 done via the restarted node"
+echo "fleet-chaos: PASS"
