@@ -4,15 +4,16 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race fleet-race chaos explore check cover bench bench-smoke shard-smoke fleet-chaos examples experiments serve fuzz clean
+.PHONY: all build vet lint test race fleet-race chaos explore attacktree check cover bench bench-smoke shard-smoke fleet-chaos examples experiments serve fuzz clean
 
 all: check
 
 # check is the full local gate: compile, static analysis (vet + staticcheck
 # when installed), unit tests, the race detector over the concurrent paths
 # (parallel grids, sinks), the chaos suite (fault injection, retries, solver
-# fallback) under -race, and a design-space exploration smoke run.
-check: build vet lint test race chaos explore
+# fallback) under -race, a design-space exploration smoke run, and an
+# attack-tree solve + countermeasure ranking smoke run.
+check: build vet lint test race chaos explore attacktree
 
 build:
 	$(GO) build ./...
@@ -58,6 +59,14 @@ explore:
 	$(GO) run ./cmd/secexplore -arch models/architecture1.json \
 		-space models/scenario_parkassist.json -categories confidentiality \
 		-strategy beam -seed 1 -beam-width 2 -generations 2
+
+# attacktree smoke-runs the attack-tree subsystem end to end: solve the
+# committed infotainment tree through the engine, then rank every
+# countermeasure selection on the cost-vs-risk Pareto front (see README
+# "Attack trees").
+attacktree:
+	$(GO) run ./cmd/secattack -tree models/attacktree_infotainment.json
+	$(GO) run ./cmd/secattack -tree models/attacktree_infotainment.json -rank
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...
@@ -113,6 +122,7 @@ serve:
 fuzz:
 	$(GO) test -fuzz=FuzzParseModel -fuzztime=30s ./internal/prismlang/
 	$(GO) test -fuzz=FuzzLex -fuzztime=30s ./internal/prismlang/
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/cvss/
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt

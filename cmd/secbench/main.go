@@ -1,8 +1,9 @@
 // Command secbench is the repo's performance-regression harness: it runs a
 // canonical workload suite — the paper's Eq-15 chain, the three Figure-5
-// case-study grids, a large synthetic architecture, and the service engine
+// case-study grids, a large synthetic architecture, the service engine
 // cold vs warm vs disk-warm (a fresh engine answering from a populated
-// persistent store, the warm-restart path) — and writes one
+// persistent store, the warm-restart path), and a seeded attack-tree fleet
+// batch-solved through the engine — and writes one
 // BENCH_<date>.json with per-workload wall time, per-iteration p50/p99,
 // heap allocations, model size and p99 solve latency (from the obs
 // histogram layer), stamped with the git SHA.
@@ -38,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/arch"
+	"repro/internal/attacktree/fleetgen"
 	"repro/internal/core"
 	"repro/internal/ctmc"
 	"repro/internal/modular"
@@ -278,6 +280,32 @@ func suite() []workload {
 					}
 					return states, nil
 				}, cleanup, nil
+			},
+		},
+		{
+			// A seeded 32-vehicle attack-tree fleet batch-solved on a fresh
+			// engine: the generator → compile → CTMC solve path under the
+			// batch worker pool, with no cache reuse across iterations.
+			name: "attacktree-fleet", solveSpan: "service.tree",
+			quickIters: 1, fullIters: 5,
+			setup: func() (func(ctx context.Context) (int, error), func(), error) {
+				reqs, err := fleetgen.Requests(fleetgen.Spec{Seed: 1, Count: 32}, 1)
+				if err != nil {
+					return nil, nil, err
+				}
+				return func(ctx context.Context) (int, error) {
+					e := service.NewEngine(service.EngineOptions{})
+					states := 0
+					for i, item := range e.RunBatch(ctx, reqs, 0) {
+						if item.Err != nil {
+							return 0, fmt.Errorf("fleet request %d: %w", i, item.Err)
+						}
+						if item.Outcome.Tree.States > states {
+							states = item.Outcome.Tree.States
+						}
+					}
+					return states, nil
+				}, nil, nil
 			},
 		},
 	}

@@ -1,0 +1,321 @@
+// Package attacktree models attack-tree threat descriptions — the TARA
+// lingua franca of automotive security work (Ebrahimi et al., PAPERS.md) —
+// and compiles them into the same CTMC machinery the paper's architecture
+// models use. A tree is a JSON document of AND/OR/SAND gates over leaf
+// attack steps; each leaf carries either a CVSS v2 exploitability vector
+// (lowered to a rate via the paper's Eqs. 11–12, `cvss.Vector.Rate`) or an
+// explicit rate in events per year, plus an optional countermeasure
+// annotation with a cost, a rate-scaling factor and a patch (repair) rate.
+//
+// Compile lowers the tree into a `modular.Model`: every leaf becomes a
+// boolean birth variable with an exponential attack transition, OR gates
+// become competing races, AND gates progress-chain products, and SAND gates
+// sequenced phases whose later legs are guard-gated on the earlier ones.
+// The compiled model exposes the "goal" label (top event reached) and the
+// "time"/"compromised_time" reward structures, so the existing CSL checker,
+// RobustSolve path and the secserved cache/shard tier answer attack-tree
+// queries unchanged.
+package attacktree
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/cvss"
+)
+
+// Gate kinds. A node with children must name one of these; a node without
+// children is a leaf and must leave Gate empty or "leaf".
+const (
+	GateLeaf = "leaf"
+	GateAND  = "and"
+	GateOR   = "or"
+	GateSAND = "sand"
+)
+
+// LabelGoal is the compiled model's top-event label: the root of the tree
+// is satisfied.
+const LabelGoal = "goal"
+
+// Reward structure names in the compiled model.
+const (
+	// RewardTime accrues 1 per year until the top event — the structure
+	// behind the MTTA query R{"time"}=? [ F "goal" ].
+	RewardTime = "time"
+	// RewardCompromised accrues 1 per year while the top event holds, so
+	// R{"compromised_time"}=? [ C<=t ] is the expected compromised time
+	// within a horizon (nonzero only when patches can revoke leaves).
+	RewardCompromised = "compromised_time"
+)
+
+// Countermeasure annotates a leaf with a defence that can be switched on
+// per analysis. Applying it multiplies the leaf's exploit rate by
+// RateFactor and, when PatchRate is positive, adds a repair transition that
+// revokes an achieved leaf at that rate.
+type Countermeasure struct {
+	Name string  `json:"name"`
+	Cost float64 `json:"cost"`
+	// RateFactor scales the leaf's attack rate when the countermeasure is
+	// applied: 0 removes the attack step entirely, 1 leaves it unchanged.
+	RateFactor float64 `json:"rate_factor"`
+	// PatchRate, when positive, adds a repair transition (achieved →
+	// not achieved) at this rate per year while the countermeasure is
+	// applied — the patching dynamic of the paper's interface modules.
+	PatchRate float64 `json:"patch_rate,omitempty"`
+}
+
+// Node is one vertex of an attack tree. Gates carry children; leaves carry
+// a CVSS vector or an explicit rate.
+type Node struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Gate is "and", "or" or "sand" for internal nodes ("leaf" or empty
+	// for leaves).
+	Gate string `json:"gate,omitempty"`
+	// CVSS is a CVSS v2 exploitability vector ("AV:x/AC:y/Au:z"); the leaf
+	// rate is η from the paper's Eqs. 11–12.
+	CVSS string `json:"cvss,omitempty"`
+	// Rate is an explicit attack rate in events per year, mutually
+	// exclusive with CVSS.
+	Rate           *float64        `json:"rate,omitempty"`
+	Countermeasure *Countermeasure `json:"countermeasure,omitempty"`
+	Children       []*Node         `json:"children,omitempty"`
+}
+
+// Tree is a named attack tree with a single top event at Root.
+type Tree struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	Root        *Node  `json:"root"`
+}
+
+// ErrBadTree wraps every schema-validation failure.
+var ErrBadTree = errors.New("attacktree: invalid tree")
+
+func badTreef(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadTree, fmt.Sprintf(format, args...))
+}
+
+// Parse decodes and validates a JSON attack tree. Unknown fields are
+// rejected so schema typos fail loudly instead of silently dropping a
+// countermeasure or rate.
+func Parse(data []byte) (*Tree, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var t Tree
+	if err := dec.Decode(&t); err != nil {
+		return nil, badTreef("decode: %v", err)
+	}
+	if dec.More() {
+		return nil, badTreef("trailing data after tree document")
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// LoadFile reads and validates a tree from a JSON file.
+func LoadFile(path string) (*Tree, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(data)
+}
+
+// identOK reports whether a name is usable as a model variable name.
+func identOK(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_', r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the tree's schema: unique identifier node names, gates
+// with children, leaves with exactly one rate source, well-formed
+// countermeasures. It is called by Parse; hand-built trees should call it
+// before Compile.
+func (t *Tree) Validate() error {
+	if t == nil {
+		return badTreef("nil tree")
+	}
+	if !identOK(t.Name) {
+		return badTreef("tree name %q is not an identifier", t.Name)
+	}
+	if t.Root == nil {
+		return badTreef("tree %q has no root", t.Name)
+	}
+	names := make(map[string]bool)
+	cms := make(map[string]bool)
+	return t.validateNode(t.Root, names, cms)
+}
+
+func (t *Tree) validateNode(n *Node, names, cms map[string]bool) error {
+	if n == nil {
+		return badTreef("nil node")
+	}
+	if !identOK(n.Name) {
+		return badTreef("node name %q is not an identifier", n.Name)
+	}
+	if n.Name == LabelGoal {
+		return badTreef("node name %q is reserved for the top-event label", LabelGoal)
+	}
+	if names[n.Name] {
+		return badTreef("duplicate node name %q", n.Name)
+	}
+	names[n.Name] = true
+	if len(n.Children) == 0 {
+		if n.Gate != "" && n.Gate != GateLeaf {
+			return badTreef("node %q: gate %q has no children", n.Name, n.Gate)
+		}
+		haveCVSS, haveRate := n.CVSS != "", n.Rate != nil
+		if haveCVSS == haveRate {
+			return badTreef("leaf %q must carry exactly one of cvss or rate", n.Name)
+		}
+		if haveCVSS {
+			if _, err := cvss.Parse(n.CVSS); err != nil {
+				return badTreef("leaf %q: %v", n.Name, err)
+			}
+		} else if *n.Rate < 0 {
+			return badTreef("leaf %q: negative rate %g", n.Name, *n.Rate)
+		}
+		if cm := n.Countermeasure; cm != nil {
+			if !identOK(cm.Name) {
+				return badTreef("leaf %q: countermeasure name %q is not an identifier", n.Name, cm.Name)
+			}
+			if cms[cm.Name] {
+				return badTreef("duplicate countermeasure name %q", cm.Name)
+			}
+			cms[cm.Name] = true
+			if cm.Cost < 0 {
+				return badTreef("countermeasure %q: negative cost %g", cm.Name, cm.Cost)
+			}
+			if cm.RateFactor < 0 || cm.RateFactor > 1 {
+				return badTreef("countermeasure %q: rate_factor %g outside [0, 1]", cm.Name, cm.RateFactor)
+			}
+			if cm.PatchRate < 0 {
+				return badTreef("countermeasure %q: negative patch_rate %g", cm.Name, cm.PatchRate)
+			}
+		}
+		return nil
+	}
+	switch n.Gate {
+	case GateAND, GateOR, GateSAND:
+	case "", GateLeaf:
+		return badTreef("node %q has children but no gate", n.Name)
+	default:
+		return badTreef("node %q: unknown gate %q (want and, or or sand)", n.Name, n.Gate)
+	}
+	if n.CVSS != "" || n.Rate != nil {
+		return badTreef("gate %q must not carry cvss or rate", n.Name)
+	}
+	if n.Countermeasure != nil {
+		return badTreef("gate %q must not carry a countermeasure (annotate a leaf)", n.Name)
+	}
+	for _, c := range n.Children {
+		if err := t.validateNode(c, names, cms); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CanonicalJSON returns the tree's deterministic encoding — the content the
+// service cache tier keys on. Field order is fixed by the struct layout and
+// the document is map-free, so re-marshalling the parsed form normalises
+// whitespace, field order and defaulted fields.
+func (t *Tree) CanonicalJSON() ([]byte, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(t)
+}
+
+// walk visits every node in deterministic preorder.
+func (t *Tree) walk(fn func(n *Node)) {
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		fn(n)
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	if t.Root != nil {
+		rec(t.Root)
+	}
+}
+
+// Leaves returns the leaf nodes in deterministic preorder.
+func (t *Tree) Leaves() []*Node {
+	var out []*Node
+	t.walk(func(n *Node) {
+		if len(n.Children) == 0 {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
+// Countermeasures returns every countermeasure in the tree, sorted by name.
+func (t *Tree) Countermeasures() []*Countermeasure {
+	var out []*Countermeasure
+	t.walk(func(n *Node) {
+		if len(n.Children) == 0 && n.Countermeasure != nil {
+			out = append(out, n.Countermeasure)
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// NormalizeApplied sorts and dedupes a countermeasure selection, rejecting
+// names the tree does not define — the validation both the compiler and the
+// service's request resolution share.
+func (t *Tree) NormalizeApplied(names []string) ([]string, error) {
+	known := make(map[string]bool)
+	for _, cm := range t.Countermeasures() {
+		known[cm.Name] = true
+	}
+	set := make(map[string]bool)
+	for _, name := range names {
+		if !known[name] {
+			return nil, badTreef("unknown countermeasure %q", name)
+		}
+		set[name] = true
+	}
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// LeafRate returns a leaf's base attack rate: explicit when given, else η
+// from its CVSS vector (paper Eqs. 11–12).
+func LeafRate(n *Node) float64 {
+	if n.Rate != nil {
+		return *n.Rate
+	}
+	v, err := cvss.Parse(n.CVSS)
+	if err != nil {
+		return 0 // unreachable on validated trees
+	}
+	return v.Rate()
+}

@@ -1,0 +1,156 @@
+package attacktree
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func rate(v float64) *float64 { return &v }
+
+// twoLeaf builds a minimal two-leaf tree under the given gate.
+func twoLeaf(gate string, r1, r2 float64) *Tree {
+	return &Tree{
+		Name: "g_" + gate,
+		Root: &Node{Name: "top", Gate: gate, Children: []*Node{
+			{Name: "a", Rate: rate(r1)},
+			{Name: "b", Rate: rate(r2)},
+		}},
+	}
+}
+
+func TestParseValid(t *testing.T) {
+	doc := `{
+		"name": "demo",
+		"root": {
+			"name": "top", "gate": "or",
+			"children": [
+				{"name": "remote", "gate": "sand", "children": [
+					{"name": "cellular", "cvss": "AV:N/AC:M/Au:N",
+					 "countermeasure": {"name": "firewall", "cost": 10, "rate_factor": 0.2}},
+					{"name": "lateral", "cvss": "AV:A/AC:H/Au:S"}
+				]},
+				{"name": "physical", "rate": 0.5}
+			]
+		}
+	}`
+	tr, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := len(tr.Leaves()); got != 3 {
+		t.Fatalf("leaves = %d, want 3", got)
+	}
+	cms := tr.Countermeasures()
+	if len(cms) != 1 || cms[0].Name != "firewall" {
+		t.Fatalf("countermeasures = %+v, want [firewall]", cms)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"not json", `{`, "decode"},
+		{"unknown field", `{"name":"t","root":{"name":"a","rate":1,"bogus":1}}`, "decode"},
+		{"trailing data", `{"name":"t","root":{"name":"a","rate":1}} {}`, "trailing"},
+		{"no root", `{"name":"t"}`, "no root"},
+		{"bad tree name", `{"name":"two words","root":{"name":"a","rate":1}}`, "not an identifier"},
+		{"bad node name", `{"name":"t","root":{"name":"a b","rate":1}}`, "not an identifier"},
+		{"reserved goal", `{"name":"t","root":{"name":"goal","rate":1}}`, "reserved"},
+		{"dup node names", `{"name":"t","root":{"name":"g","gate":"or","children":[{"name":"a","rate":1},{"name":"a","rate":2}]}}`, "duplicate node"},
+		{"gate without children", `{"name":"t","root":{"name":"g","gate":"and"}}`, "no children"},
+		{"children without gate", `{"name":"t","root":{"name":"g","children":[{"name":"a","rate":1},{"name":"b","rate":1}]}}`, "no gate"},
+		{"unknown gate", `{"name":"t","root":{"name":"g","gate":"xor","children":[{"name":"a","rate":1},{"name":"b","rate":1}]}}`, "unknown gate"},
+		{"leaf without rate source", `{"name":"t","root":{"name":"a"}}`, "exactly one"},
+		{"leaf with both", `{"name":"t","root":{"name":"a","rate":1,"cvss":"AV:N/AC:L/Au:N"}}`, "exactly one"},
+		{"bad cvss", `{"name":"t","root":{"name":"a","cvss":"AV:N/AC:L"}}`, "cvss"},
+		{"negative rate", `{"name":"t","root":{"name":"a","rate":-1}}`, "negative rate"},
+		{"gate with rate", `{"name":"t","root":{"name":"g","gate":"or","rate":1,"children":[{"name":"a","rate":1},{"name":"b","rate":1}]}}`, "must not carry"},
+		{"gate with countermeasure", `{"name":"t","root":{"name":"g","gate":"or","countermeasure":{"name":"c","cost":1,"rate_factor":0.5},"children":[{"name":"a","rate":1},{"name":"b","rate":1}]}}`, "annotate a leaf"},
+		{"dup countermeasure", `{"name":"t","root":{"name":"g","gate":"or","children":[{"name":"a","rate":1,"countermeasure":{"name":"c","cost":1,"rate_factor":0.5}},{"name":"b","rate":1,"countermeasure":{"name":"c","cost":1,"rate_factor":0.5}}]}}`, "duplicate countermeasure"},
+		{"rate_factor above one", `{"name":"t","root":{"name":"a","rate":1,"countermeasure":{"name":"c","cost":1,"rate_factor":1.5}}}`, "rate_factor"},
+		{"negative cost", `{"name":"t","root":{"name":"a","rate":1,"countermeasure":{"name":"c","cost":-1,"rate_factor":0.5}}}`, "negative cost"},
+		{"negative patch", `{"name":"t","root":{"name":"a","rate":1,"countermeasure":{"name":"c","cost":1,"rate_factor":0.5,"patch_rate":-2}}}`, "patch_rate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("Parse accepted %s", tc.doc)
+			}
+			if !errors.Is(err, ErrBadTree) {
+				t.Fatalf("error %v does not wrap ErrBadTree", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCanonicalJSONNormalises(t *testing.T) {
+	compact := `{"name":"t","root":{"name":"top","gate":"or","children":[{"name":"a","rate":1},{"name":"b","cvss":"AV:N/AC:L/Au:N"}]}}`
+	spaced := `{
+		"root": { "gate": "or", "name": "top", "children": [
+			{"rate": 1, "name": "a"},
+			{"cvss": "AV:N/AC:L/Au:N", "name": "b"}
+		]},
+		"name": "t"
+	}`
+	t1, err := Parse([]byte(compact))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Parse([]byte(spaced))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := t1.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := t2.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Fatalf("canonical forms differ:\n%s\n%s", c1, c2)
+	}
+}
+
+func TestNormalizeApplied(t *testing.T) {
+	tr := &Tree{Name: "t", Root: &Node{Name: "top", Gate: "or", Children: []*Node{
+		{Name: "a", Rate: rate(1), Countermeasure: &Countermeasure{Name: "fw", Cost: 1, RateFactor: 0.5}},
+		{Name: "b", Rate: rate(1), Countermeasure: &Countermeasure{Name: "ids", Cost: 2, RateFactor: 0.1}},
+	}}}
+	got, err := tr.NormalizeApplied([]string{"ids", "fw", "ids"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "fw" || got[1] != "ids" {
+		t.Fatalf("NormalizeApplied = %v, want [fw ids]", got)
+	}
+	if _, err := tr.NormalizeApplied([]string{"nope"}); err == nil {
+		t.Fatal("unknown countermeasure accepted")
+	}
+}
+
+func TestLeafRateFromCVSS(t *testing.T) {
+	// AV:N/AC:M/Au:N: σ = 20·1·0.61·0.704 = 8.5888, η = 7.2888 (Eqs. 11–12).
+	n := &Node{Name: "x", CVSS: "AV:N/AC:M/Au:N"}
+	if got, want := LeafRate(n), 20*1.0*0.61*0.704-1.3; !almost(got, want, 1e-12) {
+		t.Fatalf("LeafRate = %v, want %v", got, want)
+	}
+}
+
+func almost(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}

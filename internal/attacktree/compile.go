@@ -1,0 +1,196 @@
+package attacktree
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/modular"
+)
+
+// CompileOptions selects the analysis variant of a tree.
+type CompileOptions struct {
+	// Applied lists the countermeasures to switch on (sorted and deduped by
+	// NormalizeApplied; Compile normalises unsorted input itself).
+	Applied []string
+}
+
+// Canonical renders the options deterministically for cache keying.
+func (o CompileOptions) Canonical() string {
+	applied := append([]string(nil), o.Applied...)
+	sort.Strings(applied)
+	return "cm=" + strings.Join(applied, ",")
+}
+
+// Compiled is a lowered attack tree: the CTMC-generating modular model plus
+// the metadata ranking and reporting need.
+type Compiled struct {
+	Tree    *Tree
+	Options CompileOptions
+	Model   *modular.Model
+	// Goal is the top-event predicate (also installed as the "goal" label).
+	Goal modular.Expr
+	// LeafRates maps each leaf to its effective attack rate after
+	// countermeasure scaling.
+	LeafRates map[string]float64
+	// Cost is the summed cost of the applied countermeasures.
+	Cost float64
+}
+
+// Compile lowers a validated tree into a modular CTMC model. Every leaf
+// becomes a boolean variable with an exponential attack command; gate
+// semantics are expressed through guards over the leaf variables:
+//
+//   - OR: children race — the gate holds as soon as any child does.
+//   - AND: children progress independently in parallel (a product of
+//     birth chains); the gate holds when all do.
+//   - SAND: children are sequenced — the leaves under child i+1 are
+//     guard-disabled until child i is satisfied.
+//
+// An applied countermeasure scales its leaf's rate by RateFactor and, when
+// PatchRate is positive, adds a repair command revoking the leaf.
+func Compile(t *Tree, opts CompileOptions) (*Compiled, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	applied, err := t.NormalizeApplied(opts.Applied)
+	if err != nil {
+		return nil, err
+	}
+	appliedSet := make(map[string]bool, len(applied))
+	for _, name := range applied {
+		appliedSet[name] = true
+	}
+
+	c := &Compiled{
+		Tree:      t,
+		Options:   CompileOptions{Applied: applied},
+		Model:     modular.NewModel(t.Name),
+		LeafRates: make(map[string]float64),
+	}
+
+	// Declare one boolean variable per leaf, in deterministic preorder, so
+	// the state layout (and therefore golden fragments) is stable.
+	vars := make(map[string]modular.VarRef)
+	for _, leaf := range t.Leaves() {
+		ref, err := c.Model.AddVar(modular.VarDecl{
+			Name:   leaf.Name,
+			Module: "leaf_" + leaf.Name,
+			IsBool: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		vars[leaf.Name] = ref
+	}
+
+	// satisfied builds the gate predicate of a subtree.
+	var satisfied func(n *Node) modular.Expr
+	satisfied = func(n *Node) modular.Expr {
+		if len(n.Children) == 0 {
+			return vars[n.Name]
+		}
+		exprs := make([]modular.Expr, len(n.Children))
+		for i, child := range n.Children {
+			exprs[i] = satisfied(child)
+		}
+		if n.Gate == GateOR {
+			return modular.Or(exprs...)
+		}
+		return modular.And(exprs...) // AND and SAND agree on the predicate
+	}
+
+	// lower threads the SAND sequencing guard down the tree and emits the
+	// leaf commands. enable == nil means unconditionally enabled.
+	var lower func(n *Node, enable modular.Expr) error
+	lower = func(n *Node, enable modular.Expr) error {
+		if len(n.Children) == 0 {
+			return c.lowerLeaf(n, vars[n.Name], enable, appliedSet)
+		}
+		for i, child := range n.Children {
+			childEnable := enable
+			if n.Gate == GateSAND && i > 0 {
+				// Phase i is armed only once phases 0..i-1 are complete.
+				prior := make([]modular.Expr, 0, i+1)
+				if enable != nil {
+					prior = append(prior, enable)
+				}
+				for _, done := range n.Children[:i] {
+					prior = append(prior, satisfied(done))
+				}
+				childEnable = modular.And(prior...)
+			}
+			if err := lower(child, childEnable); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := lower(t.Root, nil); err != nil {
+		return nil, err
+	}
+
+	goal := satisfied(t.Root)
+	c.Goal = goal
+	c.Model.SetLabel(LabelGoal, goal)
+	// Per-node labels let ad-hoc CSL properties address intermediate gates
+	// and leaves by name ('"telematics_breach"').
+	t.walk(func(n *Node) {
+		c.Model.SetLabel(n.Name, satisfied(n))
+	})
+	c.Model.AddReward(RewardTime, modular.Reward{
+		Guard: modular.Not(goal),
+		Value: modular.DoubleLit(1),
+	})
+	c.Model.AddReward(RewardCompromised, modular.Reward{
+		Guard: goal,
+		Value: modular.DoubleLit(1),
+	})
+
+	for _, cm := range t.Countermeasures() {
+		if appliedSet[cm.Name] {
+			c.Cost += cm.Cost
+		}
+	}
+
+	c.Model.SimplifyAll()
+	if err := c.Model.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// lowerLeaf emits the attack (and, under an applied patching
+// countermeasure, repair) commands for one leaf.
+func (c *Compiled) lowerLeaf(n *Node, ref modular.VarRef, enable modular.Expr, applied map[string]bool) error {
+	rate := LeafRate(n)
+	patch := 0.0
+	if cm := n.Countermeasure; cm != nil && applied[cm.Name] {
+		rate *= cm.RateFactor
+		patch = cm.PatchRate
+	}
+	c.LeafRates[n.Name] = rate
+	mod := c.Model.AddModule("leaf_" + n.Name)
+	if rate > 0 {
+		guard := modular.Expr(modular.Not(ref))
+		if enable != nil {
+			guard = modular.And(enable, guard)
+		}
+		mod.AddCommand(modular.Command{
+			Guard: guard,
+			Updates: []modular.Update{{
+				Rate:    modular.DoubleLit(rate),
+				Assigns: []modular.Assign{{Var: ref.Index, Expr: modular.BoolLit(true)}},
+			}},
+		})
+	}
+	if patch > 0 {
+		mod.AddCommand(modular.Command{
+			Guard: ref,
+			Updates: []modular.Update{{
+				Rate:    modular.DoubleLit(patch),
+				Assigns: []modular.Assign{{Var: ref.Index, Expr: modular.BoolLit(false)}},
+			}},
+		})
+	}
+	return nil
+}

@@ -3,6 +3,7 @@ package cvss
 import (
 	"errors"
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -117,4 +118,89 @@ func TestScoreMonotonicity(t *testing.T) {
 	if weak.Score() >= strong.Score() {
 		t.Fatalf("monotonicity violated: %v >= %v", weak.Score(), strong.Score())
 	}
+}
+
+// TestParseMalformedTable is a fuzz-style sweep of hostile vector strings:
+// every case must be rejected with ErrBadVector, never accepted or panicked
+// on. It locks in duplicate-metric rejection ("AV:N/AV:N/Au:M" parses three
+// components but names AV twice) alongside truncation, case, whitespace and
+// delimiter abuse.
+func TestParseMalformedTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"one metric", "AV:N"},
+		{"two metrics", "AV:N/AC:H"},
+		{"four metrics", "AV:N/AC:H/Au:M/E:F"},
+		{"duplicate AV same value", "AV:N/AV:N/Au:M"},
+		{"duplicate AV different value", "AV:N/AV:L/AC:H"},
+		{"duplicate AC", "AC:H/AC:L/Au:M"},
+		{"duplicate Au", "Au:M/Au:N/AV:N"},
+		{"all three duplicates of one", "AV:N/AV:N/AV:N"},
+		{"missing colon", "AVN/AC:H/Au:M"},
+		{"empty component", "/AC:H/Au:M"},
+		{"empty value", "AV:/AC:H/Au:M"},
+		{"empty key", ":N/AC:H/Au:M"},
+		{"lowercase key", "av:N/AC:H/Au:M"},
+		{"lowercase value", "AV:n/AC:H/Au:M"},
+		{"unknown key", "XX:N/AC:H/Au:M"},
+		{"unknown AV value", "AV:X/AC:H/Au:M"},
+		{"unknown AC value", "AV:N/AC:X/Au:M"},
+		{"unknown Au value", "AV:N/AC:H/Au:X"},
+		{"leading space", " AV:N/AC:H/Au:M"},
+		{"inner space", "AV:N / AC:H/Au:M"},
+		{"trailing slash", "AV:N/AC:H/Au:M/"},
+		{"double slash", "AV:N//AC:H"},
+		{"value with extra colon", "AV:N:N/AC:H/Au:M"},
+		{"multi-char value", "AV:NN/AC:H/Au:M"},
+		{"unicode value", "AV:Ｎ/AC:H/Au:M"},
+		{"nul byte", "AV:N/AC:H/Au:M\x00"},
+		{"long garbage", strings.Repeat("AV:N/", 100)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v, err := Parse(tc.input)
+			if err == nil {
+				t.Fatalf("Parse(%q) accepted as %v", tc.input, v)
+			}
+			if !errors.Is(err, ErrBadVector) {
+				t.Fatalf("Parse(%q): err = %v, want ErrBadVector", tc.input, err)
+			}
+		})
+	}
+}
+
+// FuzzParse checks the parser's invariants on arbitrary input: it never
+// panics, a rejection always wraps ErrBadVector, and an accepted vector
+// round-trips through String back to the identical value with a rate that
+// is finite and non-negative.
+func FuzzParse(f *testing.F) {
+	f.Add("AV:N/AC:H/Au:M")
+	f.Add("Au:M/AV:N/AC:H")
+	f.Add("AV:N/AV:N/Au:M")
+	f.Add("AV:L/AC:L/Au:N")
+	f.Add("")
+	f.Add("AV:N/AC:H/Au:M/E:F")
+	f.Add("AVN/AC:H/Au:M")
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := Parse(s)
+		if err != nil {
+			if !errors.Is(err, ErrBadVector) {
+				t.Fatalf("Parse(%q): err = %v, want ErrBadVector", s, err)
+			}
+			return
+		}
+		again, err := Parse(v.String())
+		if err != nil {
+			t.Fatalf("Parse(%q) -> %v, but String %q does not re-parse: %v", s, v, v.String(), err)
+		}
+		if again != v {
+			t.Fatalf("round trip %q -> %v -> %v", s, v, again)
+		}
+		if r := v.Rate(); math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+			t.Fatalf("Parse(%q): rate %v out of range", s, r)
+		}
+	})
 }

@@ -314,3 +314,30 @@ func TestOnCandidateStreams(t *testing.T) {
 		t.Fatalf("stream = %v, want %v", labels, want)
 	}
 }
+
+func TestNonDominated(t *testing.T) {
+	objectives := [][]float64{
+		{2, 2},   // 0: dominated by 2
+		{1, 3},   // 1: dominated by 2 (no better in either component)
+		{1, 1},   // 2: front (dominates 0 and 1)
+		{3, 0.5}, // 3: front (best second objective)
+		{3, 3},   // 4: dominated by everything on the front
+	}
+	got := NonDominated(objectives)
+	want := []int{2, 3} // sorted by objective vector lexicographically
+	if len(got) != len(want) {
+		t.Fatalf("front = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("front = %v, want %v", got, want)
+		}
+	}
+	if f := NonDominated(nil); len(f) != 0 {
+		t.Fatalf("empty input front = %v", f)
+	}
+	// Ties are all kept: equal vectors do not dominate each other.
+	if f := NonDominated([][]float64{{1, 1}, {1, 1}}); len(f) != 2 {
+		t.Fatalf("tied front = %v, want both", f)
+	}
+}

@@ -46,6 +46,40 @@ func ParetoFront(cands []*Candidate) []*Candidate {
 	return front
 }
 
+// NonDominated returns the indices of the non-dominated rows of a raw
+// objective matrix (all objectives minimised), sorted by objective vector
+// lexicographic then by index — the generic front filter behind
+// candidate-based ParetoFront, reused by clients whose designs are not
+// architecture mutations (e.g. secattack's countermeasure selections).
+func NonDominated(objectives [][]float64) []int {
+	var front []int
+	for i, o := range objectives {
+		dominated := false
+		for j, other := range objectives {
+			if j != i && dominates(other, o) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, i)
+		}
+	}
+	sort.Slice(front, func(a, b int) bool {
+		oa, ob := objectives[front[a]], objectives[front[b]]
+		for k := range oa {
+			if k >= len(ob) {
+				break
+			}
+			if oa[k] != ob[k] {
+				return oa[k] < ob[k]
+			}
+		}
+		return front[a] < front[b]
+	})
+	return front
+}
+
 // lessCandidate is the deterministic candidate order: objective vector
 // lexicographic, assignment key as the final tie-break.
 func lessCandidate(a, b *Candidate) bool {

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/arch"
+	"repro/internal/attacktree"
 	"repro/internal/core"
 	"repro/internal/csl"
 	"repro/internal/fault"
@@ -38,10 +39,17 @@ const (
 	modeGrid     requestMode = "grid"     // full CIA × protection grid
 	modeSingle   requestMode = "single"   // one category × protection cell
 	modeProperty requestMode = "property" // CSL property check
+	modeTree     requestMode = "tree"     // attack-tree analysis
 )
 
 // ErrBadRequest wraps all request validation failures (HTTP 400).
 var ErrBadRequest = errors.New("service: bad request")
+
+// ErrUnknownKind reports a request whose model kind this node cannot
+// resolve — a typed 400 (error kind "unknown_model_kind"), so requests for
+// model families introduced after this build fail cleanly instead of being
+// misread as architecture analyses.
+var ErrUnknownKind = errors.New("unknown model kind")
 
 func badRequestf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrBadRequest, fmt.Sprintf(format, args...))
@@ -57,6 +65,19 @@ type resolvedRequest struct {
 	cat       transform.Category
 	prot      transform.Protection
 	property  string
+
+	// Attack-tree requests (mode == modeTree); archCanon then holds the
+	// tree's canonical JSON.
+	tree     *attacktree.Tree
+	treeOpts attacktree.CompileOptions
+}
+
+// key is the request's result-cache address, per mode.
+func (rr *resolvedRequest) key() string {
+	if rr.mode == modeTree {
+		return treeResultKey(rr.archCanon, rr.treeOpts, rr.an, rr.property)
+	}
+	return resultKey(rr.archCanon, rr.msg, rr.an, rr.mode, rr.cat, rr.prot, rr.property)
 }
 
 // EngineOptions configures an Engine.
@@ -202,7 +223,7 @@ func (e *Engine) Run(ctx context.Context, req *AnalysisRequest) (*Outcome, Cache
 		e.results.Purge()
 		obs.Count(ctx, "service.cache.evicted_all", 1)
 	}
-	rkey := resultKey(rr.archCanon, rr.msg, rr.an, rr.mode, rr.cat, rr.prot, rr.property)
+	rkey := rr.key()
 	for {
 		if v, ok := e.results.Get(rkey); ok {
 			atomic.AddInt64(&e.hits, 1)
@@ -312,7 +333,7 @@ func (e *Engine) Fingerprint(req *AnalysisRequest) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return resultKey(rr.archCanon, rr.msg, rr.an, rr.mode, rr.cat, rr.prot, rr.property), nil
+	return rr.key(), nil
 }
 
 // safeRun wraps the substitutable run hook with the solve-path fault
@@ -340,6 +361,8 @@ func (e *Engine) safeRun(ctx context.Context, rr *resolvedRequest) (out *Outcome
 // analyze is the real pipeline execution behind Run.
 func (e *Engine) analyze(ctx context.Context, rr *resolvedRequest) (*Outcome, error) {
 	switch rr.mode {
+	case modeTree:
+		return e.analyzeTree(ctx, rr)
 	case modeProperty:
 		pr, err := e.checkProperty(ctx, rr)
 		if err != nil {
@@ -454,6 +477,17 @@ func toAnalysisResult(r *core.Result) AnalysisResult {
 func (e *Engine) resolve(req *AnalysisRequest) (*resolvedRequest, error) {
 	if req == nil {
 		return nil, badRequestf("empty request")
+	}
+	switch req.Kind {
+	case "", KindArchitecture:
+	case KindAttackTree:
+		return e.resolveTree(req)
+	default:
+		return nil, fmt.Errorf("%w: %w %q (supported: %s, %s)",
+			ErrBadRequest, ErrUnknownKind, req.Kind, KindArchitecture, KindAttackTree)
+	}
+	if len(req.Countermeasures) > 0 {
+		return nil, badRequestf("countermeasures apply to attack-tree requests only")
 	}
 	a, err := e.resolveArchitecture(req)
 	if err != nil {

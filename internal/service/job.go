@@ -52,8 +52,17 @@ const (
 // there, an omitted cell defaults to confidentiality/unencrypted (the model
 // the property's labels address is built for that cell).
 type AnalysisRequest struct {
+	// Kind selects the model family: "" or "architecture" for the paper's
+	// architecture models, "attack_tree" for attack-tree threat models
+	// (Architecture/Inline then name or carry a tree document). Any other
+	// value is rejected with error kind "unknown_model_kind", so new model
+	// families fail cleanly on nodes that predate them.
+	Kind         string          `json:"kind,omitempty"`
 	Architecture string          `json:"architecture,omitempty"`
 	Inline       json.RawMessage `json:"inline,omitempty"`
+	// Countermeasures lists attack-tree countermeasures to apply (attack
+	// tree requests only).
+	Countermeasures []string `json:"countermeasures,omitempty"`
 	Message      string          `json:"message,omitempty"` // default "m"
 	NMax         int             `json:"nmax,omitempty"`    // default 2
 	Horizon      float64         `json:"horizon,omitempty"` // years, default 1
@@ -104,11 +113,32 @@ type PropertyResult struct {
 	Satisfied bool    `json:"satisfied,omitempty"`
 }
 
+// TreeResult is the outcome of an attack-tree analysis: the synthesized
+// top-event queries answered over the compiled tree.
+type TreeResult struct {
+	Tree    string  `json:"tree"`
+	Horizon float64 `json:"horizon"`
+	// TopEventProbability is P=? [ F<=horizon "goal" ].
+	TopEventProbability float64 `json:"top_event_probability"`
+	// MTTAYears is the mean time to attack, R{"time"}=? [ F "goal" ] —
+	// omitted when the top event is unreachable (expected time infinite).
+	MTTAYears *float64 `json:"mtta_years,omitempty"`
+	// Countermeasures and Cost echo the applied selection and its summed
+	// cost, so ranking clients read risk and cost from one payload.
+	Countermeasures []string `json:"countermeasures,omitempty"`
+	Cost            float64  `json:"cost,omitempty"`
+	States          int      `json:"states"`
+	Transitions     int      `json:"transitions"`
+	BuildSeconds    float64  `json:"build_seconds"`
+	CheckSeconds    float64  `json:"check_seconds"`
+}
+
 // Outcome is the payload of a finished analysis — also the unit the result
 // cache stores, so it is immutable once published.
 type Outcome struct {
 	Results  []AnalysisResult `json:"results,omitempty"`
 	Property *PropertyResult  `json:"property,omitempty"`
+	Tree     *TreeResult      `json:"tree,omitempty"`
 }
 
 // Job is one accepted analysis moving through the queue → worker → done
@@ -269,6 +299,7 @@ type JobView struct {
 	ErrorKind string           `json:"error_kind,omitempty"`
 	Results   []AnalysisResult `json:"results,omitempty"`
 	Property  *PropertyResult  `json:"property,omitempty"`
+	Tree      *TreeResult      `json:"tree,omitempty"`
 }
 
 // View snapshots the job for serialisation.
@@ -300,6 +331,7 @@ func (j *Job) View() *JobView {
 	if j.outcome != nil {
 		v.Results = j.outcome.Results
 		v.Property = j.outcome.Property
+		v.Tree = j.outcome.Tree
 	}
 	return v
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/attacktree"
 	"repro/internal/core"
 	"repro/internal/transform"
 )
@@ -46,4 +47,19 @@ func resultKey(archCanon []byte, msg string, an core.Analyzer, mode requestMode,
 	cat transform.Category, prot transform.Protection, property string) string {
 	return hashKey("result", string(archCanon), msg, an.Canonical(),
 		an.TransformOptions(cat, prot).Canonical(), string(mode), property)
+}
+
+// treeModelKey addresses the compile + exploration prefix of an attack-tree
+// analysis (a treePrepared): the tree's canonical JSON and the compile
+// options (the applied countermeasure set).
+func treeModelKey(treeCanon []byte, opts attacktree.CompileOptions) string {
+	return hashKey("treemodel", string(treeCanon), opts.Canonical())
+}
+
+// treeResultKey addresses a solved attack-tree outcome: the tree, the
+// countermeasure selection, the solver-side settings (horizon, accuracy,
+// budgets via an.Canonical) and the property, when one was given instead of
+// the synthesized queries.
+func treeResultKey(treeCanon []byte, opts attacktree.CompileOptions, an core.Analyzer, property string) string {
+	return hashKey("result:tree", string(treeCanon), opts.Canonical(), an.Canonical(), property)
 }

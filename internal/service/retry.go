@@ -32,6 +32,7 @@ func (e *PanicError) Error() string {
 // alert on.
 const (
 	errKindBadRequest  = "bad_request"
+	errKindUnknownKind = "unknown_model_kind"
 	errKindBudget      = "budget_exceeded"
 	errKindConvergence = "no_convergence"
 	errKindPanic       = "panic"
@@ -59,6 +60,8 @@ func errorKind(err error) string {
 		return errKindTimeout
 	case errors.Is(err, context.Canceled):
 		return errKindCanceled
+	case errors.Is(err, ErrUnknownKind):
+		return errKindUnknownKind
 	case errors.Is(err, ErrBadRequest):
 		return errKindBadRequest
 	default:

@@ -931,6 +931,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			// Back-pressure, not failure: tell clients when to come back.
 			w.Header().Set("Retry-After", strconv.Itoa(s.cfg.RetryAfterSeconds))
 			writeError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, ErrUnknownKind):
+			// A model kind this node cannot resolve (e.g. an attack-tree
+			// request landing on an older build): a typed 400 clients can
+			// route on, never a generic failure.
+			writeErrorKind(w, http.StatusBadRequest, errKindUnknownKind, err)
 		default:
 			writeError(w, http.StatusBadRequest, err)
 		}

@@ -1,0 +1,241 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const testTreeDoc = `{
+	"name": "infotainment_demo",
+	"root": {
+		"name": "head_unit_compromise", "gate": "or",
+		"children": [
+			{"name": "remote", "gate": "sand", "children": [
+				{"name": "cellular_exploit", "cvss": "AV:N/AC:M/Au:N",
+				 "countermeasure": {"name": "firewall", "cost": 15, "rate_factor": 0.2}},
+				{"name": "lateral_movement", "cvss": "AV:A/AC:H/Au:S"}
+			]},
+			{"name": "obd_reflash", "cvss": "AV:L/AC:L/Au:N",
+			 "countermeasure": {"name": "code_signing", "cost": 25, "rate_factor": 0}}
+		]
+	}
+}`
+
+func treeRequest() *AnalysisRequest {
+	return &AnalysisRequest{
+		Kind:    KindAttackTree,
+		Inline:  json.RawMessage(testTreeDoc),
+		Horizon: 1,
+	}
+}
+
+func TestEngineTreeSolve(t *testing.T) {
+	e := NewEngine(EngineOptions{})
+	ctx := context.Background()
+	out, cache, err := e.Run(ctx, treeRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache != CacheMiss {
+		t.Fatalf("cache = %s, want miss", cache)
+	}
+	tr := out.Tree
+	if tr == nil {
+		t.Fatal("no tree result")
+	}
+	if tr.Tree != "infotainment_demo" || tr.Horizon != 1 {
+		t.Fatalf("tree result header = %+v", tr)
+	}
+	if tr.TopEventProbability <= 0 || tr.TopEventProbability >= 1 {
+		t.Fatalf("top-event probability = %v, want in (0, 1)", tr.TopEventProbability)
+	}
+	if tr.MTTAYears == nil || *tr.MTTAYears <= 0 {
+		t.Fatalf("MTTA = %v, want positive", tr.MTTAYears)
+	}
+	if tr.States == 0 || tr.Transitions == 0 {
+		t.Fatalf("model size missing: %+v", tr)
+	}
+
+	// Identical request: result-cache hit.
+	out2, cache2, err := e.Run(ctx, treeRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache2 != CacheHit {
+		t.Fatalf("second run cache = %s, want hit", cache2)
+	}
+	if out2.Tree.TopEventProbability != tr.TopEventProbability {
+		t.Fatal("cached result differs")
+	}
+}
+
+// TestEngineTreeCountermeasuresKeyed: a different countermeasure selection
+// is a different analysis (lower risk, accounted cost), not a cache alias.
+func TestEngineTreeCountermeasuresKeyed(t *testing.T) {
+	e := NewEngine(EngineOptions{})
+	ctx := context.Background()
+	base, _, err := e.Run(ctx, treeRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := treeRequest()
+	req.Countermeasures = []string{"code_signing", "firewall"}
+	hard, cache, err := e.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache != CacheMiss {
+		t.Fatalf("countermeasure variant served from cache (%s)", cache)
+	}
+	if hard.Tree.Cost != 40 {
+		t.Fatalf("cost = %v, want 40", hard.Tree.Cost)
+	}
+	if hard.Tree.TopEventProbability >= base.Tree.TopEventProbability {
+		t.Fatalf("countermeasures did not reduce risk: %v >= %v",
+			hard.Tree.TopEventProbability, base.Tree.TopEventProbability)
+	}
+}
+
+// TestEngineTreeProperty runs an explicit CSL property against the
+// compiled tree — intermediate gates are addressable by name.
+func TestEngineTreeProperty(t *testing.T) {
+	e := NewEngine(EngineOptions{})
+	req := treeRequest()
+	req.Property = `P=? [ F<=1 "cellular_exploit" ]`
+	out, _, err := e.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Property == nil {
+		t.Fatal("no property result")
+	}
+	// Cellular exploit alone is an exponential race leg: 1 − e^{−η t}.
+	want := 1 - math.Exp(-7.2888)
+	if d := out.Property.Value - want; d < -1e-6 || d > 1e-6 {
+		t.Fatalf("property value = %v, want ≈ %v", out.Property.Value, want)
+	}
+}
+
+// TestEngineTreeStored resolves a tree from the models directory under the
+// same naming rules as stored architectures.
+func TestEngineTreeStored(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "demo_tree.json"), []byte(testTreeDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(EngineOptions{ModelsDir: dir})
+	out, _, err := e.Run(context.Background(), &AnalysisRequest{
+		Kind:         KindAttackTree,
+		Architecture: "demo_tree",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tree == nil || out.Tree.Tree != "infotainment_demo" {
+		t.Fatalf("stored tree result = %+v", out.Tree)
+	}
+	if _, _, err := e.Run(context.Background(), &AnalysisRequest{
+		Kind:         KindAttackTree,
+		Architecture: "../demo_tree",
+	}); err == nil {
+		t.Fatal("path traversal accepted")
+	}
+}
+
+// TestEngineTreeValidation covers the tree-specific request rejections.
+func TestEngineTreeValidation(t *testing.T) {
+	e := NewEngine(EngineOptions{})
+	cases := []struct {
+		name string
+		mut  func(*AnalysisRequest)
+	}{
+		{"unknown countermeasure", func(r *AnalysisRequest) { r.Countermeasures = []string{"nope"} }},
+		{"category on tree", func(r *AnalysisRequest) { r.Category = "confidentiality"; r.Protection = "unencrypted" }},
+		{"message on tree", func(r *AnalysisRequest) { r.Message = "m" }},
+		{"nmax on tree", func(r *AnalysisRequest) { r.NMax = 2 }},
+		{"bad inline tree", func(r *AnalysisRequest) { r.Inline = json.RawMessage(`{"name":"x"}`) }},
+		{"countermeasures on architecture", func(r *AnalysisRequest) {
+			r.Kind = ""
+			r.Inline = nil
+			r.Architecture = "builtin:1"
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := treeRequest()
+			if tc.mut != nil {
+				tc.mut(req)
+			}
+			if req.Kind == "" && len(req.Countermeasures) == 0 {
+				req.Countermeasures = []string{"firewall"}
+			}
+			err := e.Validate(req)
+			if err == nil {
+				t.Fatal("request accepted")
+			}
+			if errorKind(err) != errKindBadRequest {
+				t.Fatalf("error kind = %s, want bad_request (%v)", errorKind(err), err)
+			}
+		})
+	}
+}
+
+// TestUnknownKindTyped400 is the satellite check: a model kind this build
+// cannot resolve yields HTTP 400 with the machine-readable kind
+// "unknown_model_kind" — never a generic 500.
+func TestUnknownKindTyped400(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(&AnalysisRequest{Kind: "fault_tree", Architecture: "builtin:1"})
+	resp, err := http.Post(ts.URL+"/v1/analyses", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	var eb struct {
+		Error string `json:"error"`
+		Kind  string `json:"kind"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Kind != errKindUnknownKind {
+		t.Fatalf("error kind = %q, want %q (error %q)", eb.Kind, errKindUnknownKind, eb.Error)
+	}
+}
+
+// TestTreeOverHTTP drives an attack-tree analysis through the full job API
+// with the service client — the second half of the acceptance criterion.
+func TestTreeOverHTTP(t *testing.T) {
+	srv := New(Config{Workers: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cl := NewClient(ts.URL)
+	req := treeRequest()
+	req.WaitSeconds = 30
+	view, err := cl.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != StatusDone {
+		t.Fatalf("status = %s (error %q)", view.Status, view.Error)
+	}
+	if view.Tree == nil || view.Tree.TopEventProbability <= 0 {
+		t.Fatalf("tree result over HTTP = %+v", view.Tree)
+	}
+}
