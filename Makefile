@@ -4,16 +4,17 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race fleet-race chaos explore attacktree check cover bench bench-smoke shard-smoke fleet-chaos examples experiments serve fuzz clean
+.PHONY: all build vet lint test race fleet-race chaos explore attacktree check cover bench bench-smoke shard-smoke fleet-chaos cluster-smoke examples experiments serve fuzz clean
 
 all: check
 
 # check is the full local gate: compile, static analysis (vet + staticcheck
 # when installed), unit tests, the race detector over the concurrent paths
 # (parallel grids, sinks), the chaos suite (fault injection, retries, solver
-# fallback) under -race, a design-space exploration smoke run, and an
-# attack-tree solve + countermeasure ranking smoke run.
-check: build vet lint test race chaos explore attacktree
+# fallback) under -race, a design-space exploration smoke run, an
+# attack-tree solve + countermeasure ranking smoke run, and the cluster
+# observability smoke test over a live three-node ring.
+check: build vet lint test race chaos explore attacktree cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -99,6 +100,15 @@ shard-smoke:
 # README "Fleet resilience").
 fleet-chaos:
 	./scripts/fleet_chaos.sh
+
+# cluster-smoke boots a three-node replicated ring, drives a mixed
+# architecture + attack-tree load under two tenants (with client trace
+# context), and asserts the cluster observability plane through
+# `sectop -once -json`: all nodes federated, merged latency p99 > 0,
+# nonzero per-tenant usage, and at least one assembled cross-node trace
+# (see README "Cluster observability").
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -2,8 +2,9 @@
 // canonical workload suite — the paper's Eq-15 chain, the three Figure-5
 // case-study grids, a large synthetic architecture, the service engine
 // cold vs warm vs disk-warm (a fresh engine answering from a populated
-// persistent store, the warm-restart path), and a seeded attack-tree fleet
-// batch-solved through the engine — and writes one
+// persistent store, the warm-restart path), a resident node polled through
+// the cluster-metrics rollup (the observability plane's own cost), and a
+// seeded attack-tree fleet batch-solved through the engine — and writes one
 // BENCH_<date>.json with per-workload wall time, per-iteration p50/p99,
 // heap allocations, model size and p99 solve latency (from the obs
 // histogram layer), stamped with the git SHA.
@@ -28,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"regexp"
@@ -279,6 +282,55 @@ func suite() []workload {
 						return 0, fmt.Errorf("disk-warm run not served from disk: %q", state)
 					}
 					return states, nil
+				}, cleanup, nil
+			},
+		},
+		{
+			// The observability plane itself: a resident node with solved
+			// jobs behind it, polled through GET /v1/cluster/metrics — status
+			// assembly, histogram wire encoding, merge and trace assembly per
+			// refresh. This is the steady cost a sectop watcher or metrics
+			// pipeline imposes on a serving node.
+			name: "cluster-scrape", solveSpan: "",
+			quickIters: 10, fullIters: 500,
+			setup: func() (func(ctx context.Context) (int, error), func(), error) {
+				l, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					return nil, nil, err
+				}
+				srv := service.New(service.Config{Workers: 2, NodeID: "bench"})
+				go srv.Serve(l)
+				cleanup := func() { srv.Close() }
+				base := "http://" + l.Addr().String()
+				// Seed a few solved jobs so the scrape carries real
+				// histograms, spans and tenant usage, not an empty document.
+				for i := 0; i <= 2; i++ {
+					body := fmt.Sprintf(`{"architecture":"builtin:1","skip_steady_state":true,"nmax":%d,"horizon":1,"wait_seconds":120}`, i)
+					resp, err := http.Post(base+"/v1/analyses", "application/json", strings.NewReader(body))
+					if err != nil {
+						cleanup()
+						return nil, nil, err
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				return func(ctx context.Context) (int, error) {
+					resp, err := http.Get(base + "/v1/cluster/metrics")
+					if err != nil {
+						return 0, err
+					}
+					defer func() {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}()
+					var cm service.ClusterMetrics
+					if err := json.NewDecoder(resp.Body).Decode(&cm); err != nil {
+						return 0, err
+					}
+					if len(cm.Nodes) == 0 || cm.JobsCompleted < 3 {
+						return 0, fmt.Errorf("scrape returned empty cluster document: %+v", cm.Nodes)
+					}
+					return int(cm.JobsCompleted), nil
 				}, cleanup, nil
 			},
 		},

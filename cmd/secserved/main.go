@@ -21,6 +21,19 @@
 //	GET  /v1/metrics/pipeline        # aggregated pipeline phase timings
 //	GET  /metrics                    # Prometheus text exposition (counters,
 //	                                 # gauges, per-stage latency histograms)
+//	GET  /v1/buildinfo               # node build identity (Go version, VCS)
+//	GET  /v1/node/status             # this node's full observability doc
+//	GET  /v1/cluster/status          # federation fan-out: every ring peer's
+//	                                 # node status + unreachable peers
+//	GET  /v1/cluster/metrics         # fleet rollup: bucket-merged latency
+//	                                 # histograms, per-tenant SLO burn rates,
+//	                                 # assembled cross-node traces
+//
+// -slo sets the availability target the per-tenant burn rates are computed
+// against; -span-log sizes the recent-span ring each node exports for
+// cross-node trace assembly, and -span-export additionally appends every
+// finished span as a JSONL record. `sectop` renders the two cluster
+// endpoints as a live terminal dashboard.
 //
 // -pprof-http additionally mounts net/http/pprof under /debug/pprof/ on the
 // service port; -flight-http likewise exposes the flight-recorder ring at
@@ -117,6 +130,9 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 	breakerOpen := fs.Duration("breaker-open", time.Second, "first open period of a tripped breaker (doubles per re-open)")
 	breakerOpenMax := fs.Duration("breaker-open-max", 30*time.Second, "cap on the breaker open-period backoff")
 	tenantsPath := fs.String("tenants", "", "per-tenant admission policy JSON file (empty = admit everything)")
+	sloTarget := fs.Float64("slo", 0, "per-tenant availability SLO target for burn-rate accounting (0 = default 0.99)")
+	spanLogSize := fs.Int("span-log", 0, "recent-span ring size for cross-node trace assembly (0 = default 512, negative = disabled)")
+	spanExport := fs.String("span-export", "", "append every finished span as a JSONL record to this file (empty = disabled)")
 	faults := fs.String("faults", os.Getenv("SECFAULTS"), "fault-injection spec, e.g. \"worker.panic:p=0.1,solve.slow:d=2s\" (default $SECFAULTS)")
 	faultSeed := fs.Int64("fault-seed", 0, "fault-injection RNG seed (default $SECFAULT_SEED or 1)")
 	var ocli obs.CLI
@@ -156,6 +172,15 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		}
 	}()
 
+	var spanOut io.Writer
+	if *spanExport != "" {
+		f, ferr := os.OpenFile(*spanExport, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if ferr != nil {
+			return fmt.Errorf("span-export: %w", ferr)
+		}
+		defer f.Close()
+		spanOut = f
+	}
 	var slowLog io.Writer
 	if *slowLogPath != "" {
 		f, ferr := os.OpenFile(*slowLogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -244,6 +269,9 @@ func run(ctx context.Context, args []string, out io.Writer) (err error) {
 		Hints:            hints,
 		ProbeInterval:    *probeInterval,
 		Tenants:          tenants,
+		SLOTarget:        *sloTarget,
+		SpanLogSize:      *spanLogSize,
+		SpanExport:       spanOut,
 	})
 	if journal != nil {
 		if n := srv.ReplayJournal(); n > 0 {

@@ -1,0 +1,313 @@
+// Command sectop is a live terminal dashboard over a secserved ring: it
+// polls one node's cluster endpoints (GET /v1/cluster/status and
+// /v1/cluster/metrics — that node fans out to its peers) and renders ring
+// health, per-tenant SLO burn rates, queue and cache pressure, merged
+// latency quantiles and the slowest recently-assembled cross-node traces.
+//
+// Usage:
+//
+//	sectop                                  # watch http://127.0.0.1:8600
+//	sectop -addr http://10.0.0.7:8600       # watch a remote node
+//	sectop -interval 5s                     # slower refresh
+//	sectop -once                            # render one frame and exit
+//	sectop -once -json                      # one merged cluster document as
+//	                                        # JSON (for scripts and CI)
+//
+// The dashboard is plain ANSI — no terminal library — so it works over ssh
+// and in CI logs alike. -json emits the raw combined document (status +
+// metrics) instead of rendering, one document per refresh.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/service"
+)
+
+// clusterDoc is the merged document sectop works from: one node's federated
+// status fan-out plus the fleet metrics rollup, under a single fetch stamp.
+type clusterDoc struct {
+	FetchedAt string                 `json:"fetched_at"`
+	Source    string                 `json:"source"`
+	Status    service.ClusterStatus  `json:"status"`
+	Metrics   service.ClusterMetrics `json:"metrics"`
+}
+
+// fetch pulls both cluster endpoints from base.
+func fetch(client *http.Client, base string) (*clusterDoc, error) {
+	doc := &clusterDoc{FetchedAt: time.Now().UTC().Format(time.RFC3339), Source: base}
+	if err := getJSON(client, base+"/v1/cluster/status", &doc.Status); err != nil {
+		return nil, err
+	}
+	if err := getJSON(client, base+"/v1/cluster/metrics", &doc.Metrics); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(out)
+}
+
+// ANSI fragments. color wraps s when enabled; the renderer passes color=false
+// under -json-adjacent plain output (tests, piped CI logs keep the codes —
+// they are harmless and make breaker trips visible in red).
+const (
+	ansiReset  = "\x1b[0m"
+	ansiBold   = "\x1b[1m"
+	ansiRed    = "\x1b[31m"
+	ansiYellow = "\x1b[33m"
+	ansiGreen  = "\x1b[32m"
+	ansiDim    = "\x1b[2m"
+)
+
+func color(enabled bool, code, s string) string {
+	if !enabled {
+		return s
+	}
+	return code + s + ansiReset
+}
+
+// fmtDur renders a duration given in seconds at a glanceable precision.
+func fmtDur(sec float64) string {
+	switch {
+	case sec <= 0:
+		return "0"
+	case sec < 1e-3:
+		return fmt.Sprintf("%.0fµs", sec*1e6)
+	case sec < 1:
+		return fmt.Sprintf("%.1fms", sec*1e3)
+	case sec < 60:
+		return fmt.Sprintf("%.2fs", sec)
+	default:
+		return fmt.Sprintf("%.1fm", sec/60)
+	}
+}
+
+// burnCell colors a burn rate: >=1 spends budget faster than sustainable
+// (red), >=0.5 is worth a look (yellow).
+func burnCell(c bool, burn float64) string {
+	s := fmt.Sprintf("%.2f", burn)
+	switch {
+	case burn >= 1:
+		return color(c, ansiRed, s)
+	case burn >= 0.5:
+		return color(c, ansiYellow, s)
+	default:
+		return s
+	}
+}
+
+// breakerCell summarises a node's peer-breaker map: closed peers are elided,
+// anything else is listed (open in red).
+func breakerCell(c bool, breakers map[string]string) string {
+	var parts []string
+	for _, peer := range sortedKeys(breakers) {
+		st := breakers[peer]
+		if st == "closed" {
+			continue
+		}
+		cell := peer + ":" + st
+		if st == "open" {
+			cell = color(c, ansiRed, cell)
+		} else {
+			cell = color(c, ansiYellow, cell)
+		}
+		parts = append(parts, cell)
+	}
+	if len(parts) == 0 {
+		return "ok"
+	}
+	return strings.Join(parts, " ")
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// render draws one frame of the dashboard.
+func render(w io.Writer, doc *clusterDoc, c bool) {
+	m := &doc.Metrics
+	fmt.Fprintf(w, "%s  via %s  %s\n",
+		color(c, ansiBold, "sectop — secserved cluster"), doc.Source, doc.FetchedAt)
+	fmt.Fprintf(w, "nodes %d  unreachable %d  jobs accepted %d / completed %d / failed %d  running %d  hints pending %d\n\n",
+		len(doc.Status.Nodes), len(doc.Status.Unreachable),
+		m.JobsAccepted, m.JobsCompleted, m.JobsFailed, m.JobsRunning, m.HintsPending)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, color(c, ansiBold, "NODE\tSTATUS\tOWN%\tQUEUE\tRUN\tDONE\tFAIL\tHINTS\tLAG\tBREAKERS"))
+	for _, ns := range doc.Status.Nodes {
+		status := ns.Status
+		switch status {
+		case "ok":
+			status = color(c, ansiGreen, status)
+		case "degraded", "draining":
+			status = color(c, ansiYellow, status)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.1f\t%d/%d\t%d\t%d\t%d\t%d\t%s\t%s\n",
+			ns.Node, status, 100*ns.RingOwnership,
+			ns.QueueDepth, ns.QueueCapacity, ns.JobsRunning,
+			ns.JobsCompleted, ns.JobsFailed, ns.HintsPending,
+			fmtDur(ns.ReplicationLagSeconds), breakerCell(c, ns.Breakers))
+	}
+	for _, u := range doc.Status.Unreachable {
+		fmt.Fprintf(tw, "%s\t%s\t\t\t\t\t\t\t\t%s\n",
+			u.Node, color(c, ansiRed, "UNREACHABLE"), color(c, ansiDim, u.Reason))
+	}
+	tw.Flush()
+
+	if len(m.Tenants) > 0 {
+		fmt.Fprintln(w)
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, color(c, ansiBold, "TENANT\tREQ\tERR\tSHED\tBURN 5m\tBURN 1h\tCACHE%\tSOLVE"))
+		for _, name := range sortedKeys(m.Tenants) {
+			t := m.Tenants[name]
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%s\t%s\t%.0f\t%s\n",
+				name, t.Requests, t.Errors, t.Shed,
+				burnCell(c, t.Windows["5m"].BurnRate),
+				burnCell(c, t.Windows["1h"].BurnRate),
+				100*t.CacheHitRatio, fmtDur(t.SolveSeconds))
+		}
+		tw.Flush()
+	}
+
+	if len(m.Quantiles) > 0 {
+		fmt.Fprintln(w)
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, color(c, ansiBold, "LATENCY (merged)\tCOUNT\tP50\tP90\tP99\tNODES"))
+		names := sortedKeys(m.Quantiles)
+		sort.SliceStable(names, func(i, j int) bool {
+			return m.Quantiles[names[i]].Count > m.Quantiles[names[j]].Count
+		})
+		const maxRows = 12
+		for i, name := range names {
+			if i == maxRows {
+				fmt.Fprintf(tw, "%s\t\t\t\t\t\n", color(c, ansiDim, fmt.Sprintf("… %d more", len(names)-maxRows)))
+				break
+			}
+			q := m.Quantiles[name]
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%d\n",
+				name, q.Count, fmtDur(q.P50), fmtDur(q.P90), fmtDur(q.P99), len(q.Nodes))
+		}
+		tw.Flush()
+	}
+
+	if len(m.Traces) > 0 {
+		fmt.Fprintln(w)
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, color(c, ansiBold, "SLOWEST TRACES\tDUR\tSPANS\tNODES\tROOT"))
+		const maxTraces = 8
+		for i, t := range m.Traces {
+			if i == maxTraces {
+				break
+			}
+			root := "?"
+			if len(t.Roots) > 0 {
+				root = t.Roots[0].Name
+			}
+			id := t.TraceID
+			if len(id) > 12 {
+				id = id[:12]
+			}
+			nodes := strings.Join(t.Nodes, ",")
+			if t.MultiNode() {
+				nodes = color(c, ansiBold, nodes)
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\n",
+				id, fmtDur(t.DurationSeconds), t.Spans, nodes, root)
+		}
+		tw.Flush()
+		fmt.Fprintf(w, "%s\n", color(c, ansiDim,
+			fmt.Sprintf("multi-node traces: %d", m.MultiNodeTraces)))
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sectop", flag.ContinueOnError)
+	fs.SetOutput(out)
+	addr := fs.String("addr", "http://127.0.0.1:8600", "base URL of any ring node (it federates to its peers)")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	once := fs.Bool("once", false, "render a single frame and exit")
+	asJSON := fs.Bool("json", false, "emit the merged cluster document as JSON instead of the dashboard")
+	noColor := fs.Bool("no-color", false, "disable ANSI colors in dashboard output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base := strings.TrimRight(*addr, "/")
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	frame := func() error {
+		doc, err := fetch(client, base)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			return enc.Encode(doc)
+		}
+		if !*once {
+			fmt.Fprint(out, "\x1b[2J\x1b[H") // clear screen, cursor home
+		}
+		render(out, doc, !*noColor)
+		return nil
+	}
+	if err := frame(); err != nil {
+		return err
+	}
+	if *once {
+		return nil
+	}
+	t := time.NewTicker(*interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			fmt.Fprintln(out)
+			return nil
+		case <-t.C:
+			if err := frame(); err != nil {
+				// A refresh hiccup (node restarting, scrape timeout) is shown
+				// in place, not fatal — the next tick retries.
+				fmt.Fprintf(out, "\n%s\n", color(!*noColor, ansiRed, "refresh failed: "+err.Error()))
+			}
+		}
+	}
+}
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sectop:", err)
+		os.Exit(1)
+	}
+}

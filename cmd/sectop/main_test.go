@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// fakeCluster serves canned cluster endpoints the way one secserved node
+// would after federating its ring.
+func fakeCluster(t *testing.T) *httptest.Server {
+	t.Helper()
+	status := service.ClusterStatus{
+		Self: "n1",
+		Nodes: []service.NodeStatus{
+			{Node: "n1", Status: "ok", RingOwnership: 0.4, QueueCapacity: 64,
+				JobsCompleted: 12, Breakers: map[string]string{"n2": "closed", "n3": "open"}},
+			{Node: "n2", Status: "ok", RingOwnership: 0.6, QueueCapacity: 64, JobsCompleted: 3},
+		},
+		Unreachable: []service.UnreachableNode{{Node: "n3", Reason: "breaker_open"}},
+	}
+	metrics := service.ClusterMetrics{
+		Self:          "n1",
+		Nodes:         []string{"n1", "n2"},
+		JobsAccepted:  15,
+		JobsCompleted: 15,
+		Quantiles: map[string]service.HistQuantiles{
+			"service.job": {Count: 15, P50: 0.02, P90: 0.04, P99: 0.090, Nodes: []string{"n1", "n2"}},
+		},
+		Tenants: map[string]service.TenantUsage{
+			"alpha": {Requests: 10, SLOTarget: 0.99, CacheHitRatio: 0.5,
+				Windows: map[string]service.SLOWindow{"5m": {BurnRate: 2.5}, "1h": {BurnRate: 0.7}}},
+		},
+		Traces: []obs.AssembledTrace{{
+			TraceID: "4bf92f3577b34da6a3ce929d0e0e4736", Nodes: []string{"n1", "n2"},
+			Spans: 4, DurationSeconds: 0.05,
+			Roots: []*obs.TraceSpan{{SpanRecord: obs.SpanRecord{Name: "service.job", Node: "n1"}}},
+		}},
+		MultiNodeTraces: 1,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/cluster/status", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(status)
+	})
+	mux.HandleFunc("/v1/cluster/metrics", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(metrics)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestOnceRendersDashboard(t *testing.T) {
+	ts := fakeCluster(t)
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-addr", ts.URL, "-once", "-no-color"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"n1", "n2", // node rows
+		"UNREACHABLE", "breaker_open", // the dead peer
+		"n3:open",       // breaker summary on n1's row
+		"alpha", "2.50", // tenant burn rate over 5m
+		"service.job",  // merged quantile row
+		"4bf92f3577b3", // trace ID prefix
+		"multi-node traces: 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dashboard missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\x1b[2J") {
+		t.Fatal("-once must not clear the screen")
+	}
+}
+
+func TestOnceJSONEmitsMergedDocument(t *testing.T) {
+	ts := fakeCluster(t)
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-addr", ts.URL, "-once", "-json"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc clusterDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not one JSON document: %v", err)
+	}
+	if len(doc.Status.Nodes) != 2 || doc.Status.Nodes[0].Node != "n1" {
+		t.Fatalf("status nodes = %+v", doc.Status.Nodes)
+	}
+	if doc.Metrics.MultiNodeTraces != 1 {
+		t.Fatalf("multi_node_traces = %d", doc.Metrics.MultiNodeTraces)
+	}
+	if q := doc.Metrics.Quantiles["service.job"]; q.P99 != 0.090 {
+		t.Fatalf("quantiles = %+v", q)
+	}
+	if doc.Metrics.Tenants["alpha"].Windows["5m"].BurnRate != 2.5 {
+		t.Fatalf("tenants = %+v", doc.Metrics.Tenants)
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		0.00004: "40µs",
+		0.0123:  "12.3ms",
+		1.5:     "1.50s",
+		90:      "1.5m",
+	}
+	for in, want := range cases {
+		if got := fmtDur(in); got != want {
+			t.Fatalf("fmtDur(%g) = %q, want %q", in, got, want)
+		}
+	}
+}

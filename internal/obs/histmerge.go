@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// HistogramWire is the compact JSON wire form of a histogram snapshot, built
+// for federation: per-node snapshots travel as sparse bucket maps (only
+// non-zero buckets are listed — most latency histograms occupy a handful of
+// the 41 shared log2 buckets), carry their provenance, and merge bucket-wise
+// because every histogram in the process shares one fixed layout.
+//
+// Node names the single node a snapshot came from; Nodes accumulates the
+// provenance of a merged wire. A wire has one or the other, never both.
+type HistogramWire struct {
+	Node  string   `json:"node,omitempty"`
+	Nodes []string `json:"nodes,omitempty"`
+	// NumBuckets is the finite-bucket count of the layout the wire was cut
+	// from (the overflow bucket is implied). Merging wires with different
+	// layouts is refused with a *BucketMismatchError: summing buckets whose
+	// bounds disagree would silently fabricate latencies.
+	NumBuckets int     `json:"num_buckets"`
+	Count      uint64  `json:"count"`
+	Sum        float64 `json:"sum"`
+	// Buckets maps bucket index → count, sparse. Index NumBuckets is the
+	// overflow bucket.
+	Buckets map[int]uint64 `json:"buckets,omitempty"`
+}
+
+// BucketMismatchError reports an attempt to merge or decode histogram wires
+// whose bucket layouts disagree.
+type BucketMismatchError struct {
+	Want, Got int
+}
+
+func (e *BucketMismatchError) Error() string {
+	return fmt.Sprintf("obs: histogram bucket layouts differ: %d finite buckets vs %d", e.Want, e.Got)
+}
+
+// Wire converts a snapshot to its wire form, stamped with the originating
+// node's name ("" is allowed for single-process use).
+func (s HistogramSnapshot) Wire(node string) HistogramWire {
+	w := HistogramWire{
+		Node:       node,
+		NumBuckets: histNumBuckets,
+		Count:      s.Count,
+		Sum:        s.Sum,
+	}
+	for i, n := range s.Counts {
+		if n != 0 {
+			if w.Buckets == nil {
+				w.Buckets = make(map[int]uint64)
+			}
+			w.Buckets[i] = n
+		}
+	}
+	return w
+}
+
+// Empty reports whether the wire carries no observations. The zero
+// HistogramWire is empty, as is the wire of a fresh histogram; both merge as
+// identities.
+func (w HistogramWire) Empty() bool { return w.Count == 0 && len(w.Buckets) == 0 }
+
+// Snapshot converts a wire back to a snapshot for quantile estimation. A
+// wire cut from a different bucket layout is refused with a
+// *BucketMismatchError (except the empty wire, which decodes to the empty
+// snapshot regardless of its declared layout).
+func (w HistogramWire) Snapshot() (HistogramSnapshot, error) {
+	var s HistogramSnapshot
+	if w.Empty() {
+		return s, nil
+	}
+	if w.NumBuckets != histNumBuckets {
+		return s, &BucketMismatchError{Want: histNumBuckets, Got: w.NumBuckets}
+	}
+	s.Count = w.Count
+	s.Sum = w.Sum
+	for i, n := range w.Buckets {
+		if i < 0 || i > histNumBuckets {
+			return HistogramSnapshot{}, fmt.Errorf("obs: histogram wire bucket index %d out of range", i)
+		}
+		s.Counts[i] = n
+	}
+	return s, nil
+}
+
+// Provenance returns the node names that contributed to the wire, sorted.
+func (w HistogramWire) Provenance() []string {
+	seen := make(map[string]bool, len(w.Nodes)+1)
+	var out []string
+	add := func(n string) {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	add(w.Node)
+	for _, n := range w.Nodes {
+		add(n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MergeWires sums histogram wires bucket-wise into one merged wire carrying
+// the union provenance. Empty wires (including the zero value, standing in
+// for a node that has recorded nothing) merge as identities; non-empty wires
+// whose bucket layouts disagree are refused with a *BucketMismatchError.
+// The merge is associative and commutative up to floating-point rounding of
+// Sum, so federation layers may combine partial merges in any order.
+func MergeWires(ws ...HistogramWire) (HistogramWire, error) {
+	merged := HistogramWire{NumBuckets: histNumBuckets}
+	var prov []string
+	for _, w := range ws {
+		prov = append(prov, w.Provenance()...)
+		if w.Empty() {
+			continue
+		}
+		if w.NumBuckets != merged.NumBuckets {
+			return HistogramWire{}, &BucketMismatchError{Want: merged.NumBuckets, Got: w.NumBuckets}
+		}
+		merged.Count += w.Count
+		merged.Sum += w.Sum
+		for i, n := range w.Buckets {
+			if i < 0 || i > histNumBuckets {
+				return HistogramWire{}, fmt.Errorf("obs: histogram wire bucket index %d out of range", i)
+			}
+			if n == 0 {
+				continue
+			}
+			if merged.Buckets == nil {
+				merged.Buckets = make(map[int]uint64)
+			}
+			merged.Buckets[i] += n
+		}
+	}
+	seen := make(map[string]bool, len(prov))
+	for _, n := range prov {
+		if !seen[n] {
+			seen[n] = true
+			merged.Nodes = append(merged.Nodes, n)
+		}
+	}
+	sort.Strings(merged.Nodes)
+	return merged, nil
+}
+
+// Quantile estimates the q-quantile of the wire's distribution (see
+// HistogramSnapshot.Quantile). A wire with a foreign bucket layout reports 0.
+func (w HistogramWire) Quantile(q float64) float64 {
+	s, err := w.Snapshot()
+	if err != nil {
+		return 0
+	}
+	return s.Quantile(q)
+}

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func histOf(values ...float64) *Histogram {
+	h := NewHistogram()
+	for _, v := range values {
+		h.Observe(v)
+	}
+	return h
+}
+
+func wiresEqual(t *testing.T, a, b HistogramWire) {
+	t.Helper()
+	if a.Count != b.Count {
+		t.Fatalf("count mismatch: %d vs %d", a.Count, b.Count)
+	}
+	if math.Abs(a.Sum-b.Sum) > 1e-9*(1+math.Abs(a.Sum)) {
+		t.Fatalf("sum mismatch: %g vs %g", a.Sum, b.Sum)
+	}
+	for i := 0; i <= histNumBuckets; i++ {
+		if a.Buckets[i] != b.Buckets[i] {
+			t.Fatalf("bucket %d mismatch: %d vs %d", i, a.Buckets[i], b.Buckets[i])
+		}
+	}
+}
+
+func TestMergeWiresEqualsUnionStream(t *testing.T) {
+	// The acceptance property: merging per-node wires must give exactly the
+	// histogram of the union stream, bucket for bucket.
+	rng := rand.New(rand.NewSource(10))
+	union := NewHistogram()
+	var wires []HistogramWire
+	for node := 0; node < 3; node++ {
+		h := NewHistogram()
+		for i := 0; i < 500; i++ {
+			v := math.Exp(rng.NormFloat64()*2 - 8) // spread across many buckets
+			h.Observe(v)
+			union.Observe(v)
+		}
+		wires = append(wires, h.Snapshot().Wire(string(rune('a'+node))))
+	}
+	merged, err := MergeWires(wires...)
+	if err != nil {
+		t.Fatalf("MergeWires: %v", err)
+	}
+	wiresEqual(t, merged, union.Snapshot().Wire(""))
+
+	ms, err := merged.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	us := union.Snapshot()
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if ms.Quantile(q) != us.Quantile(q) {
+			t.Fatalf("q%.2f: merged %g vs union %g", q, ms.Quantile(q), us.Quantile(q))
+		}
+	}
+	if ms.P99() <= 0 {
+		t.Fatal("merged p99 should be positive")
+	}
+	if got := merged.Nodes; len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("provenance = %v, want [a b c]", got)
+	}
+}
+
+func TestMergeWiresAssociative(t *testing.T) {
+	a := histOf(0.001, 0.002, 0.5).Snapshot().Wire("a")
+	b := histOf(1e-7, 3, 42, 1e9).Snapshot().Wire("b")
+	c := histOf(0.25).Snapshot().Wire("c")
+
+	ab, err := MergeWires(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abThenC, err := MergeWires(ab, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := MergeWires(b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aThenBC, err := MergeWires(a, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wiresEqual(t, abThenC, aThenBC)
+	if len(abThenC.Nodes) != 3 || len(aThenBC.Nodes) != 3 {
+		t.Fatalf("provenance lost: %v vs %v", abThenC.Nodes, aThenBC.Nodes)
+	}
+}
+
+func TestMergeWiresEmptyIdentity(t *testing.T) {
+	a := histOf(0.01, 0.02).Snapshot().Wire("a")
+	empty := NewHistogram().Snapshot().Wire("idle-node")
+
+	merged, err := MergeWires(a, empty, HistogramWire{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wiresEqual(t, merged, a)
+	// An idle node still shows up in provenance: it was scraped, it just had
+	// nothing to say.
+	if len(merged.Nodes) != 2 {
+		t.Fatalf("provenance = %v, want [a idle-node]", merged.Nodes)
+	}
+
+	onlyEmpty, err := MergeWires(empty, HistogramWire{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !onlyEmpty.Empty() || onlyEmpty.Quantile(0.99) != 0 {
+		t.Fatalf("all-empty merge should be empty, got %+v", onlyEmpty)
+	}
+}
+
+func TestMergeWiresBucketMismatch(t *testing.T) {
+	a := histOf(0.01).Snapshot().Wire("a")
+	foreign := a
+	foreign.NumBuckets = 64
+
+	_, err := MergeWires(a, foreign)
+	var bm *BucketMismatchError
+	if !errors.As(err, &bm) {
+		t.Fatalf("want *BucketMismatchError, got %v", err)
+	}
+	if bm.Want != histNumBuckets || bm.Got != 64 {
+		t.Fatalf("error fields = %+v", bm)
+	}
+	if _, err := foreign.Snapshot(); !errors.As(err, &bm) {
+		t.Fatalf("Snapshot should reject foreign layout, got %v", err)
+	}
+}
+
+func TestHistogramWireJSONRoundTrip(t *testing.T) {
+	orig := histOf(1e-7, 0.004, 0.004, 7.5).Snapshot().Wire("n1")
+	raw, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HistogramWire
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	wiresEqual(t, orig, back)
+	if back.Node != "n1" || back.NumBuckets != histNumBuckets {
+		t.Fatalf("metadata lost: %+v", back)
+	}
+	if s, err := back.Snapshot(); err != nil || s.Count != 4 {
+		t.Fatalf("snapshot after round trip: %+v, %v", s, err)
+	}
+}
+
+func TestConcurrentObserveWhileSnapshot(t *testing.T) {
+	// Race-clean under -race, and every merge of a torn snapshot must still
+	// decode (bucket indices always valid).
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(rng.Float64())
+				}
+			}
+		}(int64(g))
+	}
+	for i := 0; i < 200; i++ {
+		w := h.Snapshot().Wire("n")
+		if _, err := MergeWires(w, w); err != nil {
+			t.Errorf("merge of live snapshot: %v", err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	final := h.Snapshot()
+	var total uint64
+	for _, n := range final.Counts {
+		total += n
+	}
+	if total != final.Count {
+		t.Fatalf("final snapshot inconsistent: buckets sum %d, count %d", total, final.Count)
+	}
+}

@@ -115,12 +115,16 @@ func (k EventKind) String() string {
 // Duration/Allocs; counter and gauge events carry Value; progress events
 // carry Done/Total.
 type Event struct {
-	Kind     EventKind
-	Time     time.Time
-	Name     string
-	ID       uint64 // span events only
-	Parent   uint64 // span events only; 0 = root
-	Depth    int    // span nesting depth (0 = root); spans end child-first, so sinks cannot derive it
+	Kind   EventKind
+	Time   time.Time
+	Name   string
+	ID     uint64 // span events only
+	Parent uint64 // span events only; 0 = root
+	// Trace is the span's effective distributed-trace ID (span events only):
+	// the trace it inherited from a remote or local parent, else its tracer's
+	// own ID. Sinks assembling cross-process traces key on it.
+	Trace    string
+	Depth    int // span nesting depth (0 = root); spans end child-first, so sinks cannot derive it
 	Start    time.Time
 	Duration time.Duration
 	Allocs   uint64 // heap objects allocated during the span
@@ -187,11 +191,15 @@ type spanKey struct{}
 // Span is one timed operation. The zero of the API is the nil span: every
 // method is a nil-receiver no-op, so call sites never branch.
 type Span struct {
-	tracer      *Tracer
-	id          uint64
-	parent      uint64
-	depth       int
-	name        string
+	tracer *Tracer
+	id     uint64
+	parent uint64
+	depth  int
+	name   string
+	// trace is the inherited distributed-trace ID: set when the span (or an
+	// ancestor) parented to a remote trace context, empty when the span
+	// belongs to its tracer's own trace. TraceID() folds the two cases.
+	trace       string
 	start       time.Time
 	startAllocs uint64
 	attrs       []Attr
@@ -236,14 +244,20 @@ func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *
 		return ctx, nil
 	}
 	var parent uint64
-	var remoteTrace string
+	var remoteTrace, inherited string
 	depth := 0
 	if p, ok := ctx.Value(spanKey{}).(*Span); ok && p != nil {
 		parent = p.id
 		depth = p.depth + 1
+		// Children stay in the parent's effective trace, so a trace ID
+		// adopted from a client survives every hop of nested local work —
+		// and Inject re-propagates it onward instead of re-stamping each
+		// intermediate node's own tracer ID.
+		inherited = p.trace
 	} else if rc, ok := RemoteFrom(ctx); ok {
 		parent = rc.SpanID
 		remoteTrace = rc.TraceID
+		inherited = rc.TraceID
 	}
 	sp := &Span{
 		tracer: t,
@@ -251,6 +265,7 @@ func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *
 		parent: parent,
 		depth:  depth,
 		name:   name,
+		trace:  inherited,
 		start:  time.Now(),
 	}
 	if remoteTrace != "" {
@@ -276,10 +291,15 @@ func (s *Span) ID() uint64 {
 	return s.id
 }
 
-// TraceID returns the trace ID of the span's tracer ("" for a nil span).
+// TraceID returns the span's effective distributed-trace ID ("" for a nil
+// span): the trace adopted from a remote parent (directly or through local
+// ancestors), else the tracer's own ID.
 func (s *Span) TraceID() string {
 	if s == nil {
 		return ""
+	}
+	if s.trace != "" {
+		return s.trace
 	}
 	return s.tracer.TraceID()
 }
@@ -296,6 +316,7 @@ func (s *Span) End() {
 		Name:     s.name,
 		ID:       s.id,
 		Parent:   s.parent,
+		Trace:    s.TraceID(),
 		Depth:    s.depth,
 		Start:    s.start,
 		Duration: time.Since(s.start),

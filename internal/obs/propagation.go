@@ -95,10 +95,21 @@ func WithRemote(ctx context.Context, tc TraceContext) context.Context {
 	return context.WithValue(ctx, remoteKey{}, tc)
 }
 
+// Detach returns a context whose span (and any remote trace context) is
+// cleared, while values, deadline and cancellation are kept. Background work
+// that outlives a request — replica pushes, hinted-handoff drains — detaches
+// before re-parenting its spans to the originating job's trace context, so
+// the long-lived machinery span it borrowed its cancellation from does not
+// hijack parentage.
+func Detach(ctx context.Context) context.Context {
+	ctx = context.WithValue(ctx, spanKey{}, (*Span)(nil))
+	return context.WithValue(ctx, remoteKey{}, TraceContext{})
+}
+
 // RemoteFrom extracts the remote trace context carried by ctx, if any.
 func RemoteFrom(ctx context.Context) (TraceContext, bool) {
 	tc, ok := ctx.Value(remoteKey{}).(TraceContext)
-	return tc, ok
+	return tc, ok && tc.Valid() // Detach parks an invalid zero value
 }
 
 // Inject stamps the trace context onto outgoing request headers: the current

@@ -20,6 +20,7 @@ type jsonEvent struct {
 	Name   string         `json:"name"`
 	ID     uint64         `json:"id,omitempty"`
 	Parent uint64         `json:"parent,omitempty"`
+	Trace  string         `json:"trace,omitempty"`
 	Depth  int            `json:"depth,omitempty"`
 	DurUS  float64        `json:"dur_us,omitempty"`
 	Allocs uint64         `json:"allocs,omitempty"`
@@ -51,6 +52,7 @@ func (s *JSONLSink) Emit(e *Event) {
 	case EventSpan:
 		je.ID = e.ID
 		je.Parent = e.Parent
+		je.Trace = e.Trace
 		je.Depth = e.Depth
 		je.DurUS = float64(e.Duration) / float64(time.Microsecond)
 		je.Allocs = e.Allocs
@@ -84,7 +86,7 @@ func DecodeJSONL(line []byte) (*Event, error) {
 	if err := json.Unmarshal(line, &je); err != nil {
 		return nil, err
 	}
-	e := &Event{Name: je.Name, ID: je.ID, Parent: je.Parent, Depth: je.Depth}
+	e := &Event{Name: je.Name, ID: je.ID, Parent: je.Parent, Trace: je.Trace, Depth: je.Depth}
 	switch je.Kind {
 	case "span":
 		e.Kind = EventSpan

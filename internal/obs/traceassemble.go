@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// TraceSpan is one span placed in an assembled trace tree.
+type TraceSpan struct {
+	SpanRecord
+	Children []*TraceSpan `json:"children,omitempty"`
+}
+
+// AssembledTrace is one distributed request stitched back together from the
+// span records of every node it touched: a forest rooted at the spans whose
+// parents are absent (the true root, plus any spans orphaned by ring-buffer
+// eviction on some node).
+type AssembledTrace struct {
+	TraceID string `json:"trace_id"`
+	// Nodes is the sorted set of nodes that contributed spans; a trace with
+	// two or more is a multi-node trace (e.g. forward + replicate).
+	Nodes []string     `json:"nodes"`
+	Roots []*TraceSpan `json:"roots"`
+	Spans int          `json:"spans"`
+	Start time.Time    `json:"start"`
+	// DurationSeconds is the wall span from the earliest start to the latest
+	// end across all spans of the trace.
+	DurationSeconds float64 `json:"duration_seconds"`
+}
+
+// MultiNode reports whether spans from more than one node joined the trace.
+func (t AssembledTrace) MultiNode() bool { return len(t.Nodes) > 1 }
+
+// AssembleTraces stitches span records gathered from many nodes into one
+// tree per trace ID. Span IDs are only unique per process, so parents are
+// resolved node-aware: a local span's parent must live on the same node,
+// while a Remote span (parented to a traceparent from another process)
+// prefers a parent on a different node and falls back to any node carrying
+// the ID — replica pushes to self and loopback test rings stay stitched.
+// Records without a trace ID are dropped; unresolvable parents leave the
+// span as an extra root rather than losing its subtree. Traces are returned
+// slowest first.
+func AssembleTraces(records []SpanRecord) []AssembledTrace {
+	byTrace := make(map[string][]SpanRecord)
+	for _, r := range records {
+		if r.Trace == "" {
+			continue
+		}
+		byTrace[r.Trace] = append(byTrace[r.Trace], r)
+	}
+	out := make([]AssembledTrace, 0, len(byTrace))
+	for id, recs := range byTrace {
+		out = append(out, assembleOne(id, recs))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DurationSeconds != out[j].DurationSeconds {
+			return out[i].DurationSeconds > out[j].DurationSeconds
+		}
+		return out[i].TraceID < out[j].TraceID
+	})
+	return out
+}
+
+type spanAddr struct {
+	node string
+	id   uint64
+}
+
+func assembleOne(traceID string, recs []SpanRecord) AssembledTrace {
+	spans := make([]*TraceSpan, len(recs))
+	index := make(map[spanAddr]*TraceSpan, len(recs))
+	byID := make(map[uint64][]*TraceSpan)
+	nodes := make(map[string]bool)
+	for i, r := range recs {
+		sp := &TraceSpan{SpanRecord: r}
+		spans[i] = sp
+		// Duplicate (node, id) pairs — the same span scraped twice — keep the
+		// first occurrence.
+		if _, dup := index[spanAddr{r.Node, r.ID}]; !dup {
+			index[spanAddr{r.Node, r.ID}] = sp
+			byID[r.ID] = append(byID[r.ID], sp)
+		}
+		nodes[r.Node] = true
+	}
+
+	var roots []*TraceSpan
+	for _, sp := range spans {
+		if dup := index[spanAddr{sp.Node, sp.ID}]; dup != sp {
+			continue
+		}
+		parent := findParent(sp, index, byID)
+		if parent == nil || parent == sp {
+			roots = append(roots, sp)
+			continue
+		}
+		parent.Children = append(parent.Children, sp)
+	}
+
+	t := AssembledTrace{TraceID: traceID, Roots: roots, Spans: len(index)}
+	for n := range nodes {
+		t.Nodes = append(t.Nodes, n)
+	}
+	sort.Strings(t.Nodes)
+	var start, end time.Time
+	for _, sp := range index {
+		sort.Slice(sp.Children, func(i, j int) bool { return sp.Children[i].Start.Before(sp.Children[j].Start) })
+		if start.IsZero() || sp.Start.Before(start) {
+			start = sp.Start
+		}
+		if e := sp.End(); e.After(end) {
+			end = e
+		}
+	}
+	sort.Slice(t.Roots, func(i, j int) bool { return t.Roots[i].Start.Before(t.Roots[j].Start) })
+	t.Start = start
+	if !start.IsZero() {
+		t.DurationSeconds = end.Sub(start).Seconds()
+	}
+	return t
+}
+
+func findParent(sp *TraceSpan, index map[spanAddr]*TraceSpan, byID map[uint64][]*TraceSpan) *TraceSpan {
+	if sp.Parent == 0 {
+		return nil
+	}
+	if !sp.Remote {
+		return index[spanAddr{sp.Node, sp.Parent}]
+	}
+	// Remote-parented: the parent ID was minted by another process. Prefer a
+	// span on a different node; fall back to same-node (self-replication,
+	// single-process tests).
+	var fallback *TraceSpan
+	for _, cand := range byID[sp.Parent] {
+		if cand == sp {
+			continue
+		}
+		if cand.Node != sp.Node {
+			return cand
+		}
+		if fallback == nil {
+			fallback = cand
+		}
+	}
+	return fallback
+}

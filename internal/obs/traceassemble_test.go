@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanLogCapturesSpans(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewSpanLog("n1", 4).Tee(&buf)
+	tr := NewTracer(log, false)
+
+	ctx, root := tr.StartSpan(context.Background(), "outer")
+	_, child := tr.StartSpan(ctx, "inner")
+	child.Str("k", "v")
+	child.End()
+	root.End()
+
+	recs := log.Records()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	// Spans end child-first.
+	if recs[0].Name != "inner" || recs[1].Name != "outer" {
+		t.Fatalf("order = %q, %q", recs[0].Name, recs[1].Name)
+	}
+	if recs[0].Parent != recs[1].ID {
+		t.Fatal("child does not reference parent")
+	}
+	if recs[0].Trace != tr.TraceID() || recs[1].Trace != tr.TraceID() {
+		t.Fatal("records missing trace ID")
+	}
+	if recs[0].Node != "n1" {
+		t.Fatalf("node = %q", recs[0].Node)
+	}
+	if recs[0].Attrs["k"] != "v" {
+		t.Fatalf("attrs = %v", recs[0].Attrs)
+	}
+	if recs[0].Remote || recs[1].Remote {
+		t.Fatal("local spans must not be marked remote")
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Fatalf("tee wrote %d lines, want 2", got)
+	}
+}
+
+func TestSpanLogRingEviction(t *testing.T) {
+	log := NewSpanLog("n1", 3)
+	tr := NewTracer(log, false)
+	for _, name := range []string{"a", "b", "c", "d", "e"} {
+		_, sp := tr.StartSpan(context.Background(), name)
+		sp.End()
+	}
+	recs := log.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if recs[0].Name != "c" || recs[2].Name != "e" {
+		t.Fatalf("retained %q..%q, want c..e oldest-first", recs[0].Name, recs[2].Name)
+	}
+}
+
+func TestSpanLogMarksRemoteParents(t *testing.T) {
+	log := NewSpanLog("n2", 8)
+	tr := NewTracer(log, false)
+	remote := TraceContext{TraceID: strings.Repeat("ab", 16), SpanID: 77}
+	ctx := WithRemote(context.Background(), remote)
+	_, sp := tr.StartSpan(ctx, "service.replica.apply")
+	sp.End()
+
+	recs := log.Records()
+	if len(recs) != 1 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	r := recs[0]
+	if !r.Remote {
+		t.Fatal("remote-parented span not marked Remote")
+	}
+	if r.Parent != 77 || r.Trace != remote.TraceID {
+		t.Fatalf("record = %+v", r)
+	}
+}
+
+// mkRec builds a SpanRecord with a start offset in milliseconds from a fixed
+// epoch, so assembled orderings are deterministic.
+func mkRec(trace, node string, id, parent uint64, remote bool, name string, startMS, durMS int) SpanRecord {
+	epoch := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	return SpanRecord{
+		Trace:           trace,
+		Node:            node,
+		ID:              id,
+		Parent:          parent,
+		Remote:          remote,
+		Name:            name,
+		Start:           epoch.Add(time.Duration(startMS) * time.Millisecond),
+		DurationSeconds: float64(durMS) / 1000,
+	}
+}
+
+func TestAssembleTracesMultiNode(t *testing.T) {
+	const trace = "0123456789abcdef0123456789abcdef"
+	recs := []SpanRecord{
+		// Node a: root request span (id 1) with a local solve child (id 2)
+		// and a replicate.push child (id 3).
+		mkRec(trace, "a", 1, 0, false, "service.job", 0, 50),
+		mkRec(trace, "a", 2, 1, false, "engine.solve", 5, 30),
+		mkRec(trace, "a", 3, 1, false, "service.replicate.push", 40, 8),
+		// Node b: replica apply, remote-parented under node a's push span.
+		// Its local ID (1) collides with node a's root — node-aware parent
+		// resolution must not confuse them.
+		mkRec(trace, "b", 1, 3, true, "service.replica.apply", 42, 5),
+		// A second, single-node trace.
+		mkRec(strings.Repeat("ff", 16), "b", 9, 0, false, "service.job", 0, 10),
+	}
+	traces := AssembleTraces(recs)
+	if len(traces) != 2 {
+		t.Fatalf("got %d traces, want 2", len(traces))
+	}
+	// Slowest first: the 50ms multi-node trace before the 10ms one.
+	tr := traces[0]
+	if tr.TraceID != trace {
+		t.Fatalf("slowest trace = %s", tr.TraceID)
+	}
+	if !tr.MultiNode() || len(tr.Nodes) != 2 {
+		t.Fatalf("nodes = %v, want [a b]", tr.Nodes)
+	}
+	if tr.Spans != 4 {
+		t.Fatalf("spans = %d, want 4", tr.Spans)
+	}
+	if len(tr.Roots) != 1 || tr.Roots[0].Name != "service.job" || tr.Roots[0].Node != "a" {
+		t.Fatalf("roots = %+v", tr.Roots)
+	}
+	root := tr.Roots[0]
+	if len(root.Children) != 2 || root.Children[0].Name != "engine.solve" || root.Children[1].Name != "service.replicate.push" {
+		t.Fatalf("root children wrong: %+v", root.Children)
+	}
+	push := root.Children[1]
+	if len(push.Children) != 1 || push.Children[0].Node != "b" || push.Children[0].Name != "service.replica.apply" {
+		t.Fatalf("replica apply not stitched under push: %+v", push.Children)
+	}
+	if got := tr.DurationSeconds; got != 0.050 {
+		t.Fatalf("duration = %g, want 0.050", got)
+	}
+	if traces[1].MultiNode() || len(traces[1].Nodes) != 1 {
+		t.Fatalf("second trace should be single-node, got nodes %v", traces[1].Nodes)
+	}
+}
+
+func TestAssembleTracesOrphanBecomesRoot(t *testing.T) {
+	const trace = "deadbeefdeadbeefdeadbeefdeadbeef"
+	recs := []SpanRecord{
+		// The parent (id 5) was evicted from node a's ring; the child must
+		// surface as an extra root, not vanish.
+		mkRec(trace, "a", 6, 5, false, "engine.solve", 0, 4),
+		mkRec(trace, "b", 2, 9, true, "service.replica.apply", 1, 2),
+	}
+	traces := AssembleTraces(recs)
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces", len(traces))
+	}
+	if len(traces[0].Roots) != 2 {
+		t.Fatalf("roots = %d, want 2 orphans promoted", len(traces[0].Roots))
+	}
+}
+
+func TestAssembleTracesDropsUntraced(t *testing.T) {
+	recs := []SpanRecord{mkRec("", "a", 1, 0, false, "x", 0, 1)}
+	if got := AssembleTraces(recs); len(got) != 0 {
+		t.Fatalf("untraced records must be dropped, got %d traces", len(got))
+	}
+}
+
+func TestAssembleFromSpanLogsEndToEnd(t *testing.T) {
+	// Two real tracers wired through span logs, hop joined via traceparent —
+	// the in-process version of what the cluster endpoints do.
+	logA, logB := NewSpanLog("a", 16), NewSpanLog("b", 16)
+	trA, trB := NewTracer(logA, false), NewTracer(logB, false)
+
+	ctxA, job := trA.StartSpan(context.Background(), "service.job")
+	_, push := trA.StartSpan(ctxA, "service.replicate.push")
+	tc := TraceContext{TraceID: push.TraceID(), SpanID: push.ID()}
+
+	ctxB := WithRemote(context.Background(), tc)
+	_, apply := trB.StartSpan(ctxB, "service.replica.apply")
+	apply.End()
+	push.End()
+	job.End()
+
+	traces := AssembleTraces(append(logA.Records(), logB.Records()...))
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if !tr.MultiNode() {
+		t.Fatalf("trace should span nodes a and b: %v", tr.Nodes)
+	}
+	if tr.TraceID != trA.TraceID() {
+		t.Fatalf("trace keyed on %s, want origin tracer %s", tr.TraceID, trA.TraceID())
+	}
+	if len(tr.Roots) != 1 {
+		t.Fatalf("roots = %d", len(tr.Roots))
+	}
+	push2 := tr.Roots[0].Children[0]
+	if push2.Name != "service.replicate.push" || len(push2.Children) != 1 || push2.Children[0].Node != "b" {
+		t.Fatalf("replica span not under push: %+v", push2)
+	}
+}

@@ -1,0 +1,54 @@
+package service
+
+import (
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// BuildInfo is the GET /v1/buildinfo body: enough to answer "what exactly is
+// running on that node" from the dashboard without shelling into the host.
+type BuildInfo struct {
+	Node          string  `json:"node,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version"`
+	// Module and ModuleVersion identify the main module;
+	// Revision/RevisionTime/Dirty carry the VCS stamp when the binary was
+	// built from a checkout (absent under plain `go build` of a dirty tree
+	// without VCS metadata).
+	Module        string `json:"module,omitempty"`
+	ModuleVersion string `json:"module_version,omitempty"`
+	Revision      string `json:"revision,omitempty"`
+	RevisionTime  string `json:"revision_time,omitempty"`
+	Dirty         bool   `json:"dirty,omitempty"`
+}
+
+// buildInfo assembles the node's build identity.
+func (s *Server) buildInfo() BuildInfo {
+	b := BuildInfo{
+		Node:          s.cfg.NodeID,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		GoVersion:     runtime.Version(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		b.Module = bi.Main.Path
+		b.ModuleVersion = bi.Main.Version
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				b.Revision = kv.Value
+			case "vcs.time":
+				b.RevisionTime = kv.Value
+			case "vcs.modified":
+				b.Dirty = kv.Value == "true"
+			}
+		}
+	}
+	return b
+}
+
+func (s *Server) handleBuildInfo(w http.ResponseWriter, r *http.Request) {
+	s.stampNode(w)
+	writeJSON(w, http.StatusOK, s.buildInfo())
+}

@@ -63,12 +63,12 @@ type AnalysisRequest struct {
 	// Countermeasures lists attack-tree countermeasures to apply (attack
 	// tree requests only).
 	Countermeasures []string `json:"countermeasures,omitempty"`
-	Message      string          `json:"message,omitempty"` // default "m"
-	NMax         int             `json:"nmax,omitempty"`    // default 2
-	Horizon      float64         `json:"horizon,omitempty"` // years, default 1
-	Category     string          `json:"category,omitempty"`
-	Protection   string          `json:"protection,omitempty"`
-	Property     string          `json:"property,omitempty"`
+	Message         string   `json:"message,omitempty"` // default "m"
+	NMax            int      `json:"nmax,omitempty"`    // default 2
+	Horizon         float64  `json:"horizon,omitempty"` // years, default 1
+	Category        string   `json:"category,omitempty"`
+	Protection      string   `json:"protection,omitempty"`
+	Property        string   `json:"property,omitempty"`
 	// SkipSteadyState omits the long-run probability (faster; sweep-style
 	// clients usually set it).
 	SkipSteadyState bool `json:"skip_steady_state,omitempty"`
@@ -179,6 +179,14 @@ type Job struct {
 	// judged against the histogram as it was *before* this job ran.
 	slowThreshold atomic.Int64
 
+	// selfTrace is the trace context of the job's own "service.job" span,
+	// captured each attempt (guarded by mu — a drain-path finish can read it
+	// from another goroutine). Replica pushes and hinted handoffs re-parent
+	// under it, so the write fan-out appears inside the request's trace
+	// instead of the server's background-machinery trace.
+	selfTraceMu sync.Mutex
+	selfTrace   obs.TraceContext
+
 	mu       sync.Mutex
 	status   JobStatus
 	attempt  int
@@ -206,6 +214,24 @@ func newJob(id string, req *AnalysisRequest) *Job {
 
 // Done returns a channel closed when the job reaches a terminal status.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// setSelfTrace records the job span's trace context for the replication
+// fan-out; trace returns it (falling back to the client's context when the
+// job never ran, e.g. a drain-path cancellation).
+func (j *Job) setSelfTrace(tc obs.TraceContext) {
+	j.selfTraceMu.Lock()
+	j.selfTrace = tc
+	j.selfTraceMu.Unlock()
+}
+
+func (j *Job) selfTraceContext() obs.TraceContext {
+	j.selfTraceMu.Lock()
+	defer j.selfTraceMu.Unlock()
+	if j.selfTrace.Valid() {
+		return j.selfTrace
+	}
+	return j.trace
+}
 
 // beginAttempt transitions the job to running and returns the 1-based
 // attempt number.

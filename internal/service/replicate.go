@@ -82,16 +82,29 @@ func (s *Server) replicateOutcome(job *Job, out *Outcome, cache CacheState) {
 	}
 	targets := rt.Replicas(job.key, factor)
 	key := job.key
+	trace := job.selfTraceContext()
 	s.fleetWG.Add(1)
 	go func() {
 		defer s.fleetWG.Done()
 		ctx, cancel := context.WithTimeout(s.fleetCtx, 15*time.Second)
 		defer cancel()
+		// Re-parent under the originating job's span, not the fleet span the
+		// borrowed context carries: Detach strips the fleet span so the
+		// traceparent Forward injects names the request's trace, making the
+		// replica write visible in the assembled distributed trace.
+		ctx = obs.Detach(ctx)
+		if trace.Valid() {
+			ctx = obs.WithRemote(ctx, trace)
+		}
 		for _, node := range targets {
 			if node == rt.Self() || ctx.Err() != nil {
 				continue
 			}
-			s.pushReplica(ctx, node, key, payload)
+			pctx, sp := s.tracer.StartSpan(ctx, "service.replicate.push")
+			sp.Str("peer", node)
+			sp.Str("key", key)
+			s.pushReplica(pctx, node, key, payload)
+			sp.End()
 		}
 	}()
 }
@@ -120,12 +133,19 @@ func (s *Server) pushReplica(ctx context.Context, node, key string, payload []by
 	s.queueHint(ctx, node, key, payload)
 }
 
-// queueHint records a result owed to a currently-unreachable node.
+// queueHint records a result owed to a currently-unreachable node, tagged
+// with the originating trace so the eventual delivery rejoins it.
 func (s *Server) queueHint(ctx context.Context, node, key string, payload []byte) {
 	if s.cfg.Hints == nil {
 		return
 	}
-	if err := s.cfg.Hints.Add(node, key, payload); err != nil {
+	var trace string
+	if sp := obs.FromContext(ctx); sp != nil {
+		trace = obs.TraceContext{TraceID: sp.TraceID(), SpanID: sp.ID()}.Traceparent()
+	} else if tc, ok := obs.RemoteFrom(ctx); ok {
+		trace = tc.Traceparent()
+	}
+	if err := s.cfg.Hints.AddWithTrace(node, key, payload, trace); err != nil {
 		obs.Count(ctx, "service.handoff.queue_error", 1)
 		return
 	}
@@ -243,7 +263,17 @@ func (s *Server) deliverHints() {
 				return
 			}
 			ctx, cancel := context.WithTimeout(s.fleetCtx, 10*time.Second)
-			resp, err := rt.Forward(ctx, node, http.MethodPut, "/v1/replica/"+h.Key, h.Payload, "application/json")
+			// Rejoin the trace that queued the hint (when it carried one), so
+			// a delivery delayed by an outage still shows up in the original
+			// request's assembled trace rather than the fleet machinery's.
+			ctx = obs.Detach(ctx)
+			if tc, ok := obs.ParseTraceparent(h.Trace); ok {
+				ctx = obs.WithRemote(ctx, tc)
+			}
+			dctx, sp := s.tracer.StartSpan(ctx, "service.handoff.deliver")
+			sp.Str("peer", node)
+			sp.Str("key", h.Key)
+			resp, err := rt.Forward(dctx, node, http.MethodPut, "/v1/replica/"+h.Key, h.Payload, "application/json")
 			if err == nil {
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
@@ -251,6 +281,10 @@ func (s *Server) deliverHints() {
 					err = fmt.Errorf("replica target %s returned %s", node, resp.Status)
 				}
 			}
+			if err != nil {
+				sp.Str("error", err.Error())
+			}
+			sp.End()
 			cancel()
 			if err != nil {
 				obs.Count(s.fleetCtx, "service.handoff.delivery_failed", 1)

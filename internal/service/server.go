@@ -134,6 +134,16 @@ type Config struct {
 	// shedding, keyed by the X-Secserved-Tenant header. nil admits
 	// everything.
 	Tenants *TenantPolicy
+	// SLOTarget is the per-tenant availability objective burn rates are
+	// computed against (0 selects DefaultSLOTarget, 0.99).
+	SLOTarget float64
+	// SpanLogSize sizes the recent-span ring exported for cross-node trace
+	// assembly. 0 selects the obs default (512); negative disables the ring
+	// (cluster endpoints then report no spans from this node).
+	SpanLogSize int
+	// SpanExport, when set, additionally receives every finished span as one
+	// JSON line — the per-node span-export stream for offline assembly.
+	SpanExport io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -194,6 +204,8 @@ type Server struct {
 	tracer    *obs.Tracer
 	flight    *obs.Flight
 	slow      *slowLog
+	spanLog   *obs.SpanLog
+	usage     *usageTracker
 	mux       *http.ServeMux
 	httpSrv   *http.Server
 
@@ -280,9 +292,19 @@ func New(cfg Config) *Server {
 	if cfg.SlowLog != nil {
 		s.slow = newSlowLog(cfg.SlowLog)
 	}
+	if cfg.SpanLogSize >= 0 {
+		s.spanLog = obs.NewSpanLog(cfg.NodeID, cfg.SpanLogSize)
+		if cfg.SpanExport != nil {
+			s.spanLog.Tee(cfg.SpanExport)
+		}
+	}
+	s.usage = newUsageTracker(cfg.SLOTarget)
 	sinks := obs.MultiSink{s.collector}
 	if s.flight != nil {
 		sinks = append(sinks, s.flight)
+	}
+	if s.spanLog != nil {
+		sinks = append(sinks, s.spanLog)
 	}
 	if cfg.ExtraSink != nil {
 		sinks = append(sinks, cfg.ExtraSink)
@@ -295,6 +317,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/analyses/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/analyses/{id}/manifest", s.handleManifest)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/buildinfo", s.handleBuildInfo)
+	s.mux.HandleFunc("GET /v1/node/status", s.handleNodeStatus)
+	s.mux.HandleFunc("GET /v1/cluster/status", s.handleClusterStatus)
+	s.mux.HandleFunc("GET /v1/cluster/metrics", s.handleClusterMetrics)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.Handle("GET /v1/metrics/pipeline", obs.MetricsHandler(s.collector, "secserved"))
 	s.mux.HandleFunc("GET /metrics", s.handleProm)
@@ -466,6 +492,9 @@ func (s *Server) runJob(job *Job) {
 	if s.flight != nil {
 		sinks = append(sinks, s.flight)
 	}
+	if s.spanLog != nil {
+		sinks = append(sinks, s.spanLog)
+	}
 	if s.cfg.ExtraSink != nil {
 		sinks = append(sinks, s.cfg.ExtraSink)
 	}
@@ -476,6 +505,7 @@ func (s *Server) runJob(job *Job) {
 	ctx, sp := tr.StartSpan(ctx, "service.job")
 	sp.Str("job", job.id)
 	sp.Int("attempt", int64(attempt))
+	job.setSelfTrace(obs.TraceContext{TraceID: sp.TraceID(), SpanID: sp.ID()})
 	ctx = obs.WithAttempts(ctx, job.recorder)
 	if s.flight != nil {
 		ctx = obs.WithFlight(ctx, s.flight)
@@ -547,6 +577,7 @@ func (s *Server) finishJob(job *Job, out *Outcome, cache CacheState, err error) 
 	if job.release != nil {
 		job.release()
 	}
+	s.usage.record(job.tenant, job.elapsed().Seconds(), cache, err != nil)
 	if err != nil {
 		s.failed.Add(1)
 		s.consecFailures.Add(1)
@@ -890,6 +921,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		rel, retryIn, reason := s.admission.admit(tenant, s.queuePressure())
 		if rel == nil {
 			s.rejected.Add(1)
+			s.usage.recordShed(tenant)
 			obs.Count(r.Context(), "service.tenant.shed", 1)
 			obs.LogAttrs(r.Context(), "tenant.shed",
 				obs.Attr{Key: "tenant", Kind: obs.KindString, Str: tenant},
@@ -1044,30 +1076,10 @@ type Health struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	draining := s.draining
-	pending := len(s.retries)
-	s.mu.Unlock()
-	h := Health{
-		Status:              "ok",
-		UptimeSeconds:       time.Since(s.started).Seconds(),
-		JobsRunning:         s.running.Load(),
-		QueueDepth:          len(s.queue),
-		QueueCapacity:       s.cfg.QueueDepth,
-		ConsecutiveFailures: s.consecFailures.Load(),
-		PanicsRecovered:     s.panics.Load(),
-		RetriesPending:      pending,
-	}
-	if s.cfg.QueueDepth > 0 {
-		h.QueuePressure = float64(h.QueueDepth) / float64(s.cfg.QueueDepth)
-	}
+	h := s.healthSnapshot()
 	status := http.StatusOK
-	switch {
-	case draining:
-		h.Status = "draining"
+	if h.Status == "draining" {
 		status = http.StatusServiceUnavailable
-	case h.ConsecutiveFailures >= int64(s.cfg.DegradedAfter) || h.QueuePressure >= 0.9:
-		h.Status = "degraded"
 	}
 	writeJSON(w, status, h)
 }

@@ -1,0 +1,292 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// Per-tenant usage accounting feeds the SLO view of the cluster endpoints:
+// rolling time buckets per tenant support multi-window error-budget burn
+// rates (the 5m window pages, the 1h window confirms), while lifetime
+// counters track solve-seconds and cache economics.
+const (
+	// usageBucketSeconds is the rolling-window resolution.
+	usageBucketSeconds = 10
+	// usageRingBuckets covers the longest window (1h) plus one spare bucket
+	// so a partially-filled current bucket never evicts window data.
+	usageRingBuckets = 361
+	// DefaultSLOTarget is the availability objective used when Config leaves
+	// SLOTarget zero: 99% of requests succeed (not failed, not shed).
+	DefaultSLOTarget = 0.99
+)
+
+// usageWindows are the burn-rate windows exposed per tenant, keyed by the
+// JSON name they are reported under.
+var usageWindows = []struct {
+	Name    string
+	Seconds int
+}{
+	{"5m", 300},
+	{"1h", 3600},
+}
+
+// usageCell accumulates one tenant's activity within one time bucket (and,
+// separately, over the tracker's lifetime).
+type usageCell struct {
+	Requests     int64
+	Errors       int64
+	Shed         int64
+	SolveSeconds float64
+	CacheHits    int64
+	CacheMisses  int64
+}
+
+func (c *usageCell) add(o *usageCell) {
+	c.Requests += o.Requests
+	c.Errors += o.Errors
+	c.Shed += o.Shed
+	c.SolveSeconds += o.SolveSeconds
+	c.CacheHits += o.CacheHits
+	c.CacheMisses += o.CacheMisses
+}
+
+// usageBucket is one ring slot: a bucket epoch plus per-tenant cells.
+type usageBucket struct {
+	epoch   int64
+	tenants map[string]*usageCell
+}
+
+// usageTracker maintains the per-tenant rolling buckets. Safe for
+// concurrent use; the nil tracker records nothing.
+type usageTracker struct {
+	target float64
+	now    func() time.Time
+
+	mu       sync.Mutex
+	ring     [usageRingBuckets]usageBucket
+	lifetime map[string]*usageCell
+}
+
+func newUsageTracker(target float64) *usageTracker {
+	if target <= 0 || target >= 1 {
+		target = DefaultSLOTarget
+	}
+	return &usageTracker{target: target, now: time.Now, lifetime: make(map[string]*usageCell)}
+}
+
+// cell returns the live cell for (tenant, now), rotating the ring slot if
+// its epoch moved on. Callers hold mu.
+func (u *usageTracker) cell(tenant string, epoch int64) *usageCell {
+	b := &u.ring[epoch%usageRingBuckets]
+	if b.epoch != epoch {
+		b.epoch = epoch
+		b.tenants = make(map[string]*usageCell)
+	}
+	c := b.tenants[tenant]
+	if c == nil {
+		c = &usageCell{}
+		b.tenants[tenant] = c
+	}
+	return c
+}
+
+func (u *usageTracker) lifetimeCell(tenant string) *usageCell {
+	c := u.lifetime[tenant]
+	if c == nil {
+		c = &usageCell{}
+		u.lifetime[tenant] = c
+	}
+	return c
+}
+
+// record accounts one finished job: its solve wall time, how the result was
+// obtained, and whether it failed. An empty tenant (admission off, or a
+// pre-routed peer request) is charged to DefaultTenant so fleet-wide usage
+// still adds up.
+func (u *usageTracker) record(tenant string, solveSeconds float64, cache CacheState, failed bool) {
+	if u == nil {
+		return
+	}
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	var d usageCell
+	d.Requests = 1
+	if failed {
+		d.Errors = 1
+	}
+	d.SolveSeconds = solveSeconds
+	switch cache {
+	case CacheHit, CacheDisk, CacheShared:
+		d.CacheHits = 1
+	case CacheMiss:
+		d.CacheMisses = 1
+	}
+	epoch := u.now().Unix() / usageBucketSeconds
+	u.mu.Lock()
+	u.cell(tenant, epoch).add(&d)
+	u.lifetimeCell(tenant).add(&d)
+	u.mu.Unlock()
+}
+
+// recordShed accounts one admission rejection. Shed requests burn error
+// budget — a tenant turned away is a tenant not served — but are tracked
+// apart from execution failures so the two causes stay distinguishable.
+func (u *usageTracker) recordShed(tenant string) {
+	if u == nil {
+		return
+	}
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	d := usageCell{Requests: 1, Shed: 1}
+	epoch := u.now().Unix() / usageBucketSeconds
+	u.mu.Lock()
+	u.cell(tenant, epoch).add(&d)
+	u.lifetimeCell(tenant).add(&d)
+	u.mu.Unlock()
+}
+
+// SLOWindow is one tenant's rolling-window SLO accounting.
+type SLOWindow struct {
+	Seconds  int   `json:"seconds"`
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	Shed     int64 `json:"shed"`
+	// ErrorRate is (errors+shed)/requests over the window (0 when idle).
+	ErrorRate float64 `json:"error_rate"`
+	// BurnRate is ErrorRate over the error budget (1 − target): 1.0 spends
+	// the budget exactly at its sustainable pace, >1 exhausts it early. An
+	// idle window burns 0.
+	BurnRate float64 `json:"burn_rate"`
+}
+
+// TenantUsage is one tenant's usage and SLO accounting: lifetime counters
+// plus the rolling burn-rate windows.
+type TenantUsage struct {
+	Requests     int64   `json:"requests"`
+	Errors       int64   `json:"errors"`
+	Shed         int64   `json:"shed"`
+	SolveSeconds float64 `json:"solve_seconds"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	// CacheHitRatio is hits/(hits+misses) (0 before any cache-graded job).
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	// SLOTarget is the availability objective the burn rates are computed
+	// against.
+	SLOTarget float64 `json:"slo_target"`
+	// Windows maps window name ("5m", "1h") → rolling SLO accounting.
+	Windows map[string]SLOWindow `json:"windows"`
+}
+
+// finishUsage derives the ratio fields from the raw counters.
+func finishUsage(t *TenantUsage) {
+	if graded := t.CacheHits + t.CacheMisses; graded > 0 {
+		t.CacheHitRatio = float64(t.CacheHits) / float64(graded)
+	}
+	for name, w := range t.Windows {
+		if w.Requests > 0 {
+			w.ErrorRate = float64(w.Errors+w.Shed) / float64(w.Requests)
+			if budget := 1 - t.SLOTarget; budget > 0 {
+				w.BurnRate = w.ErrorRate / budget
+			}
+		}
+		t.Windows[name] = w
+	}
+}
+
+// snapshot returns every tenant's usage: lifetime counters plus each
+// configured rolling window summed from the live buckets.
+func (u *usageTracker) snapshot() map[string]TenantUsage {
+	if u == nil {
+		return nil
+	}
+	nowEpoch := u.now().Unix() / usageBucketSeconds
+	u.mu.Lock()
+	out := make(map[string]TenantUsage, len(u.lifetime))
+	for tenant, life := range u.lifetime {
+		t := TenantUsage{
+			Requests:     life.Requests,
+			Errors:       life.Errors,
+			Shed:         life.Shed,
+			SolveSeconds: life.SolveSeconds,
+			CacheHits:    life.CacheHits,
+			CacheMisses:  life.CacheMisses,
+			SLOTarget:    u.target,
+			Windows:      make(map[string]SLOWindow, len(usageWindows)),
+		}
+		for _, w := range usageWindows {
+			t.Windows[w.Name] = SLOWindow{Seconds: w.Seconds}
+		}
+		out[tenant] = t
+	}
+	for i := range u.ring {
+		b := &u.ring[i]
+		if b.epoch == 0 {
+			continue
+		}
+		age := nowEpoch - b.epoch // buckets behind now (0 = current)
+		for tenant, c := range b.tenants {
+			t, ok := out[tenant]
+			if !ok {
+				continue // lifetime map owns the tenant set
+			}
+			for _, w := range usageWindows {
+				if age < 0 || age >= int64(w.Seconds/usageBucketSeconds) {
+					continue
+				}
+				sw := t.Windows[w.Name]
+				sw.Requests += c.Requests
+				sw.Errors += c.Errors
+				sw.Shed += c.Shed
+				t.Windows[w.Name] = sw
+			}
+		}
+	}
+	u.mu.Unlock()
+	for tenant := range out {
+		t := out[tenant]
+		finishUsage(&t)
+		out[tenant] = t
+	}
+	return out
+}
+
+// MergeTenantUsage sums per-node tenant usage maps into a fleet view:
+// counters add, window tallies add, ratios are recomputed from the merged
+// counts (never averaged — nodes with different traffic weights would skew
+// an average). The SLO target is taken from the first node reporting the
+// tenant; mixed targets across nodes would make a merged burn rate
+// meaningless, so deployments keep it uniform.
+func MergeTenantUsage(ms ...map[string]TenantUsage) map[string]TenantUsage {
+	out := make(map[string]TenantUsage)
+	for _, m := range ms {
+		for tenant, t := range m {
+			acc, ok := out[tenant]
+			if !ok {
+				acc = TenantUsage{SLOTarget: t.SLOTarget, Windows: make(map[string]SLOWindow)}
+			}
+			acc.Requests += t.Requests
+			acc.Errors += t.Errors
+			acc.Shed += t.Shed
+			acc.SolveSeconds += t.SolveSeconds
+			acc.CacheHits += t.CacheHits
+			acc.CacheMisses += t.CacheMisses
+			for name, w := range t.Windows {
+				sw := acc.Windows[name]
+				sw.Seconds = w.Seconds
+				sw.Requests += w.Requests
+				sw.Errors += w.Errors
+				sw.Shed += w.Shed
+				acc.Windows[name] = sw
+			}
+			out[tenant] = acc
+		}
+	}
+	for tenant := range out {
+		t := out[tenant]
+		finishUsage(&t)
+		out[tenant] = t
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package service
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// fakeClockTracker returns a tracker whose clock is the returned pointer's
+// value, starting at a fixed epoch well away from zero.
+func fakeClockTracker(target float64) (*usageTracker, *time.Time) {
+	now := time.Unix(1_000_000_000, 0)
+	u := newUsageTracker(target)
+	u.now = func() time.Time { return now }
+	return u, &now
+}
+
+func approx(got, want float64) bool { return math.Abs(got-want) < 1e-9 }
+
+func TestUsageTrackerBurnRate(t *testing.T) {
+	u, _ := fakeClockTracker(0.99)
+	for i := 0; i < 98; i++ {
+		u.record("alpha", 0.1, CacheMiss, false)
+	}
+	u.record("alpha", 0.1, CacheMiss, true)
+	u.recordShed("alpha")
+
+	snap := u.snapshot()
+	a, ok := snap["alpha"]
+	if !ok {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if a.Requests != 100 || a.Errors != 1 || a.Shed != 1 {
+		t.Fatalf("lifetime = %+v", a)
+	}
+	if !approx(a.SolveSeconds, 9.9) {
+		t.Fatalf("solve seconds = %g", a.SolveSeconds)
+	}
+	w5 := a.Windows["5m"]
+	if w5.Requests != 100 || w5.Errors != 1 || w5.Shed != 1 {
+		t.Fatalf("5m window = %+v", w5)
+	}
+	// (1 error + 1 shed) / 100 requests = 2% error rate; against a 1%
+	// budget that burns at 2x.
+	if !approx(w5.ErrorRate, 0.02) || !approx(w5.BurnRate, 2.0) {
+		t.Fatalf("5m error_rate=%g burn_rate=%g, want 0.02 / 2.0", w5.ErrorRate, w5.BurnRate)
+	}
+	w1h := a.Windows["1h"]
+	if w1h.Requests != 100 || !approx(w1h.BurnRate, 2.0) {
+		t.Fatalf("1h window = %+v", w1h)
+	}
+}
+
+func TestUsageTrackerWindowAging(t *testing.T) {
+	u, now := fakeClockTracker(0.99)
+	u.record("a", 1, CacheMiss, true) // one old failure
+	*now = now.Add(10 * time.Minute)
+	u.record("a", 1, CacheHit, false) // one fresh success
+
+	a := u.snapshot()["a"]
+	// The failure aged out of the 5m window but still counts in the 1h one
+	// (and in the lifetime counters).
+	if w := a.Windows["5m"]; w.Requests != 1 || w.Errors != 0 {
+		t.Fatalf("5m window = %+v, want 1 fresh request, 0 errors", w)
+	}
+	if w := a.Windows["1h"]; w.Requests != 2 || w.Errors != 1 {
+		t.Fatalf("1h window = %+v, want both requests, 1 error", w)
+	}
+	if a.Requests != 2 || a.Errors != 1 {
+		t.Fatalf("lifetime = %+v", a)
+	}
+	if !approx(a.CacheHitRatio, 0.5) {
+		t.Fatalf("cache hit ratio = %g, want 0.5", a.CacheHitRatio)
+	}
+
+	// Past the longest window everything rolls out of the windows while
+	// lifetime counters persist.
+	*now = now.Add(2 * time.Hour)
+	a = u.snapshot()["a"]
+	if w := a.Windows["1h"]; w.Requests != 0 || w.BurnRate != 0 {
+		t.Fatalf("aged 1h window = %+v, want empty", w)
+	}
+	if a.Requests != 2 {
+		t.Fatalf("lifetime lost requests: %+v", a)
+	}
+}
+
+func TestUsageTrackerDefaultsTenantAndTarget(t *testing.T) {
+	u, _ := fakeClockTracker(0) // 0 selects DefaultSLOTarget
+	u.record("", 0.5, CacheMiss, false)
+	u.recordShed("")
+	snap := u.snapshot()
+	d, ok := snap[DefaultTenant]
+	if !ok {
+		t.Fatalf("empty tenant not charged to %q: %v", DefaultTenant, snap)
+	}
+	if d.Requests != 2 || d.Shed != 1 {
+		t.Fatalf("default tenant = %+v", d)
+	}
+	if d.SLOTarget != DefaultSLOTarget {
+		t.Fatalf("slo target = %g", d.SLOTarget)
+	}
+	var nilTracker *usageTracker
+	nilTracker.record("x", 1, CacheMiss, false) // must not panic
+	nilTracker.recordShed("x")
+	if nilTracker.snapshot() != nil {
+		t.Fatal("nil tracker snapshot should be nil")
+	}
+}
+
+func TestMergeTenantUsageRecomputesRatios(t *testing.T) {
+	mk := func(req, errs int64, hits, misses int64, w5req, w5err int64) TenantUsage {
+		return TenantUsage{
+			Requests: req, Errors: errs,
+			CacheHits: hits, CacheMisses: misses,
+			SLOTarget: 0.99,
+			Windows: map[string]SLOWindow{
+				"5m": {Seconds: 300, Requests: w5req, Errors: w5err},
+			},
+		}
+	}
+	merged := MergeTenantUsage(
+		map[string]TenantUsage{"a": mk(90, 0, 90, 0, 90, 0), "b": mk(1, 0, 0, 1, 1, 0)},
+		map[string]TenantUsage{"a": mk(10, 2, 0, 10, 10, 2)},
+	)
+	a := merged["a"]
+	if a.Requests != 100 || a.Errors != 2 {
+		t.Fatalf("merged a = %+v", a)
+	}
+	// 90 hits of 100 graded — a per-node average of the two ratios (0.9 and
+	// 0.0) would be 0.45; the merge must recompute from summed counts.
+	if !approx(a.CacheHitRatio, 0.9) {
+		t.Fatalf("merged hit ratio = %g, want 0.9", a.CacheHitRatio)
+	}
+	w := a.Windows["5m"]
+	if w.Requests != 100 || w.Errors != 2 {
+		t.Fatalf("merged 5m = %+v", w)
+	}
+	if !approx(w.ErrorRate, 0.02) || !approx(w.BurnRate, 2.0) {
+		t.Fatalf("merged 5m error_rate=%g burn_rate=%g", w.ErrorRate, w.BurnRate)
+	}
+	if b := merged["b"]; b.Requests != 1 || !approx(b.CacheHitRatio, 0) {
+		t.Fatalf("merged b = %+v", b)
+	}
+	if got := MergeTenantUsage(); len(got) != 0 {
+		t.Fatalf("empty merge = %v", got)
+	}
+}

@@ -122,6 +122,27 @@ func (r *Ring) Successors(key string, n int) []string {
 	return out
 }
 
+// Ownership returns the fraction of the hash space each node owns — the arc
+// between consecutive virtual points, attributed to the point that closes
+// it, wrapping at the top of the ring. Fractions sum to 1 (up to float
+// rounding); with DefaultVirtualNodes the spread stays within a few percent
+// of 1/N, and the cluster-status plane surfaces it so a misbalanced ring is
+// visible instead of a mystery hot node.
+func (r *Ring) Ownership() map[string]float64 {
+	if r == nil || len(r.points) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(r.nodes))
+	const span = float64(1<<63) * 2 // 2^64 as a float
+	prev := r.points[len(r.points)-1].hash
+	for _, p := range r.points {
+		arc := p.hash - prev // wraps correctly in uint64 arithmetic
+		out[p.node] += float64(arc) / span
+		prev = p.hash
+	}
+	return out
+}
+
 // Nodes returns the ring's membership, sorted. The slice is a copy.
 func (r *Ring) Nodes() []string {
 	if r == nil {

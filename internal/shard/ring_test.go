@@ -77,3 +77,29 @@ func TestRingEdgeCases(t *testing.T) {
 		t.Fatalf("dedup size = %d", dedup.Size())
 	}
 }
+
+func TestRingOwnershipSumsToOne(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"}, 0)
+	own := r.Ownership()
+	if len(own) != 3 {
+		t.Fatalf("ownership nodes = %d", len(own))
+	}
+	sum := 0.0
+	for n, f := range own {
+		if f <= 0 || f >= 1 {
+			t.Fatalf("node %s owns %g, want (0,1)", n, f)
+		}
+		// 128 vnodes keeps the imbalance modest; anything wildly off means
+		// the arc attribution is wrong, not just unlucky hashing.
+		if f < 0.05 || f > 0.80 {
+			t.Fatalf("node %s owns %g, implausible for 3 nodes", n, f)
+		}
+		sum += f
+	}
+	if sum < 0.999999 || sum > 1.000001 {
+		t.Fatalf("ownership sums to %g", sum)
+	}
+	if (&Ring{}).Ownership() != nil || (*Ring)(nil).Ownership() != nil {
+		t.Fatal("empty/nil ring should own nothing")
+	}
+}

@@ -30,6 +30,9 @@ type Hint struct {
 	Payload json.RawMessage `json:"payload,omitempty"`
 	// TimeUnixNano stamps when the hint was queued.
 	TimeUnixNano int64 `json:"time_unix_nano,omitempty"`
+	// Trace carries the originating request's traceparent, so the eventual
+	// delivery joins the same distributed trace as the job that queued it.
+	Trace string `json:"trace,omitempty"`
 }
 
 // hintLine is the on-disk JSONL shape.
@@ -201,10 +204,16 @@ func (q *HintQueue) appendLocked(hl hintLine) error {
 // same (node, key) replaces the older one in place; exceeding the per-node
 // bound drops the oldest hint for that node.
 func (q *HintQueue) Add(node, key string, payload json.RawMessage) error {
+	return q.AddWithTrace(node, key, payload, "")
+}
+
+// AddWithTrace queues a hint carrying the originating request's traceparent
+// (empty for untraced work), so the handoff delivery can rejoin that trace.
+func (q *HintQueue) AddWithTrace(node, key string, payload json.RawMessage, trace string) error {
 	if q == nil {
 		return nil
 	}
-	h := Hint{Node: node, Key: key, Payload: payload, TimeUnixNano: time.Now().UnixNano()}
+	h := Hint{Node: node, Key: key, Payload: payload, TimeUnixNano: time.Now().UnixNano(), Trace: trace}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	list := q.pending[node]
@@ -294,6 +303,43 @@ func (q *HintQueue) Depth() int {
 		n += len(hints)
 	}
 	return n
+}
+
+// Depths returns the undelivered hint count per target node. The map is a
+// copy; nodes with nothing pending are absent.
+func (q *HintQueue) Depths() map[string]int {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string]int, len(q.pending))
+	for n, hints := range q.pending {
+		if len(hints) > 0 {
+			out[n] = len(hints)
+		}
+	}
+	return out
+}
+
+// OldestUnixNano returns the queue time of the oldest undelivered hint, or 0
+// when nothing is pending. The age of this hint bounds how far behind the
+// worst replica is — the fleet's replication lag.
+func (q *HintQueue) OldestUnixNano() int64 {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var oldest int64
+	for _, hints := range q.pending {
+		for _, h := range hints {
+			if h.TimeUnixNano != 0 && (oldest == 0 || h.TimeUnixNano < oldest) {
+				oldest = h.TimeUnixNano
+			}
+		}
+	}
+	return oldest
 }
 
 // Stats snapshots the hint-queue counters.

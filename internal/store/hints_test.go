@@ -138,3 +138,63 @@ func TestNilHintQueueIsSafe(t *testing.T) {
 		t.Fatal("nil queue stats/close not zero")
 	}
 }
+
+func TestHintsTraceSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hints.journal")
+	q, err := OpenHints(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := "00-0123456789abcdef0123456789abcdef-00000000000000aa-01"
+	if err := q.AddWithTrace("n2", "k1", json.RawMessage(`{"v":1}`), tp); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Add("n3", "k2", json.RawMessage(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.PendingFor("n2")[0].Trace; got != tp {
+		t.Fatalf("trace = %q", got)
+	}
+	if got := q.PendingFor("n3")[0].Trace; got != "" {
+		t.Fatalf("untraced hint got trace %q", got)
+	}
+	q.Close()
+
+	q2, err := OpenHints(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+	if got := q2.PendingFor("n2")[0].Trace; got != tp {
+		t.Fatalf("trace after reopen = %q", got)
+	}
+}
+
+func TestHintsDepthsAndOldest(t *testing.T) {
+	q, err := OpenHints("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Depths() == nil || len(q.Depths()) != 0 {
+		t.Fatalf("empty queue depths = %v", q.Depths())
+	}
+	if q.OldestUnixNano() != 0 {
+		t.Fatal("empty queue should have no oldest hint")
+	}
+	q.Add("n2", "k1", nil)
+	first := q.PendingFor("n2")[0].TimeUnixNano
+	q.Add("n2", "k2", nil)
+	q.Add("n3", "k1", nil)
+	d := q.Depths()
+	if d["n2"] != 2 || d["n3"] != 1 {
+		t.Fatalf("depths = %v", d)
+	}
+	if got := q.OldestUnixNano(); got != first {
+		t.Fatalf("oldest = %d, want %d", got, first)
+	}
+	q.Delivered("n2", "k1")
+	q.Delivered("n2", "k2")
+	if _, ok := q.Depths()["n2"]; ok {
+		t.Fatalf("drained node still in depths: %v", q.Depths())
+	}
+}

@@ -1,0 +1,143 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh boots a three-node secserved ring with replication on
+# loopback, drives a mixed architecture + attack-tree load under two
+# tenants (each request stamped with a distinct client traceparent), and
+# asserts the cluster observability plane reports it coherently through
+# `sectop -once -json`: every node present in the federated document, a
+# merged latency p99 > 0, nonzero usage for both tenants, and at least one
+# assembled trace spanning more than one node.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+WORKDIR="$(mktemp -d)"
+SERVED="$WORKDIR/secserved"
+SECTOP="$WORKDIR/sectop"
+go build -o "$SERVED" ./cmd/secserved
+go build -o "$SECTOP" ./cmd/sectop
+
+P1=18621
+P2=18622
+P3=18623
+PEERS="n1=http://127.0.0.1:$P1,n2=http://127.0.0.1:$P2,n3=http://127.0.0.1:$P3"
+
+pids=()
+cleanup() {
+    kill "${pids[@]}" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+for i in 1 2 3; do
+    port=$((18620 + i))
+    "$SERVED" -addr "127.0.0.1:$port" -node-id "n$i" -peers "$PEERS" -workers 2 \
+        -replication 2 -models models \
+        >"$WORKDIR/n$i.log" 2>&1 &
+    pids+=($!)
+done
+
+for i in 1 2 3; do
+    port=$((18620 + i))
+    up=0
+    for _ in $(seq 1 50); do
+        if curl -fsS "http://127.0.0.1:$port/v1/healthz" >/dev/null 2>&1; then
+            up=1
+            break
+        fi
+        sleep 0.2
+    done
+    if [ "$up" -ne 1 ]; then
+        echo "cluster-smoke: node n$i never became healthy" >&2
+        cat "$WORKDIR/n$i.log" >&2 || true
+        exit 1
+    fi
+done
+
+# submit posts one synchronous job and fails the run unless it finished.
+submit() {
+    port=$1 tenant=$2 tp=$3 body=$4
+    resp=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+        -H "X-Secserved-Tenant: $tenant" -H "traceparent: $tp" \
+        -d "$body" "http://127.0.0.1:$port/v1/analyses")
+    case "$resp" in
+    *'"status": "done"'*) ;;
+    *)
+        echo "cluster-smoke: job did not finish: $resp" >&2
+        exit 1
+        ;;
+    esac
+}
+
+# Mixed load: 12 distinct architecture cells plus 4 attack-tree solves,
+# alternating tenants alpha/beta, entering the ring through every node so
+# forwarding, replication and trace assembly all see traffic. Each request
+# carries its own client traceparent.
+n=0
+for b in 1 2; do
+    for h in 1 2 3 4 5 6; do
+        n=$((n + 1))
+        tenant=alpha
+        [ $((n % 2)) -eq 0 ] && tenant=beta
+        port=$((18620 + (n % 3) + 1))
+        tp=$(printf '00-%032x-%016x-01' "$n" "$n")
+        body=$(printf '{"architecture":"builtin:%d","category":"c","protection":"unencrypted","nmax":1,"horizon":%d,"skip_steady_state":true,"wait_seconds":60}' "$b" "$h")
+        submit "$port" "$tenant" "$tp" "$body"
+    done
+done
+for h in 1 2 3 4; do
+    n=$((n + 1))
+    tenant=alpha
+    [ $((n % 2)) -eq 0 ] && tenant=beta
+    port=$((18620 + (n % 3) + 1))
+    tp=$(printf '00-%032x-%016x-01' "$n" "$n")
+    body=$(printf '{"kind":"attack_tree","architecture":"attacktree_infotainment","horizon":%d,"wait_seconds":60}' "$h")
+    submit "$port" "$tenant" "$tp" "$body"
+done
+echo "cluster-smoke: $n jobs done across the ring"
+
+# Replica pushes land asynchronously just after the job response; poll the
+# merged document until a multi-node trace has been assembled. (Assertions
+# grep the file, not a pipe: grep -q's early exit would SIGPIPE the
+# producer and trip pipefail.)
+DOC="$WORKDIR/doc.json"
+mnt=0
+for _ in $(seq 1 20); do
+    "$SECTOP" -once -json -addr "http://127.0.0.1:$P1" >"$DOC"
+    mnt=$(grep -o '"multi_node_traces": [0-9]*' "$DOC" | grep -o '[0-9]*$' | head -1)
+    if [ "${mnt:-0}" -ge 1 ]; then
+        break
+    fi
+    sleep 0.3
+done
+
+for node in n1 n2 n3; do
+    if ! grep -q "\"node\": \"$node\"" "$DOC"; then
+        echo "cluster-smoke: FAIL: node $node missing from the merged document" >&2
+        head -60 "$DOC" >&2
+        exit 1
+    fi
+done
+echo "cluster-smoke: all 3 nodes federated"
+
+p99=$(grep -o '"p99": [0-9.e+-]*' "$DOC" | grep -o '[0-9.e+-]*$' | sort -g | tail -1)
+if ! awk -v p="${p99:-0}" 'BEGIN { exit (p > 0) ? 0 : 1 }'; then
+    echo "cluster-smoke: FAIL: merged p99 is ${p99:-absent}, want > 0" >&2
+    exit 1
+fi
+echo "cluster-smoke: merged p99 = ${p99}s"
+
+for tenant in alpha beta; do
+    if ! grep -A1 "\"$tenant\": {" "$DOC" | grep -q '"requests": [1-9]'; then
+        echo "cluster-smoke: FAIL: tenant $tenant has no recorded usage" >&2
+        exit 1
+    fi
+done
+echo "cluster-smoke: both tenants report usage"
+
+if [ "${mnt:-0}" -lt 1 ]; then
+    echo "cluster-smoke: FAIL: no assembled multi-node trace (multi_node_traces=$mnt)" >&2
+    exit 1
+fi
+echo "cluster-smoke: $mnt multi-node trace(s) assembled"
+echo "cluster-smoke: PASS"
